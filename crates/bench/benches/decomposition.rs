@@ -1,0 +1,59 @@
+//! End-to-end benchmarks: Gradient Decomposition vs. Halo Voxel Exchange on a
+//! synthetic dataset, and the analytic scaling-table generation behind Tables
+//! II/III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptycho_bench::experiments::{scaling_tables, PaperDataset};
+use ptycho_cluster::{Cluster, ClusterTopology};
+use ptycho_core::{GradientDecompositionSolver, HaloVoxelExchangeSolver, SolverConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use std::time::Duration;
+
+fn bench_methods(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig {
+        object_px: 128,
+        slices: 2,
+        scan_grid: (4, 4),
+        window_px: 32,
+        dose: None,
+        defocus_pm: 12_000.0,
+        seed: 3,
+    });
+    let cluster = Cluster::new(ClusterTopology::summit());
+
+    let mut group = c.benchmark_group("method_comparison_one_iteration");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let gd_config = SolverConfig {
+        iterations: 1,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    group.bench_function("gradient_decomposition_2x2", |b| {
+        b.iter(|| GradientDecompositionSolver::new(&dataset, gd_config, (2, 2)).run(&cluster))
+    });
+    let hve_config = SolverConfig {
+        iterations: 1,
+        hve_extra_probe_rows: 1,
+        ..SolverConfig::default()
+    };
+    group.bench_function("halo_voxel_exchange_2x2", |b| {
+        b.iter(|| {
+            HaloVoxelExchangeSolver::new(&dataset, hve_config, (2, 2))
+                .expect("feasible")
+                .run(&cluster)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scaling_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_model");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group.bench_function("table3_generation", |b| {
+        b.iter(|| scaling_tables(PaperDataset::Large))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_scaling_model);
+criterion_main!(benches);

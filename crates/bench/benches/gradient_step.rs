@@ -1,0 +1,56 @@
+//! Micro-benchmark of the per-probe inner loop of Algorithm 1: compute the
+//! individual image gradient, accumulate it into the buffer, apply the local
+//! update (steps 6–8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptycho_cluster::{Cluster, ClusterTopology};
+use ptycho_core::{GradientDecompositionSolver, SolverConfig};
+use ptycho_sim::dataset::{extract_patch, Dataset, SyntheticConfig};
+use ptycho_sim::{apply_gradient_step, probe_gradient, suggested_step};
+use std::time::Duration;
+
+fn bench_inner_loop(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+    let model = dataset.model();
+    let loc = dataset.scan().locations()[4];
+    let truth = dataset.specimen().transmission();
+    let mut guess = dataset.initial_guess();
+    let step = 0.5 * suggested_step(model);
+
+    let mut group = c.benchmark_group("algorithm1_inner_loop");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group.bench_function("gradient_accumulate_update", |b| {
+        b.iter(|| {
+            let patch = extract_patch(truth, &loc.window);
+            let result = probe_gradient(model, &patch, dataset.measurement(&loc));
+            let mut local = extract_patch(&guess, &loc.window);
+            apply_gradient_step(&mut local, &result.gradient, step);
+            guess.paste_region(loc.window, &local);
+            result.loss
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_iteration(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+    let cluster = Cluster::new(ClusterTopology::summit());
+    let config = SolverConfig {
+        iterations: 1,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let mut group = c.benchmark_group("gd_full_iteration");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for ranks in [1usize, 4] {
+        group.bench_function(format!("{ranks}_ranks"), |b| {
+            b.iter(|| {
+                GradientDecompositionSolver::for_workers(&dataset, config, ranks).run(&cluster)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inner_loop, bench_full_iteration);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-benchmarks for the multi-slice forward model `G` and its adjoint
+//! gradient (the per-probe kernel of Eqn. 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptycho_array::Array3;
+use ptycho_fft::Complex64;
+use ptycho_sim::physics::ImagingGeometry;
+use ptycho_sim::probe::{Probe, ProbeConfig};
+use ptycho_sim::{probe_gradient, MultisliceModel};
+use std::time::Duration;
+
+fn model(window: usize, slices: usize) -> MultisliceModel {
+    let probe = Probe::new(ProbeConfig {
+        window_px: window,
+        geometry: ImagingGeometry {
+            pixel_size_pm: 50.0,
+            defocus_pm: 10_000.0,
+            ..ImagingGeometry::paper()
+        },
+        total_intensity: 1.0,
+    });
+    MultisliceModel::new(probe, slices)
+}
+
+fn phase_object(slices: usize, n: usize) -> Array3<Complex64> {
+    Array3::from_fn(slices, n, n, |s, r, c| {
+        Complex64::cis(0.2 * ((r + c + s) as f64 * 0.31).sin())
+    })
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multislice_forward");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &(window, slices) in &[(32usize, 2usize), (32, 8), (64, 4)] {
+        let m = model(window, slices);
+        let object = phase_object(slices, window);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{window}px_{slices}slices")),
+            &window,
+            |b, _| b.iter(|| m.forward(&object)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_gradient");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &(window, slices) in &[(32usize, 2usize), (64, 4)] {
+        let m = model(window, slices);
+        let truth = phase_object(slices, window);
+        let measured = m.simulate_amplitude(&truth);
+        let guess = Array3::full(slices, window, window, Complex64::ONE);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{window}px_{slices}slices")),
+            &window,
+            |b, _| b.iter(|| probe_gradient(&m, &guess, &measured)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_gradient);
+criterion_main!(benches);

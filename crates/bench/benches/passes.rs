@@ -1,0 +1,60 @@
+//! Micro-benchmarks for the directional accumulation passes (Fig. 4) and the
+//! gradient-message serialisation they rely on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptycho_array::Array3;
+use ptycho_cluster::{Cluster, ClusterTopology};
+use ptycho_core::gradient_decomp::passes::run_accumulation_passes;
+use ptycho_core::tiling::TileGrid;
+use ptycho_fft::{CArray3, Complex64};
+use ptycho_sim::scan::{ScanConfig, ScanPattern};
+use std::time::Duration;
+
+fn scan(image: usize) -> ScanPattern {
+    ScanPattern::generate(ScanConfig {
+        rows: 4,
+        cols: 4,
+        step_px: (image / 5) as f64,
+        origin_px: (8.0, 8.0),
+        window_px: 16,
+        probe_radius_px: 8.0,
+    })
+}
+
+fn buffers_for(grid: &TileGrid, slices: usize) -> Vec<CArray3> {
+    (0..grid.num_tiles())
+        .map(|rank| {
+            let ext = grid.tile(rank).extended;
+            Array3::from_fn(slices, ext.rows(), ext.cols(), |s, r, c| {
+                Complex64::new((rank + s + r + c) as f64 * 0.01, 0.5)
+            })
+        })
+        .collect()
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulation_passes");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for &(grid_rows, grid_cols) in &[(2usize, 2usize), (3, 3)] {
+        let image = 96;
+        let slices = 2;
+        let s = scan(image);
+        let grid = TileGrid::new(image, image, grid_rows, grid_cols, 8, &s);
+        let cluster = Cluster::new(ClusterTopology::summit());
+        let initial = buffers_for(&grid, slices);
+        let grid_ref = &grid;
+        let initial_ref = &initial;
+        group.bench_function(format!("{grid_rows}x{grid_cols}_grid"), |b| {
+            b.iter(|| {
+                cluster.run::<Vec<f64>, (), _>(grid_ref.num_tiles(), |ctx| {
+                    let mut buffer = initial_ref[ctx.rank()].clone();
+                    run_accumulation_passes(ctx, grid_ref, &mut buffer);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

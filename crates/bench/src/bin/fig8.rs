@@ -1,0 +1,34 @@
+//! Regenerates Fig. 8: seam artifacts at tile borders for the Halo Voxel
+//! Exchange baseline vs. their absence under Gradient Decomposition.
+//!
+//! This experiment runs the real threaded solvers on a synthetic high-overlap
+//! dataset and reports the seam-artifact metric (ratio of image-gradient
+//! energy on tile borders to the interior; 1.0 means no visible seams).
+
+use ptycho_bench::experiments::fig8;
+use ptycho_bench::report::{fmt, Table};
+
+fn main() {
+    let iterations = 10;
+    let result = fig8(iterations);
+    let mut table = Table::new("Fig. 8: seam artifacts at tile borders").headers(&[
+        "Method",
+        "Seam metric (1.0 = no seams)",
+        "Phase RMSE vs ground truth",
+    ]);
+    table.row(vec![
+        "Halo Voxel Exchange".into(),
+        fmt(result.hve_seam, 3),
+        fmt(result.hve_rmse, 4),
+    ]);
+    table.row(vec![
+        "Gradient Decomposition".into(),
+        fmt(result.gd_seam, 3),
+        fmt(result.gd_rmse, 4),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "Paper reference: the Halo Voxel Exchange reconstruction shows artificial seam \
+         borders at tile boundaries (Fig. 8a); Gradient Decomposition eliminates them (Fig. 8b)."
+    );
+}

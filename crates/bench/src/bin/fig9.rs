@@ -1,0 +1,32 @@
+//! Regenerates Fig. 9: convergence of the cost function `F(V)` for three
+//! communication frequencies of the parallel passes (every probe location,
+//! twice per iteration, once per iteration).
+
+use ptycho_bench::experiments::fig9;
+use ptycho_bench::report::{fmt, Table};
+
+fn main() {
+    let iterations = 8;
+    let curves = fig9(iterations);
+    let mut table = Table::new("Fig. 9: cost F(V) per iteration vs. communication frequency")
+        .headers(&[
+            "Iteration",
+            curves[0].label.as_str(),
+            curves[1].label.as_str(),
+            curves[2].label.as_str(),
+        ]);
+    for i in 0..iterations {
+        table.row(vec![
+            (i + 1).to_string(),
+            fmt(curves[0].costs[i], 4),
+            fmt(curves[1].costs[i], 4),
+            fmt(curves[2].costs[i], 4),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper reference: reducing the pass frequency to once or twice per iteration lowers \
+         communication overhead without slowing convergence (it even converges slightly faster \
+         than passing after every probe location, which can overshoot in the overlap regions)."
+    );
+}

@@ -1,0 +1,13 @@
+//! Experiment harnesses that regenerate every table and figure of the paper's
+//! evaluation section, plus plain-text reporting helpers.
+//!
+//! Each binary in `src/bin/` (one per table/figure) is a thin wrapper around a
+//! function in [`experiments`]; the functions are also exercised by the
+//! workspace integration tests so that the reproduced *shapes* (who wins, by
+//! roughly what factor, where the crossovers fall) are checked automatically.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;

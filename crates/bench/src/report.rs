@@ -1,0 +1,121 @@
+//! Plain-text tables for the experiment harnesses.
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers(mut self, headers: &[&str]) -> Self {
+        self.headers = headers.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Appends a row of already-formatted cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let format_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:>width$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            out.push_str(&format_row(&self.headers));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals, using `NA` for NaN
+/// (matching the paper's "NA" entries for infeasible configurations).
+pub fn fmt_or_na(value: Option<f64>, decimals: usize) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.decimals$}"),
+        _ => "NA".to_string(),
+    }
+}
+
+/// Formats gigabytes/minutes/percent compactly.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut table = Table::new("demo").headers(&["GPUs", "Runtime (min)"]);
+        table.row(vec!["6".into(), "5543.0".into()]);
+        table.row(vec!["4158".into(), "2.2".into()]);
+        let text = table.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("GPUs"));
+        assert!(text.contains("4158"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_or_na(Some(1.234), 2), "1.23");
+        assert_eq!(fmt_or_na(None, 2), "NA");
+        assert_eq!(fmt_or_na(Some(f64::NAN), 1), "NA");
+        assert_eq!(fmt(0.5, 1), "0.5");
+    }
+}

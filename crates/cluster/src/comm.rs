@@ -1,0 +1,373 @@
+//! A thread-backed, MPI-like message-passing runtime.
+//!
+//! Each simulated GPU rank runs as an OS thread. Ranks exchange typed messages
+//! through unbounded channels: sends never block (the semantics of
+//! `MPI_Isend` into a buffered request), receives block until a matching
+//! message arrives (the semantics of `MPI_Wait` on an `MPI_Irecv`). Tag
+//! matching and per-sender ordering follow MPI rules.
+//!
+//! Wall-clock time spent blocked in receives and barriers is measured and
+//! charged to *wait* time; the analytic wire time of each message (from the
+//! [`ClusterTopology`]) is charged to *communication* time, because a channel
+//! between threads is orders of magnitude faster than InfiniBand and measuring
+//! it directly would tell us nothing about the modelled machine.
+
+use crate::clock::RankClock;
+use crate::memory::MemoryTracker;
+use crate::topology::ClusterTopology;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// Payloads carried between ranks must report an approximate wire size so the
+/// analytic communication model can charge for them.
+pub trait Payload: Send {
+    /// Number of bytes this payload would occupy on the wire.
+    fn payload_bytes(&self) -> usize;
+}
+
+impl Payload for () {
+    fn payload_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn payload_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for Vec<f64> {
+    fn payload_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Payload for String {
+    fn payload_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A message in flight.
+#[derive(Clone, Debug)]
+struct Envelope<M> {
+    from: usize,
+    tag: u64,
+    payload: M,
+}
+
+/// The per-rank handle: identity, channels to every peer, clocks and memory.
+pub struct RankContext<M> {
+    rank: usize,
+    size: usize,
+    topology: ClusterTopology,
+    senders: Vec<Sender<Envelope<M>>>,
+    receiver: Receiver<Envelope<M>>,
+    /// Out-of-order messages waiting for a matching `recv`.
+    stash: Vec<Envelope<M>>,
+    barrier: Arc<Barrier>,
+    /// The rank's time accounting.
+    pub clock: RankClock,
+    /// The rank's memory accounting.
+    pub memory: MemoryTracker,
+}
+
+impl<M: Payload> RankContext<M> {
+    /// This rank's index in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The topology the ranks are mapped onto.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Non-blocking send of `payload` to `to` with a user-chosen `tag`
+    /// (the analogue of `MPI_Isend`).
+    ///
+    /// The analytic wire time for the message is charged to this rank's
+    /// communication budget.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range.
+    pub fn isend(&mut self, to: usize, tag: u64, payload: M) {
+        assert!(to < self.size, "rank {to} out of range ({} ranks)", self.size);
+        let bytes = payload.payload_bytes();
+        let wire_time = self.topology.transfer_time(self.rank, to, bytes);
+        self.clock.charge_communication(wire_time);
+        // Unbounded channel: never blocks, mirroring a buffered Isend.
+        self.senders[to]
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload,
+            })
+            .expect("peer rank hung up before shutdown");
+    }
+
+    /// Blocking receive of the next message from `from` with tag `tag`
+    /// (the analogue of `MPI_Irecv` + `MPI_Wait`). Time spent blocked is
+    /// charged to wait time.
+    pub fn recv(&mut self, from: usize, tag: u64) -> M {
+        // Check the stash first (messages that arrived out of order).
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            return self.stash.remove(pos).payload;
+        }
+        let receiver = self.receiver.clone();
+        let mut found: Option<M> = None;
+        let stash = &mut self.stash;
+        self.clock.wait(|| loop {
+            let envelope = receiver
+                .recv()
+                .expect("all peers hung up while this rank was still receiving");
+            if envelope.from == from && envelope.tag == tag {
+                found = Some(envelope.payload);
+                break;
+            }
+            stash.push(envelope);
+        });
+        found.expect("recv loop exited without a message")
+    }
+
+    /// Non-blocking probe: returns a matching message if one has already
+    /// arrived, without waiting.
+    pub fn try_recv(&mut self, from: usize, tag: u64) -> Option<M> {
+        // Drain anything pending into the stash, then search it.
+        while let Ok(envelope) = self.receiver.try_recv() {
+            self.stash.push(envelope);
+        }
+        self.stash
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+            .map(|pos| self.stash.remove(pos).payload)
+    }
+
+    /// Synchronises all ranks; blocked time is charged to wait time.
+    pub fn barrier(&mut self) {
+        let barrier = Arc::clone(&self.barrier);
+        self.clock.wait(move || {
+            barrier.wait();
+        });
+    }
+}
+
+/// The outcome of one rank's execution.
+#[derive(Clone, Debug)]
+pub struct RankOutcome<R> {
+    /// The rank index.
+    pub rank: usize,
+    /// Whatever the rank body returned.
+    pub result: R,
+    /// Time accounting collected by the rank.
+    pub time: crate::clock::TimeBreakdown,
+    /// Memory accounting collected by the rank.
+    pub memory: MemoryTracker,
+}
+
+/// A simulated cluster: spawns one thread per rank and wires up the channels.
+#[derive(Clone, Debug, Default)]
+pub struct Cluster {
+    topology: ClusterTopology,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given topology.
+    pub fn new(topology: ClusterTopology) -> Self {
+        Self { topology }
+    }
+
+    /// The topology ranks will see.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Runs `body` on `num_ranks` ranks in parallel and collects every rank's
+    /// outcome, ordered by rank.
+    ///
+    /// `M` is the message type exchanged between ranks; `R` is the per-rank
+    /// result type.
+    pub fn run<M, R, F>(&self, num_ranks: usize, body: F) -> Vec<RankOutcome<R>>
+    where
+        M: Payload + 'static,
+        R: Send,
+        F: Fn(&mut RankContext<M>) -> R + Sync,
+    {
+        assert!(num_ranks > 0, "need at least one rank");
+        let mut senders = Vec::with_capacity(num_ranks);
+        let mut receivers = Vec::with_capacity(num_ranks);
+        for _ in 0..num_ranks {
+            let (tx, rx) = unbounded::<Envelope<M>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(num_ranks));
+        let body = &body;
+
+        let mut outcomes: Vec<Option<RankOutcome<R>>> =
+            (0..num_ranks).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_ranks);
+            for (rank, receiver) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let barrier = Arc::clone(&barrier);
+                let topology = self.topology;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = RankContext {
+                        rank,
+                        size: num_ranks,
+                        topology,
+                        senders,
+                        receiver,
+                        stash: Vec::new(),
+                        barrier,
+                        clock: RankClock::new(),
+                        memory: MemoryTracker::new(),
+                    };
+                    let result = body(&mut ctx);
+                    RankOutcome {
+                        rank,
+                        result,
+                        time: ctx.clock.breakdown(),
+                        memory: ctx.memory,
+                    }
+                }));
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                outcomes[rank] = Some(handle.join().expect("rank thread panicked"));
+            }
+        });
+
+        outcomes.into_iter().map(|o| o.expect("missing rank")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each rank sends its rank number around a ring; the total arriving
+        // back equals the sum of all ranks.
+        let cluster = Cluster::new(ClusterTopology::summit());
+        let n = 6;
+        let outcomes = cluster.run::<Vec<f64>, f64, _>(n, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            let mut total = ctx.rank() as f64;
+            let mut token = vec![ctx.rank() as f64];
+            for _ in 0..ctx.size() - 1 {
+                ctx.isend(next, 7, token);
+                token = ctx.recv(prev, 7);
+                total += token[0];
+                token = vec![token[0]];
+            }
+            total
+        });
+        let expected: f64 = (0..n).map(|x| x as f64).sum();
+        for o in &outcomes {
+            assert_eq!(o.result, expected, "rank {} total mismatch", o.rank);
+        }
+    }
+
+    #[test]
+    fn tag_matching_is_respected() {
+        let cluster = Cluster::default();
+        let outcomes = cluster.run::<Vec<f64>, (f64, f64), _>(2, |ctx| {
+            if ctx.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for tag 1 first.
+                ctx.isend(1, 2, vec![20.0]);
+                ctx.isend(1, 1, vec![10.0]);
+                (0.0, 0.0)
+            } else {
+                let first = ctx.recv(0, 1)[0];
+                let second = ctx.recv(0, 2)[0];
+                (first, second)
+            }
+        });
+        assert_eq!(outcomes[1].result, (10.0, 20.0));
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let cluster = Cluster::default();
+        let outcomes = cluster.run::<Vec<f64>, bool, _>(2, |ctx| {
+            if ctx.rank() == 0 {
+                // Never sends anything.
+                true
+            } else {
+                ctx.try_recv(0, 1).is_none()
+            }
+        });
+        assert!(outcomes[1].result);
+    }
+
+    #[test]
+    fn barrier_synchronises_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let cluster = Cluster::default();
+        let outcomes = cluster.run::<(), usize, _>(4, |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must observe all increments.
+            counter.load(Ordering::SeqCst)
+        });
+        for o in outcomes {
+            assert_eq!(o.result, 4);
+        }
+    }
+
+    #[test]
+    fn communication_time_is_charged_to_sender() {
+        let cluster = Cluster::new(ClusterTopology::summit());
+        let payload_len = 1_000_000usize;
+        let outcomes = cluster.run::<Vec<f64>, (), _>(7, |ctx| {
+            // Rank 0 sends a large buffer to rank 6 (different node).
+            if ctx.rank() == 0 {
+                ctx.isend(6, 1, vec![0.0; payload_len]);
+            } else if ctx.rank() == 6 {
+                let _ = ctx.recv(0, 1);
+            }
+        });
+        let bytes = payload_len * 8;
+        let expected = ClusterTopology::summit().transfer_time(0, 6, bytes);
+        assert!((outcomes[0].time.communication - expected).abs() < 1e-12);
+        assert_eq!(outcomes[6].time.communication, 0.0);
+        // The receiver's blocking time shows up as wait.
+        assert!(outcomes[6].time.wait >= 0.0);
+    }
+
+    #[test]
+    fn outcomes_are_ordered_by_rank() {
+        let cluster = Cluster::default();
+        let outcomes = cluster.run::<(), usize, _>(5, |ctx| ctx.rank() * 10);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.rank, i);
+            assert_eq!(o.result, i * 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn send_to_invalid_rank_panics() {
+        let cluster = Cluster::default();
+        let _ = cluster.run::<(), (), _>(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.isend(5, 0, ());
+            }
+        });
+    }
+}

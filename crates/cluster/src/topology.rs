@@ -1,0 +1,157 @@
+//! Cluster topology: how simulated GPUs map onto nodes and links.
+//!
+//! Models the Summit layout described in Sec. VI-A of the paper: 6 V100 GPUs
+//! per node, NVLink (50 GB/s one-way) within a node, EDR InfiniBand
+//! (100 Gbit/s ≈ 12.5 GB/s) between nodes.
+
+/// The kind of link connecting two ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Both ranks are the same GPU (no transfer needed).
+    Local,
+    /// Ranks share a node: NVLink-class bandwidth.
+    IntraNode,
+    /// Ranks are on different nodes: InfiniBand-class bandwidth.
+    InterNode,
+}
+
+/// Static description of the cluster the simulated ranks "run on".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterTopology {
+    /// GPUs per node (Summit: 6).
+    pub gpus_per_node: usize,
+    /// Intra-node (NVLink) bandwidth in bytes per second, one direction.
+    pub intra_node_bw: f64,
+    /// Inter-node (InfiniBand) bandwidth in bytes per second, one direction.
+    pub inter_node_bw: f64,
+    /// Intra-node message latency in seconds.
+    pub intra_node_latency: f64,
+    /// Inter-node message latency in seconds.
+    pub inter_node_latency: f64,
+    /// GPU memory capacity in bytes (V100: 16 GB).
+    pub gpu_memory_bytes: usize,
+}
+
+impl Default for ClusterTopology {
+    fn default() -> Self {
+        Self::summit()
+    }
+}
+
+impl ClusterTopology {
+    /// The Summit-like topology used throughout the paper's evaluation.
+    pub fn summit() -> Self {
+        Self {
+            gpus_per_node: 6,
+            intra_node_bw: 50.0e9,
+            inter_node_bw: 12.5e9,
+            intra_node_latency: 3.0e-6,
+            inter_node_latency: 12.0e-6,
+            gpu_memory_bytes: 16 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Number of nodes needed to host `gpus` ranks.
+    pub fn nodes_for(&self, gpus: usize) -> usize {
+        gpus.div_ceil(self.gpus_per_node)
+    }
+
+    /// Node index hosting a given rank.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.gpus_per_node
+    }
+
+    /// True when two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The link kind between two ranks.
+    pub fn link_kind(&self, a: usize, b: usize) -> LinkKind {
+        if a == b {
+            LinkKind::Local
+        } else if self.same_node(a, b) {
+            LinkKind::IntraNode
+        } else {
+            LinkKind::InterNode
+        }
+    }
+
+    /// Bandwidth of the link between two ranks, bytes per second.
+    pub fn bandwidth(&self, a: usize, b: usize) -> f64 {
+        match self.link_kind(a, b) {
+            LinkKind::Local => f64::INFINITY,
+            LinkKind::IntraNode => self.intra_node_bw,
+            LinkKind::InterNode => self.inter_node_bw,
+        }
+    }
+
+    /// Latency of the link between two ranks, seconds.
+    pub fn latency(&self, a: usize, b: usize) -> f64 {
+        match self.link_kind(a, b) {
+            LinkKind::Local => 0.0,
+            LinkKind::IntraNode => self.intra_node_latency,
+            LinkKind::InterNode => self.inter_node_latency,
+        }
+    }
+
+    /// Time to move `bytes` between two ranks (latency + bytes / bandwidth).
+    pub fn transfer_time(&self, a: usize, b: usize, bytes: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.latency(a, b) + bytes as f64 / self.bandwidth(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_layout() {
+        let t = ClusterTopology::summit();
+        assert_eq!(t.gpus_per_node, 6);
+        assert_eq!(t.nodes_for(6), 1);
+        assert_eq!(t.nodes_for(7), 2);
+        assert_eq!(t.nodes_for(4158), 693);
+        assert_eq!(t.nodes_for(462), 77);
+    }
+
+    #[test]
+    fn node_assignment() {
+        let t = ClusterTopology::summit();
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(5), 0);
+        assert_eq!(t.node_of(6), 1);
+        assert!(t.same_node(0, 5));
+        assert!(!t.same_node(5, 6));
+    }
+
+    #[test]
+    fn link_kinds() {
+        let t = ClusterTopology::summit();
+        assert_eq!(t.link_kind(3, 3), LinkKind::Local);
+        assert_eq!(t.link_kind(0, 1), LinkKind::IntraNode);
+        assert_eq!(t.link_kind(0, 11), LinkKind::InterNode);
+    }
+
+    #[test]
+    fn transfer_times_ordering() {
+        let t = ClusterTopology::summit();
+        let bytes = 64 * 1024 * 1024;
+        let local = t.transfer_time(2, 2, bytes);
+        let intra = t.transfer_time(0, 1, bytes);
+        let inter = t.transfer_time(0, 6, bytes);
+        assert_eq!(local, 0.0);
+        assert!(intra < inter, "NVLink should beat InfiniBand");
+        assert!(intra > 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_messages() {
+        let t = ClusterTopology::summit();
+        let tiny = t.transfer_time(0, 6, 8);
+        assert!((tiny - t.inter_node_latency) / tiny < 0.01);
+    }
+}

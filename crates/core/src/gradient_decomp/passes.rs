@@ -1,0 +1,289 @@
+//! Forward and backward accumulated-gradient passes (Sec. IV, Fig. 4).
+//!
+//! Direct-neighbour gradient exchange is not enough when the probe overlap
+//! ratio is high: a probe circle can overlap tiles that are not adjacent to
+//! its owner. The paper's remedy is a pair of directional sweeps per axis:
+//!
+//! * **forward pass** — each tile *adds* its accumulation buffer into the next
+//!   tile's buffer over their overlap region, sweeping top→bottom (vertical)
+//!   or left→right (horizontal), so contributions cascade down the chain;
+//! * **backward pass** — the last tile's now-complete buffer is swept back,
+//!   *replacing* the predecessors' buffers over the overlap regions, so every
+//!   tile in the chain ends up with the same accumulated values.
+//!
+//! Running vertical forward+backward, then horizontal forward+backward makes
+//! every tile's buffer equal to the total image gradient over its extended
+//! tile, including the diagonal overlaps (corner contributions travel through
+//! the intermediate tile). The sweeps for different columns (respectively
+//! rows) are independent, which is what the APPP pipelining exploits.
+
+use crate::tiling::TileGrid;
+use crate::worker::{add_region_flat, extract_region_flat, set_region_flat};
+use ptycho_cluster::RankContext;
+use ptycho_fft::CArray3;
+
+/// Message tags for the four directional passes; combined with the sending
+/// rank they uniquely identify each transfer within one synchronisation round.
+pub mod tags {
+    /// Vertical forward pass (top tile row → bottom tile row).
+    pub const VERTICAL_FORWARD: u64 = 0x10;
+    /// Vertical backward pass (bottom tile row → top tile row).
+    pub const VERTICAL_BACKWARD: u64 = 0x11;
+    /// Horizontal forward pass (leftmost tile column → rightmost).
+    pub const HORIZONTAL_FORWARD: u64 = 0x12;
+    /// Horizontal backward pass (rightmost tile column → leftmost).
+    pub const HORIZONTAL_BACKWARD: u64 = 0x13;
+}
+
+/// The direction of one sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Axis {
+    Vertical,
+    Horizontal,
+}
+
+/// Runs all four directional passes on this rank's accumulation buffer,
+/// leaving it equal (over its extended tile) to the sum of the accumulation
+/// buffers of every tile whose extended region overlaps it.
+///
+/// Every rank in the grid must call this the same number of times per
+/// iteration, otherwise the blocking receives deadlock.
+pub fn run_accumulation_passes(
+    ctx: &mut RankContext<Vec<f64>>,
+    grid: &TileGrid,
+    buffer: &mut CArray3,
+) {
+    forward_pass(ctx, grid, buffer, Axis::Vertical);
+    backward_pass(ctx, grid, buffer, Axis::Vertical);
+    forward_pass(ctx, grid, buffer, Axis::Horizontal);
+    backward_pass(ctx, grid, buffer, Axis::Horizontal);
+}
+
+/// The neighbour "before" this rank along an axis (above / to the left).
+fn predecessor(grid: &TileGrid, rank: usize, axis: Axis) -> Option<usize> {
+    let (gr, gc) = grid.tile(rank).grid_pos;
+    match axis {
+        Axis::Vertical if gr > 0 => Some(grid.rank_at(gr - 1, gc)),
+        Axis::Horizontal if gc > 0 => Some(grid.rank_at(gr, gc - 1)),
+        _ => None,
+    }
+}
+
+/// The neighbour "after" this rank along an axis (below / to the right).
+fn successor(grid: &TileGrid, rank: usize, axis: Axis) -> Option<usize> {
+    let (gr, gc) = grid.tile(rank).grid_pos;
+    let (grid_rows, grid_cols) = grid.grid_shape();
+    match axis {
+        Axis::Vertical if gr + 1 < grid_rows => Some(grid.rank_at(gr + 1, gc)),
+        Axis::Horizontal if gc + 1 < grid_cols => Some(grid.rank_at(gr, gc + 1)),
+        _ => None,
+    }
+}
+
+/// The overlap between this rank and a peer, in this rank's tile-local
+/// coordinates (empty when the extended tiles do not touch).
+fn local_overlap(grid: &TileGrid, rank: usize, peer: usize) -> ptycho_array::Rect {
+    grid.overlap(rank, peer)
+        .to_local(&grid.tile(rank).extended)
+}
+
+fn forward_tag(axis: Axis) -> u64 {
+    match axis {
+        Axis::Vertical => tags::VERTICAL_FORWARD,
+        Axis::Horizontal => tags::HORIZONTAL_FORWARD,
+    }
+}
+
+fn backward_tag(axis: Axis) -> u64 {
+    match axis {
+        Axis::Vertical => tags::VERTICAL_BACKWARD,
+        Axis::Horizontal => tags::HORIZONTAL_BACKWARD,
+    }
+}
+
+/// Forward sweep: receive-and-add from the predecessor (if any), then send the
+/// now-augmented overlap region to the successor (if any).
+fn forward_pass(
+    ctx: &mut RankContext<Vec<f64>>,
+    grid: &TileGrid,
+    buffer: &mut CArray3,
+    axis: Axis,
+) {
+    let rank = ctx.rank();
+    let tag = forward_tag(axis);
+    if let Some(prev) = predecessor(grid, rank, axis) {
+        let region = local_overlap(grid, rank, prev);
+        if !region.is_empty() {
+            let payload = ctx.recv(prev, tag);
+            add_region_flat(buffer, region, &payload);
+        }
+    }
+    if let Some(next) = successor(grid, rank, axis) {
+        let region = local_overlap(grid, rank, next);
+        if !region.is_empty() {
+            let payload = extract_region_flat(buffer, region);
+            ctx.isend(next, tag, payload);
+        }
+    }
+}
+
+/// Backward sweep: receive-and-replace from the successor (if any), then send
+/// the overlap region back to the predecessor (if any).
+fn backward_pass(
+    ctx: &mut RankContext<Vec<f64>>,
+    grid: &TileGrid,
+    buffer: &mut CArray3,
+    axis: Axis,
+) {
+    let rank = ctx.rank();
+    let tag = backward_tag(axis);
+    if let Some(next) = successor(grid, rank, axis) {
+        let region = local_overlap(grid, rank, next);
+        if !region.is_empty() {
+            let payload = ctx.recv(next, tag);
+            set_region_flat(buffer, region, &payload);
+        }
+    }
+    if let Some(prev) = predecessor(grid, rank, axis) {
+        let region = local_overlap(grid, rank, prev);
+        if !region.is_empty() {
+            let payload = extract_region_flat(buffer, region);
+            ctx.isend(prev, tag, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptycho_array::{Array3, Rect};
+    use ptycho_cluster::{Cluster, ClusterTopology};
+    use ptycho_fft::Complex64;
+    use ptycho_sim::scan::{ScanConfig, ScanPattern};
+
+    fn scan_for(image: usize) -> ScanPattern {
+        ScanPattern::generate(ScanConfig {
+            rows: 4,
+            cols: 4,
+            step_px: (image / 5) as f64,
+            origin_px: (8.0, 8.0),
+            window_px: 8,
+            probe_radius_px: 4.0,
+        })
+    }
+
+    /// Reference: scatter every tile's buffer into a global image and read the
+    /// total back over each tile's extended region.
+    fn global_reference(
+        grid: &TileGrid,
+        locals: &[CArray3],
+        slices: usize,
+        image: usize,
+    ) -> Vec<CArray3> {
+        let mut global = Array3::full(slices, image, image, Complex64::ZERO);
+        for (rank, local) in locals.iter().enumerate() {
+            global.add_region(grid.tile(rank).extended, local);
+        }
+        (0..grid.num_tiles())
+            .map(|rank| {
+                global.extract_region_with_fill(grid.tile(rank).extended, Complex64::ZERO)
+            })
+            .collect()
+    }
+
+    fn run_passes_and_compare(grid_rows: usize, grid_cols: usize, halo: usize) {
+        let image = 48;
+        let slices = 2;
+        let scan = scan_for(image);
+        let grid = TileGrid::new(image, image, grid_rows, grid_cols, halo, &scan);
+        let ranks = grid.num_tiles();
+
+        // Give every rank a deterministic, rank-dependent buffer.
+        let initial: Vec<CArray3> = (0..ranks)
+            .map(|rank| {
+                let ext = grid.tile(rank).extended;
+                Array3::from_fn(slices, ext.rows(), ext.cols(), |s, r, c| {
+                    Complex64::new(
+                        (rank * 1000 + s * 100 + r * 10 + c) as f64 * 0.001,
+                        (rank + 1) as f64,
+                    )
+                })
+            })
+            .collect();
+        let expected = global_reference(&grid, &initial, slices, image);
+
+        let cluster = Cluster::new(ClusterTopology::summit());
+        let grid_ref = &grid;
+        let initial_ref = &initial;
+        let outcomes = cluster.run::<Vec<f64>, CArray3, _>(ranks, |ctx| {
+            let mut buffer = initial_ref[ctx.rank()].clone();
+            run_accumulation_passes(ctx, grid_ref, &mut buffer);
+            buffer
+        });
+
+        for (rank, outcome) in outcomes.iter().enumerate() {
+            let got = &outcome.result;
+            let want = &expected[rank];
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert!(
+                    (*a - *b).abs() < 1e-9,
+                    "rank {rank}: accumulated buffer mismatch ({a:?} vs {b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn passes_match_global_reference_3x3() {
+        run_passes_and_compare(3, 3, 6);
+    }
+
+    #[test]
+    fn passes_match_global_reference_2x4() {
+        run_passes_and_compare(2, 4, 4);
+    }
+
+    #[test]
+    fn passes_match_global_reference_1x1_is_noop() {
+        run_passes_and_compare(1, 1, 4);
+    }
+
+    #[test]
+    fn passes_match_global_reference_single_row() {
+        run_passes_and_compare(1, 4, 5);
+    }
+
+    #[test]
+    fn passes_match_global_reference_single_column() {
+        run_passes_and_compare(4, 1, 5);
+    }
+
+    #[test]
+    fn predecessor_successor_geometry() {
+        let image = 48;
+        let scan = scan_for(image);
+        let grid = TileGrid::new(image, image, 3, 3, 4, &scan);
+        let center = grid.rank_at(1, 1);
+        assert_eq!(predecessor(&grid, center, Axis::Vertical), Some(grid.rank_at(0, 1)));
+        assert_eq!(successor(&grid, center, Axis::Vertical), Some(grid.rank_at(2, 1)));
+        assert_eq!(predecessor(&grid, center, Axis::Horizontal), Some(grid.rank_at(1, 0)));
+        assert_eq!(successor(&grid, center, Axis::Horizontal), Some(grid.rank_at(1, 2)));
+        assert_eq!(predecessor(&grid, 0, Axis::Vertical), None);
+        assert_eq!(successor(&grid, grid.rank_at(2, 2), Axis::Horizontal), None);
+    }
+
+    #[test]
+    fn local_overlap_is_inside_extended_tile() {
+        let image = 48;
+        let scan = scan_for(image);
+        let grid = TileGrid::new(image, image, 3, 3, 4, &scan);
+        let a = grid.rank_at(1, 1);
+        let b = grid.rank_at(1, 2);
+        let local = local_overlap(&grid, a, b);
+        let ext = grid.tile(a).extended;
+        let local_bounds = Rect::of_shape(ext.rows(), ext.cols());
+        assert!(local_bounds.contains_rect(&local));
+        assert!(!local.is_empty());
+    }
+}

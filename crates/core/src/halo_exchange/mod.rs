@@ -1,0 +1,12 @@
+//! The Halo Voxel Exchange baseline (Sec. II-C of the paper).
+//!
+//! This is the state-of-the-art parallel ptychography method the paper
+//! compares against: every tile is assigned its own probe locations *plus*
+//! extra rows of neighbouring probe locations, reconstructs its halo-extended
+//! tile independently, and periodically copy-pastes its voxels into the halos
+//! of neighbouring tiles through point-to-point communication. Its three
+//! weaknesses — extra memory for the redundant probe locations, redundant
+//! computation, and seam artifacts from the voxel pastes — are what the
+//! Gradient Decomposition method removes.
+
+pub mod solver;

@@ -1,0 +1,362 @@
+//! The Halo Voxel Exchange parallel solver.
+
+use crate::config::SolverConfig;
+use crate::convergence::CostHistory;
+use crate::gradient_decomp::solver::ReconstructionResult;
+use crate::stitch::stitch_tiles;
+use crate::tiling::TileGrid;
+use crate::worker::{extract_region_flat, set_region_flat, TileWorker};
+use ptycho_array::Rect;
+use ptycho_cluster::{Cluster, MemoryTracker, RankContext};
+use ptycho_fft::CArray3;
+use ptycho_sim::dataset::Dataset;
+use ptycho_sim::scan::ProbeLocation;
+
+/// Message tag used for the voxel copy-paste exchange.
+const TAG_VOXEL_PASTE: u64 = 0x20;
+
+/// Errors the baseline can report before running.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HaloExchangeError {
+    /// The tiles are smaller than the halos they must fill for their
+    /// neighbours, so the method cannot produce consistent tiles — the "NA"
+    /// entries of Table II(b).
+    TileSmallerThanHalo {
+        /// The halo width the method requires, in pixels.
+        required_halo_px: usize,
+        /// The smallest tile side in the decomposition, in pixels.
+        smallest_tile_px: usize,
+    },
+}
+
+impl std::fmt::Display for HaloExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HaloExchangeError::TileSmallerThanHalo {
+                required_halo_px,
+                smallest_tile_px,
+            } => write!(
+                f,
+                "Halo Voxel Exchange infeasible: tiles of {smallest_tile_px} px cannot fill \
+                 {required_halo_px} px halos in neighbouring tiles"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HaloExchangeError {}
+
+/// The Halo Voxel Exchange baseline solver.
+pub struct HaloVoxelExchangeSolver<'a> {
+    dataset: &'a Dataset,
+    config: SolverConfig,
+    grid: TileGrid,
+    halo_px: usize,
+    assigned: Vec<Vec<ProbeLocation>>,
+}
+
+impl<'a> HaloVoxelExchangeSolver<'a> {
+    /// Creates the baseline solver on a `grid_dims` tile grid.
+    ///
+    /// The halo width is derived from the scan geometry so that the extra
+    /// probe-location rows are covered (Sec. II-C), and every tile is assigned
+    /// its owned probe locations plus `config.hve_extra_probe_rows` rings of
+    /// neighbours.
+    ///
+    /// Returns an error when the decomposition violates the tile-size
+    /// constraint that limits the baseline's scalability.
+    pub fn new(
+        dataset: &'a Dataset,
+        config: SolverConfig,
+        grid_dims: (usize, usize),
+    ) -> Result<Self, HaloExchangeError> {
+        let (_, rows, cols) = dataset.object_shape();
+        let halo_px = TileGrid::hve_required_halo_px(dataset.scan(), config.hve_extra_probe_rows);
+        let grid = TileGrid::new(rows, cols, grid_dims.0, grid_dims.1, halo_px, dataset.scan());
+
+        let smallest_tile_px = grid
+            .tiles()
+            .iter()
+            .map(|t| t.core.rows().min(t.core.cols()))
+            .min()
+            .unwrap_or(0);
+        if !grid.hve_feasible(halo_px) {
+            return Err(HaloExchangeError::TileSmallerThanHalo {
+                required_halo_px: halo_px,
+                smallest_tile_px,
+            });
+        }
+
+        let assigned = (0..grid.num_tiles())
+            .map(|rank| {
+                grid.hve_assigned_locations(rank, dataset.scan(), config.hve_extra_probe_rows)
+            })
+            .collect();
+
+        Ok(Self {
+            dataset,
+            config,
+            grid,
+            halo_px,
+            assigned,
+        })
+    }
+
+    /// Creates the baseline for `workers` ranks on a near-square grid.
+    pub fn for_workers(
+        dataset: &'a Dataset,
+        config: SolverConfig,
+        workers: usize,
+    ) -> Result<Self, HaloExchangeError> {
+        Self::new(dataset, config, TileGrid::grid_dims_for(workers))
+    }
+
+    /// The tile decomposition (with the HVE halo width).
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// The halo width the baseline needs, in pixels.
+    pub fn halo_px(&self) -> usize {
+        self.halo_px
+    }
+
+    /// Probe locations assigned to each rank (owned plus the extra rings).
+    pub fn assigned(&self) -> &[Vec<ProbeLocation>] {
+        &self.assigned
+    }
+
+    /// Total probe-location evaluations per iteration, counting the redundant
+    /// extra assignments (always ≥ the scan length).
+    pub fn total_assigned(&self) -> usize {
+        self.assigned.iter().map(Vec::len).sum()
+    }
+
+    /// Runs the baseline reconstruction.
+    pub fn run(&self, cluster: &Cluster) -> ReconstructionResult {
+        let ranks = self.grid.num_tiles();
+        let initial = self.dataset.initial_guess();
+        let grid = &self.grid;
+        let dataset = self.dataset;
+        let config = self.config;
+        let assigned = &self.assigned;
+        let initial_ref = &initial;
+
+        let outcomes = cluster.run::<Vec<f64>, (CArray3, Vec<f64>), _>(ranks, |ctx| {
+            run_rank(ctx, dataset, grid, &config, assigned, initial_ref)
+        });
+
+        assemble(outcomes, grid.clone(), config.iterations)
+    }
+}
+
+fn run_rank(
+    ctx: &mut RankContext<Vec<f64>>,
+    dataset: &Dataset,
+    grid: &TileGrid,
+    config: &SolverConfig,
+    assigned: &[Vec<ProbeLocation>],
+    initial: &CArray3,
+) -> (CArray3, Vec<f64>) {
+    let rank = ctx.rank();
+    let tile = grid.tile(rank).clone();
+    let my_probes = &assigned[rank];
+
+    let mut memory = MemoryTracker::new();
+    let mut worker = TileWorker::new(
+        dataset,
+        &tile,
+        initial,
+        config.step_relaxation,
+        my_probes.len(),
+        &mut memory,
+    );
+
+    let neighbors = grid.neighbors(rank);
+    let exchange_period = config.hve_exchange_period.max(1);
+    let mut local_costs = Vec::with_capacity(config.iterations);
+
+    for iteration in 0..config.iterations {
+        // Embarrassingly parallel tile reconstruction with the redundant probe
+        // locations (Figs. 2(d)-(e)): every assigned probe's gradient is
+        // applied locally, immediately.
+        let mut iteration_cost = 0.0;
+        for loc in my_probes {
+            let (loss, gradient) = ctx.clock.compute(|| worker.compute_gradient(loc));
+            // Only count owned probes towards the global cost so that the
+            // reported F(V) is comparable with the Gradient Decomposition
+            // method (redundant evaluations would double-count).
+            if tile.core.contains(
+                loc.center_px.0.floor() as i64,
+                loc.center_px.1.floor() as i64,
+            ) {
+                iteration_cost += loss;
+            }
+            ctx.clock.compute(|| worker.apply_patch(loc, &gradient));
+        }
+        local_costs.push(iteration_cost);
+
+        // Voxel copy-paste: send my core voxels into every neighbour's halo,
+        // receive their core voxels into mine (synchronous point-to-point
+        // exchange, Fig. 2(g)). The baseline reconstructs tiles independently
+        // for `hve_exchange_period` iterations between exchanges.
+        if (iteration + 1) % exchange_period != 0 && iteration + 1 != config.iterations {
+            continue;
+        }
+        for &peer in &neighbors {
+            let send_region_global = tile.core.intersect(&grid.tile(peer).extended);
+            if send_region_global.is_empty() {
+                continue;
+            }
+            let send_local = send_region_global.to_local(&tile.extended);
+            let payload = extract_region_flat(worker.volume(), send_local);
+            ctx.isend(peer, TAG_VOXEL_PASTE, payload);
+        }
+        for &peer in &neighbors {
+            let recv_region_global = grid.tile(peer).core.intersect(&tile.extended);
+            if recv_region_global.is_empty() {
+                continue;
+            }
+            let recv_local = recv_region_global.to_local(&tile.extended);
+            let payload = ctx.recv(peer, TAG_VOXEL_PASTE);
+            set_region_flat(worker.volume_mut(), recv_local, &payload);
+        }
+    }
+
+    ctx.memory.max_merge(&memory);
+    (worker.core_volume(), local_costs)
+}
+
+fn assemble(
+    outcomes: Vec<ptycho_cluster::RankOutcome<(CArray3, Vec<f64>)>>,
+    grid: TileGrid,
+    iterations: usize,
+) -> ReconstructionResult {
+    let mut cores: Vec<(Rect, CArray3)> = Vec::with_capacity(outcomes.len());
+    let mut cost_per_iteration = vec![0.0; iterations];
+    let mut time = Vec::with_capacity(outcomes.len());
+    let mut memory = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let (core, costs) = outcome.result;
+        cores.push((grid.tile(outcome.rank).core, core));
+        for (i, c) in costs.iter().enumerate() {
+            cost_per_iteration[i] += c;
+        }
+        time.push(outcome.time);
+        memory.push(outcome.memory);
+    }
+    let volume = stitch_tiles(&grid, &cores);
+    ReconstructionResult {
+        volume,
+        cost_history: CostHistory::from_costs(cost_per_iteration),
+        time,
+        memory,
+        grid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptycho_cluster::ClusterTopology;
+    use ptycho_sim::dataset::SyntheticConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::synthesize(SyntheticConfig {
+            object_px: 128,
+            scan_grid: (4, 4),
+            ..SyntheticConfig::tiny()
+        })
+    }
+
+    fn config(iterations: usize) -> SolverConfig {
+        SolverConfig {
+            iterations,
+            hve_extra_probe_rows: 1,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn assigns_redundant_probes() {
+        let ds = dataset();
+        let solver = HaloVoxelExchangeSolver::new(&ds, config(1), (2, 2)).unwrap();
+        assert!(
+            solver.total_assigned() > ds.scan().len(),
+            "HVE must assign redundant probe locations ({} vs {})",
+            solver.total_assigned(),
+            ds.scan().len()
+        );
+    }
+
+    #[test]
+    fn reduces_cost_on_2x2_grid() {
+        let ds = dataset();
+        let solver = HaloVoxelExchangeSolver::new(&ds, config(2), (2, 2)).unwrap();
+        let result = solver.run(&Cluster::new(ClusterTopology::summit()));
+        assert_eq!(result.volume.shape(), ds.object_shape());
+        assert!(result.cost_history.final_cost() < result.cost_history.initial_cost());
+    }
+
+    #[test]
+    fn infeasible_when_tiles_smaller_than_halo() {
+        let ds = dataset();
+        // An 8x8 grid on a 128 px object gives 16 px tiles, far below the
+        // required halo (>= half the 32 px probe window plus the extra ring).
+        let err = match HaloVoxelExchangeSolver::new(&ds, config(1), (8, 8)) {
+            Err(e) => e,
+            Ok(_) => panic!("an 8x8 grid should be infeasible for HVE"),
+        };
+        match err {
+            HaloExchangeError::TileSmallerThanHalo {
+                required_halo_px,
+                smallest_tile_px,
+            } => {
+                assert!(required_halo_px > smallest_tile_px);
+            }
+        }
+    }
+
+    #[test]
+    fn uses_larger_halo_than_gradient_decomposition_default() {
+        let ds = dataset();
+        let solver = HaloVoxelExchangeSolver::new(&ds, config(1), (2, 2)).unwrap();
+        assert!(solver.halo_px() > SolverConfig::default().halo_px);
+    }
+
+    #[test]
+    fn measurement_and_halo_memory_exceed_gradient_decomposition() {
+        // The paper's memory argument: HVE needs extra probe-location
+        // measurements and larger halos per tile than GD. (At paper scale the
+        // measurements dominate the footprint; at this toy scale we compare
+        // the two categories directly.)
+        use crate::gradient_decomp::solver::GradientDecompositionSolver;
+        use ptycho_cluster::MemoryCategory;
+        let ds = dataset();
+        let cluster = Cluster::new(ClusterTopology::summit());
+
+        let hve = HaloVoxelExchangeSolver::new(&ds, config(1), (2, 2))
+            .unwrap()
+            .run(&cluster);
+        let gd_config = SolverConfig {
+            iterations: 1,
+            halo_px: 20,
+            ..SolverConfig::default()
+        };
+        let gd = GradientDecompositionSolver::new(&ds, gd_config, (2, 2)).run(&cluster);
+
+        let category_total = |result: &ReconstructionResult, cat: MemoryCategory| -> usize {
+            result.memory.iter().map(|m| m.peak_of(cat)).sum()
+        };
+        assert!(
+            category_total(&hve, MemoryCategory::Measurements)
+                > category_total(&gd, MemoryCategory::Measurements),
+            "HVE must store measurements for its redundant probe locations"
+        );
+        assert!(
+            category_total(&hve, MemoryCategory::HaloVoxels)
+                > category_total(&gd, MemoryCategory::HaloVoxels),
+            "HVE halos must be larger than GD halos"
+        );
+    }
+}

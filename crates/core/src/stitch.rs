@@ -1,0 +1,203 @@
+//! Stitching tiles into a full reconstruction and measuring seam artifacts.
+//!
+//! Both methods finish by abandoning halos and stitching the non-halo (core)
+//! tiles together (Alg. 1 step 20). The Halo Voxel Exchange method leaves
+//! visible seams at the tile borders because voxels are copy-pasted between
+//! tiles that disagree slightly (Fig. 8(a)); the Gradient Decomposition method
+//! does not, because gradients — not voxels — are reconciled (Fig. 8(b)). The
+//! [`seam_artifact_metric`] quantifies that difference.
+
+use crate::tiling::TileGrid;
+use ptycho_array::{stats, Array2, Array3, Rect};
+use ptycho_fft::{CArray3, Complex64};
+
+/// Stitches per-tile core volumes (in image coordinates given by their `Rect`)
+/// into a full reconstruction volume.
+///
+/// # Panics
+/// Panics if a core volume's plane shape does not match its rectangle.
+pub fn stitch_tiles(grid: &TileGrid, cores: &[(Rect, CArray3)]) -> CArray3 {
+    let bounds = grid.image_bounds();
+    let slices = cores
+        .first()
+        .map(|(_, v)| v.depth())
+        .expect("stitch_tiles: no tiles given");
+    let mut volume = Array3::full(slices, bounds.rows(), bounds.cols(), Complex64::ONE);
+    for (core, tile_volume) in cores {
+        assert_eq!(
+            (tile_volume.rows(), tile_volume.cols()),
+            core.shape(),
+            "tile volume shape does not match its core rectangle"
+        );
+        volume.paste_region(*core, tile_volume);
+    }
+    volume
+}
+
+/// The phase image of one slice of a reconstruction — the quantity displayed
+/// in the paper's figures and inspected for seams.
+pub fn phase_image(volume: &CArray3, slice: usize) -> Array2<f64> {
+    volume.slice(slice).map(|v| v.arg())
+}
+
+/// The set of interior tile-border pixels (within `width` pixels of a core
+/// tile edge that is not on the image boundary).
+pub fn border_mask(grid: &TileGrid, width: usize) -> Array2<bool> {
+    let bounds = grid.image_bounds();
+    let mut mask = Array2::full(bounds.rows(), bounds.cols(), false);
+    let width = width.max(1) as i64;
+    for tile in grid.tiles() {
+        let core = tile.core;
+        // Vertical borders (right edge of the tile, unless at the image edge).
+        if core.col1 < bounds.col1 {
+            let band = Rect::from_corners(core.row0, core.row1, core.col1 - width, core.col1 + width);
+            mask.fill_region(band, true);
+        }
+        // Horizontal borders (bottom edge of the tile).
+        if core.row1 < bounds.row1 {
+            let band = Rect::from_corners(core.row1 - width, core.row1 + width, core.col0, core.col1);
+            mask.fill_region(band, true);
+        }
+    }
+    mask
+}
+
+/// Quantifies seam artifacts: the ratio of the mean image-gradient magnitude
+/// on interior tile-border pixels to the mean over all other pixels.
+///
+/// A value near 1 means the tile borders are statistically indistinguishable
+/// from the rest of the image (no seams); values well above 1 indicate
+/// artificial discontinuities along the borders.
+pub fn seam_artifact_metric(image: &Array2<f64>, grid: &TileGrid, band_width: usize) -> f64 {
+    assert_eq!(
+        image.shape(),
+        grid.image_bounds().shape(),
+        "image shape does not match the tile grid"
+    );
+    let gradient = stats::gradient_magnitude(image);
+    let mask = border_mask(grid, band_width);
+    let mut border = Vec::new();
+    let mut interior = Vec::new();
+    for (r, c, &on_border) in mask.indexed_iter() {
+        if on_border {
+            border.push(gradient[(r, c)]);
+        } else {
+            interior.push(gradient[(r, c)]);
+        }
+    }
+    if border.is_empty() || interior.is_empty() {
+        return 1.0;
+    }
+    let interior_mean = stats::mean(&interior);
+    if interior_mean == 0.0 {
+        return if stats::mean(&border) == 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    stats::mean(&border) / interior_mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptycho_sim::scan::{ScanConfig, ScanPattern};
+
+    fn scan() -> ScanPattern {
+        ScanPattern::generate(ScanConfig {
+            rows: 3,
+            cols: 3,
+            step_px: 16.0,
+            origin_px: (16.0, 16.0),
+            window_px: 16,
+            probe_radius_px: 8.0,
+        })
+    }
+
+    fn grid() -> TileGrid {
+        TileGrid::new(64, 64, 2, 2, 8, &scan())
+    }
+
+    #[test]
+    fn stitching_reassembles_partition() {
+        let g = grid();
+        // Build per-tile volumes whose values encode the global coordinates.
+        let cores: Vec<(Rect, CArray3)> = g
+            .tiles()
+            .iter()
+            .map(|t| {
+                let vol = Array3::from_fn(2, t.core.rows(), t.core.cols(), |s, r, c| {
+                    Complex64::new(
+                        (t.core.row0 as usize + r) as f64,
+                        (s * 1000 + t.core.col0 as usize + c) as f64,
+                    )
+                });
+                (t.core, vol)
+            })
+            .collect();
+        let full = stitch_tiles(&g, &cores);
+        assert_eq!(full.shape(), (2, 64, 64));
+        for s in 0..2 {
+            for r in 0..64 {
+                for c in 0..64 {
+                    let v = full[(s, r, c)];
+                    assert_eq!(v.re, r as f64);
+                    assert_eq!(v.im, (s * 1000 + c) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match its core rectangle")]
+    fn stitching_rejects_wrong_shapes() {
+        let g = grid();
+        let wrong = vec![(g.tile(0).core, Array3::full(1, 3, 3, Complex64::ZERO))];
+        let _ = stitch_tiles(&g, &wrong);
+    }
+
+    #[test]
+    fn border_mask_marks_internal_edges_only() {
+        let g = grid();
+        let mask = border_mask(&g, 1);
+        // The internal borders of a 2x2 grid on 64x64 are at row 32 and col 32.
+        assert!(mask[(32, 10)]);
+        assert!(mask[(10, 32)]);
+        assert!(!mask[(0, 0)]);
+        assert!(!mask[(63, 63)]);
+        assert!(!mask[(10, 10)]);
+    }
+
+    #[test]
+    fn seam_metric_flat_image_is_one() {
+        let g = grid();
+        let image = Array2::full(64, 64, 2.0);
+        assert_eq!(seam_artifact_metric(&image, &g, 1), 1.0);
+    }
+
+    #[test]
+    fn seam_metric_detects_artificial_seams() {
+        let g = grid();
+        // An image that jumps at the tile borders: each quadrant has a
+        // different constant value.
+        let seamed = Array2::from_fn(64, 64, |r, c| {
+            let q = (usize::from(r >= 32)) * 2 + usize::from(c >= 32);
+            q as f64
+        });
+        let smooth = Array2::from_fn(64, 64, |r, c| (r + c) as f64 * 0.01);
+        let seamed_score = seam_artifact_metric(&seamed, &g, 1);
+        let smooth_score = seam_artifact_metric(&smooth, &g, 1);
+        assert!(
+            seamed_score > 5.0,
+            "quadrant image should show strong seams, got {seamed_score}"
+        );
+        assert!(
+            smooth_score < 1.5,
+            "smooth gradient image should show no seams, got {smooth_score}"
+        );
+    }
+
+    #[test]
+    fn phase_image_extracts_argument() {
+        let vol = Array3::full(1, 4, 4, Complex64::cis(0.5));
+        let phase = phase_image(&vol, 0);
+        assert!(phase.iter().all(|&p| (p - 0.5).abs() < 1e-12));
+    }
+}

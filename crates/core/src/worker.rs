@@ -1,0 +1,263 @@
+//! Per-rank tile state shared by both decomposition solvers.
+
+use crate::tiling::TileInfo;
+use ptycho_array::{Array3, Rect};
+use ptycho_cluster::{MemoryCategory, MemoryTracker};
+use ptycho_fft::{CArray3, Complex64};
+use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX, BYTES_PER_MEASUREMENT};
+use ptycho_sim::gradient::{probe_gradient, suggested_step};
+use ptycho_sim::scan::ProbeLocation;
+
+/// The state one worker (simulated GPU) keeps for its tile: the halo-extended
+/// sub-volume it reconstructs, the bound forward model, and the gradient step.
+pub(crate) struct TileWorker<'a> {
+    dataset: &'a Dataset,
+    tile: TileInfo,
+    /// The worker's halo-extended sub-volume, in tile-local coordinates.
+    volume: CArray3,
+    step: f64,
+    slices: usize,
+}
+
+impl<'a> TileWorker<'a> {
+    /// Creates a worker for `tile`, initialising its sub-volume from `initial`
+    /// (a full-image volume, usually the flat initial guess) and registering
+    /// its memory footprint with `memory`.
+    pub fn new(
+        dataset: &'a Dataset,
+        tile: &TileInfo,
+        initial: &CArray3,
+        step_relaxation: f64,
+        assigned_probes: usize,
+        memory: &mut MemoryTracker,
+    ) -> Self {
+        let slices = dataset.object_shape().0;
+        let volume = initial.extract_region_with_fill(tile.extended, Complex64::ONE);
+        let step = step_relaxation * suggested_step(dataset.model());
+
+        // Register what this worker would hold in GPU memory.
+        let window = dataset.model().window_px();
+        memory.allocate(
+            MemoryCategory::TileVoxels,
+            tile.core.area() * slices * BYTES_PER_COMPLEX,
+        );
+        memory.allocate(
+            MemoryCategory::HaloVoxels,
+            tile.halo_area() * slices * BYTES_PER_COMPLEX,
+        );
+        memory.allocate(
+            MemoryCategory::Measurements,
+            assigned_probes * window * window * BYTES_PER_MEASUREMENT,
+        );
+        memory.allocate(
+            MemoryCategory::GradientBuffer,
+            window * window * slices * BYTES_PER_COMPLEX,
+        );
+        memory.allocate(
+            MemoryCategory::ModelWorkspace,
+            3 * window * window * BYTES_PER_COMPLEX,
+        );
+
+        Self {
+            dataset,
+            tile: tile.clone(),
+            volume,
+            step,
+            slices,
+        }
+    }
+
+    /// The probe window of `loc` expressed in tile-local coordinates.
+    pub fn local_window(&self, loc: &ProbeLocation) -> Rect {
+        loc.window.to_local(&self.tile.extended)
+    }
+
+    /// An all-zero buffer with the shape of the extended tile (used for the
+    /// gradient accumulation buffers of Algorithm 1).
+    pub fn zero_buffer(&self) -> CArray3 {
+        Array3::full(
+            self.slices,
+            self.tile.extended.rows(),
+            self.tile.extended.cols(),
+            Complex64::ZERO,
+        )
+    }
+
+    /// Computes the individual image gradient `∂f_i/∂V_k` for one owned probe
+    /// location against the current tile state. Returns the probe loss and the
+    /// gradient patch (probe-window shaped).
+    pub fn compute_gradient(&self, loc: &ProbeLocation) -> (f64, CArray3) {
+        let local_window = self.local_window(loc);
+        let patch = self
+            .volume
+            .extract_region_with_fill(local_window, Complex64::ONE);
+        let result = probe_gradient(self.dataset.model(), &patch, self.dataset.measurement(loc));
+        (result.loss, result.gradient)
+    }
+
+    /// Applies one gradient patch to the tile volume at the probe window
+    /// (step 8 of Algorithm 1): `V_k ← V_k − α·grad`.
+    pub fn apply_patch(&mut self, loc: &ProbeLocation, gradient: &CArray3) {
+        let local_window = self.local_window(loc);
+        let scaled = gradient.map(|g| -*g * self.step);
+        self.volume.add_region(local_window, &scaled);
+    }
+
+    /// Applies a full extended-tile-shaped gradient buffer (step 15 of
+    /// Algorithm 1): `V_k ← V_k − α·buffer`.
+    pub fn apply_buffer(&mut self, buffer: &CArray3) {
+        assert_eq!(buffer.shape(), self.volume.shape(), "buffer shape mismatch");
+        for (v, g) in self.volume.iter_mut().zip(buffer.iter()) {
+            *v -= g.scale(self.step);
+        }
+    }
+
+    /// Scatters a probe-window-shaped gradient patch into an extended-tile
+    /// buffer (step 7: `AccBuf_k += ∂f_i/∂V_k`).
+    pub fn accumulate_patch(&self, buffer: &mut CArray3, loc: &ProbeLocation, gradient: &CArray3) {
+        let local_window = self.local_window(loc);
+        buffer.add_region(local_window, gradient);
+    }
+
+    /// A read-only view of the current tile volume (extended, tile-local).
+    pub fn volume(&self) -> &CArray3 {
+        &self.volume
+    }
+
+    /// Mutable access to the tile volume (used by the voxel copy-paste of the
+    /// Halo Voxel Exchange baseline).
+    pub fn volume_mut(&mut self) -> &mut CArray3 {
+        &mut self.volume
+    }
+
+    /// Extracts the core (non-halo) part of the tile volume in image
+    /// coordinates, ready for stitching.
+    pub fn core_volume(&self) -> CArray3 {
+        let core_local = self.tile.core.to_local(&self.tile.extended);
+        self.volume
+            .extract_region_with_fill(core_local, Complex64::ONE)
+    }
+}
+
+/// Flattens the values of `region` (tile-local coordinates) of a complex
+/// volume into an interleaved `re, im` vector, slice-major then row-major —
+/// the wire format of every gradient/voxel message.
+pub(crate) fn extract_region_flat(volume: &CArray3, region: Rect) -> Vec<f64> {
+    let sub = volume.extract_region_with_fill(region, Complex64::ZERO);
+    let mut out = Vec::with_capacity(sub.len() * 2);
+    for v in sub.iter() {
+        out.push(v.re);
+        out.push(v.im);
+    }
+    out
+}
+
+/// Adds interleaved `re, im` values into `region` of a complex volume
+/// (the gradient-accumulation receive).
+pub(crate) fn add_region_flat(volume: &mut CArray3, region: Rect, data: &[f64]) {
+    apply_region_flat(volume, region, data, |dst, src| *dst += src);
+}
+
+/// Overwrites `region` of a complex volume with interleaved `re, im` values
+/// (the backward-pass replace, and the HVE voxel paste).
+pub(crate) fn set_region_flat(volume: &mut CArray3, region: Rect, data: &[f64]) {
+    apply_region_flat(volume, region, data, |dst, src| *dst = src);
+}
+
+fn apply_region_flat(
+    volume: &mut CArray3,
+    region: Rect,
+    data: &[f64],
+    mut op: impl FnMut(&mut Complex64, Complex64),
+) {
+    let slices = volume.depth();
+    let (rows, cols) = region.shape();
+    assert_eq!(
+        data.len(),
+        slices * rows * cols * 2,
+        "flat payload length {} does not match region {:?} x {} slices",
+        data.len(),
+        region,
+        slices
+    );
+    let bounds = volume.plane_bounds();
+    let clipped = region.intersect(&bounds);
+    let vol_cols = volume.cols();
+    for s in 0..slices {
+        let plane = volume.slice_data_mut(s);
+        for gr in clipped.row0..clipped.row1 {
+            let lr = (gr - region.row0) as usize;
+            for gc in clipped.col0..clipped.col1 {
+                let lc = (gc - region.col0) as usize;
+                let idx = 2 * ((s * rows + lr) * cols + lc);
+                let value = Complex64::new(data[idx], data[idx + 1]);
+                op(&mut plane[gr as usize * vol_cols + gc as usize], value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptycho_array::Array3;
+
+    fn volume_with_pattern() -> CArray3 {
+        Array3::from_fn(2, 6, 6, |s, r, c| {
+            Complex64::new((s * 36 + r * 6 + c) as f64, -(r as f64))
+        })
+    }
+
+    #[test]
+    fn flat_roundtrip_set() {
+        let vol = volume_with_pattern();
+        let region = Rect::new(1, 2, 3, 3);
+        let flat = extract_region_flat(&vol, region);
+        assert_eq!(flat.len(), 2 * 3 * 3 * 2);
+
+        let mut target = Array3::full(2, 6, 6, Complex64::ZERO);
+        set_region_flat(&mut target, region, &flat);
+        for s in 0..2 {
+            for r in 1..4 {
+                for c in 2..5 {
+                    assert_eq!(target[(s, r, c)], vol[(s, r, c)]);
+                }
+            }
+        }
+        // Outside the region stays zero.
+        assert_eq!(target[(0, 0, 0)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn flat_add_accumulates() {
+        let vol = volume_with_pattern();
+        let region = Rect::new(0, 0, 2, 2);
+        let flat = extract_region_flat(&vol, region);
+        let mut target = vol.clone();
+        add_region_flat(&mut target, region, &flat);
+        assert_eq!(target[(0, 0, 0)], vol[(0, 0, 0)] + vol[(0, 0, 0)]);
+        assert_eq!(target[(1, 1, 1)], vol[(1, 1, 1)].scale(2.0));
+        // Outside region unchanged.
+        assert_eq!(target[(0, 5, 5)], vol[(0, 5, 5)]);
+    }
+
+    #[test]
+    fn flat_handles_out_of_bounds_region() {
+        let vol = volume_with_pattern();
+        // Region hangs off the edge; extract pads with zeros and apply clips.
+        let region = Rect::new(4, 4, 4, 4);
+        let flat = extract_region_flat(&vol, region);
+        assert_eq!(flat.len(), 2 * 4 * 4 * 2);
+        let mut target = Array3::full(2, 6, 6, Complex64::ZERO);
+        set_region_flat(&mut target, region, &flat);
+        assert_eq!(target[(0, 5, 5)], vol[(0, 5, 5)]);
+        assert_eq!(target[(0, 0, 0)], Complex64::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match region")]
+    fn wrong_payload_length_panics() {
+        let mut vol = volume_with_pattern();
+        add_region_flat(&mut vol, Rect::new(0, 0, 2, 2), &[1.0, 2.0]);
+    }
+}

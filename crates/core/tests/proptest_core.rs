@@ -1,0 +1,122 @@
+//! Property-based tests for the decomposition geometry, stitching and the
+//! analytic memory model.
+
+use proptest::prelude::*;
+use ptycho_array::{Array3, Rect};
+use ptycho_core::memory_model::{decomposition_geometry, gd_memory_per_gpu};
+use ptycho_core::stitch::{border_mask, stitch_tiles};
+use ptycho_core::tiling::TileGrid;
+use ptycho_fft::Complex64;
+use ptycho_sim::dataset::DatasetSpec;
+use ptycho_sim::scan::{ScanConfig, ScanPattern};
+
+fn scan_for(image: usize, positions: usize) -> ScanPattern {
+    let window = 16.min(image / 2).max(4);
+    ScanPattern::generate(ScanConfig::covering(
+        image,
+        image,
+        positions,
+        positions,
+        window,
+        window as f64 / 3.0,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tile_cores_partition_any_image(image in 32usize..160,
+                                      grid_rows in 1usize..5,
+                                      grid_cols in 1usize..5,
+                                      halo in 0usize..12,
+                                      positions in 2usize..5) {
+        let scan = scan_for(image, positions);
+        let grid = TileGrid::new(image, image, grid_rows, grid_cols, halo, &scan);
+
+        // Cores partition the image exactly.
+        let area: usize = grid.tiles().iter().map(|t| t.core.area()).sum();
+        prop_assert_eq!(area, image * image);
+        for (i, a) in grid.tiles().iter().enumerate() {
+            prop_assert!(grid.image_bounds().contains_rect(&a.extended));
+            prop_assert!(a.extended.contains_rect(&a.core));
+            for b in grid.tiles().iter().skip(i + 1) {
+                prop_assert!(!a.core.intersects(&b.core));
+            }
+        }
+
+        // Probe ownership partitions the scan.
+        prop_assert!(grid.ownership_partitions_scan(&scan));
+
+        // Overlaps are symmetric.
+        for a in 0..grid.num_tiles() {
+            for b in 0..grid.num_tiles() {
+                prop_assert_eq!(grid.overlap(a, b), grid.overlap(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_dims_factorise_exactly(workers in 1usize..600) {
+        let (rows, cols) = TileGrid::grid_dims_for(workers);
+        prop_assert_eq!(rows * cols, workers);
+        prop_assert!(rows <= cols);
+    }
+
+    #[test]
+    fn stitching_recovers_any_partition(image in 24usize..96,
+                                        grid_rows in 1usize..4,
+                                        grid_cols in 1usize..4,
+                                        slices in 1usize..3) {
+        let scan = scan_for(image, 3);
+        let grid = TileGrid::new(image, image, grid_rows, grid_cols, 4, &scan);
+        // A global volume whose voxel values encode their coordinates.
+        let global = Array3::from_fn(slices, image, image, |s, r, c| {
+            Complex64::new((s * image * image + r * image + c) as f64, 1.0)
+        });
+        let cores: Vec<(Rect, _)> = grid
+            .tiles()
+            .iter()
+            .map(|t| (t.core, global.extract_region(t.core)))
+            .collect();
+        let stitched = stitch_tiles(&grid, &cores);
+        prop_assert_eq!(stitched, global);
+    }
+
+    #[test]
+    fn border_mask_only_marks_interior_bands(image in 32usize..96,
+                                             grid_rows in 1usize..4,
+                                             grid_cols in 1usize..4) {
+        let scan = scan_for(image, 3);
+        let grid = TileGrid::new(image, image, grid_rows, grid_cols, 4, &scan);
+        let mask = border_mask(&grid, 1);
+        let marked = mask.iter().filter(|&&b| b).count();
+        if grid_rows == 1 && grid_cols == 1 {
+            prop_assert_eq!(marked, 0);
+        } else {
+            prop_assert!(marked > 0);
+            // The border band is a small fraction of the image.
+            prop_assert!(marked < image * image / 2);
+        }
+    }
+
+    #[test]
+    fn memory_model_is_positive_and_decreasing(gpus_exp in 1u32..7) {
+        let spec = DatasetSpec::lead_titanate_large();
+        let gpus = 6usize * (1 << gpus_exp);
+        let smaller = gd_memory_per_gpu(&spec, gpus, 600.0);
+        let larger = gd_memory_per_gpu(&spec, gpus / 2, 600.0);
+        prop_assert!(smaller.total_bytes() > 0.0);
+        prop_assert!(larger.total_bytes() > smaller.total_bytes());
+    }
+
+    #[test]
+    fn decomposition_geometry_conserves_probes(gpus in 1usize..800) {
+        let spec = DatasetSpec::lead_titanate_small();
+        let geometry = decomposition_geometry(&spec, gpus, 600.0, 0);
+        let total = geometry.avg_owned * gpus as f64;
+        prop_assert!((total - spec.probe_locations as f64).abs() < 1e-6);
+        prop_assert!(geometry.max_owned + 1e-9 >= geometry.avg_owned);
+        prop_assert!(geometry.avg_assigned + 1e-9 >= geometry.avg_owned);
+    }
+}

@@ -1,0 +1,80 @@
+//! Naive O(N²) discrete Fourier transform.
+//!
+//! This module is the *reference implementation* that the fast transforms are
+//! validated against in tests and benchmarked against in `ptycho-bench`. It is
+//! never used on the reconstruction hot path.
+
+use crate::Complex64;
+use std::f64::consts::PI;
+
+/// Forward DFT (unnormalised): `X[k] = Σ_n x[n]·e^{-2πikn/N}`.
+pub fn dft(input: &[Complex64]) -> Vec<Complex64> {
+    transform(input, -1.0)
+}
+
+/// Inverse DFT (normalised by `1/N`): `x[n] = (1/N)·Σ_k X[k]·e^{+2πikn/N}`.
+pub fn idft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = transform(input, 1.0);
+    if n > 0 {
+        let scale = 1.0 / n as f64;
+        for v in &mut out {
+            *v = v.scale(scale);
+        }
+    }
+    out
+}
+
+fn transform(input: &[Complex64], sign: f64) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (i, x) in input.iter().enumerate() {
+            let angle = sign * 2.0 * PI * (k * i) as f64 / n as f64;
+            acc += *x * Complex64::cis(angle);
+        }
+        *out_k = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(dft(&[]).is_empty());
+        assert!(idft(&[]).is_empty());
+    }
+
+    #[test]
+    fn impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 5];
+        x[0] = Complex64::ONE;
+        let spectrum = dft(&x);
+        for v in &spectrum {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_length() {
+        // The DFT reference supports non-power-of-two lengths, unlike FftPlan.
+        let x: Vec<Complex64> = (0..7)
+            .map(|i| Complex64::new(i as f64, (7 - i) as f64))
+            .collect();
+        let back = idft(&dft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let x: Vec<Complex64> = (1..=4).map(|i| Complex64::from_real(i as f64)).collect();
+        let spectrum = dft(&x);
+        assert!((spectrum[0] - Complex64::from_real(10.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,324 @@
+//! Radix-2 decimation-in-time FFT plans for power-of-two lengths.
+
+use crate::Complex64;
+use std::f64::consts::PI;
+
+/// A reusable plan for 1D FFTs of a fixed power-of-two length.
+///
+/// The plan caches the bit-reversal permutation and the twiddle factors for
+/// every butterfly stage, so repeated transforms (the common case in the
+/// multi-slice model, which transforms every slice of every probe) pay only the
+/// O(N log N) butterfly work.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    len: usize,
+    /// Bit-reversed index for every position.
+    bit_rev: Vec<u32>,
+    /// Twiddle factors `e^{-2πik/N}` for `k in 0..N/2` (forward direction).
+    twiddles: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero or not a power of two.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "FFT length must be non-zero");
+        assert!(
+            len.is_power_of_two(),
+            "FFT length must be a power of two, got {len}"
+        );
+        let bits = len.trailing_zeros();
+        let bit_rev = (0..len as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        // For len == 1 the shift above would be wrong; special-case it.
+        let bit_rev = if len == 1 { vec![0] } else { bit_rev };
+        let twiddles = (0..len / 2)
+            .map(|k| Complex64::cis(-2.0 * PI * k as f64 / len as f64))
+            .collect();
+        Self {
+            len,
+            bit_rev,
+            twiddles,
+        }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True only for the degenerate length-0 plan (which cannot be constructed);
+    /// present to satisfy the `len/is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// In-place forward transform (unnormalised).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, Direction::Forward);
+    }
+
+    /// In-place inverse transform (normalised by `1/N`).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, Direction::Inverse);
+        let scale = 1.0 / self.len as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    /// In-place inverse transform *without* the `1/N` normalisation.
+    ///
+    /// Useful when a forward/inverse pair brackets an elementwise operation and
+    /// the caller wants to fold the normalisation into that operation.
+    pub fn inverse_unnormalized(&self, data: &mut [Complex64]) {
+        self.transform(data, Direction::Inverse);
+    }
+
+    fn transform(&self, data: &mut [Complex64], direction: Direction) {
+        assert_eq!(
+            data.len(),
+            self.len,
+            "FFT plan length {} does not match data length {}",
+            self.len,
+            data.len()
+        );
+        let n = self.len;
+        if n == 1 {
+            return;
+        }
+
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+
+        // Iterative Cooley-Tukey butterflies.
+        let mut size = 2usize;
+        while size <= n {
+            let half = size / 2;
+            let stride = n / size;
+            for start in (0..n).step_by(size) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * stride];
+                    let tw = match direction {
+                        Direction::Forward => tw,
+                        Direction::Inverse => tw.conj(),
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            size *= 2;
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// Convenience one-shot forward FFT (builds a throwaway plan).
+pub fn fft(data: &mut [Complex64]) {
+    FftPlan::new(data.len()).forward(data);
+}
+
+/// Convenience one-shot inverse FFT (builds a throwaway plan).
+pub fn ifft(data: &mut [Complex64]) {
+    FftPlan::new(data.len()).inverse(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::new(1);
+        let mut data = vec![Complex64::new(3.0, -2.0)];
+        plan.forward(&mut data);
+        assert_eq!(data[0], Complex64::new(3.0, -2.0));
+        plan.inverse(&mut data);
+        assert_eq!(data[0], Complex64::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let mut data = vec![Complex64::ZERO; n];
+        data[0] = Complex64::ONE;
+        plan.forward(&mut data);
+        for v in &data {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let n = 8;
+        let plan = FftPlan::new(n);
+        let mut data = vec![Complex64::ONE; n];
+        plan.forward(&mut data);
+        assert!((data[0] - Complex64::from_real(n as f64)).abs() < 1e-12);
+        for v in &data[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 32;
+        let k0 = 5;
+        let plan = FftPlan::new(n);
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * PI * k0 as f64 * i as f64 / n as f64))
+            .collect();
+        plan.forward(&mut data);
+        for (k, v) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "bin {k} should be empty, got {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[2usize, 4, 8, 16, 64, 128] {
+            let plan = FftPlan::new(n);
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.71).cos()))
+                .collect();
+            let mut fast = input.clone();
+            plan.forward(&mut fast);
+            let slow = dft::dft(&input);
+            assert_close(&fast, &slow, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_idft() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 1.3).cos(), (i as f64 * 0.11).sin()))
+            .collect();
+        let mut fast = input.clone();
+        plan.inverse(&mut fast);
+        let slow = dft::idft(&input);
+        assert_close(&fast, &slow, 1e-9 * n as f64);
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 256;
+        let plan = FftPlan::new(n);
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i * i % 97) as f64 / 97.0, (i % 13) as f64 / 13.0))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let plan = FftPlan::new(n);
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 / 3.0).cos()))
+            .collect();
+        let time_energy: f64 = input.iter().map(|v| v.norm_sqr()).sum();
+        let mut spec = input.clone();
+        plan.forward(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.0, (n - i) as f64)).collect();
+        let alpha = Complex64::new(2.0, -1.0);
+
+        let mut lhs: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x * alpha + *y).collect();
+        plan.forward(&mut lhs);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let rhs: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x * alpha + *y).collect();
+
+        assert_close(&lhs, &rhs, 1e-8);
+    }
+
+    #[test]
+    fn unnormalized_inverse_differs_by_n() {
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let input: Vec<Complex64> = (0..n).map(|i| Complex64::from_real(i as f64)).collect();
+        let mut a = input.clone();
+        let mut b = input.clone();
+        plan.inverse(&mut a);
+        plan.inverse_unnormalized(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.scale(n as f64) - *y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match data length")]
+    fn wrong_length_panics() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex64::ZERO; 4];
+        plan.forward(&mut data);
+    }
+
+    #[test]
+    fn one_shot_helpers_roundtrip() {
+        let input: Vec<Complex64> = (0..32).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let mut data = input.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+}

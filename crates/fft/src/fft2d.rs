@@ -1,0 +1,283 @@
+//! 2D fast Fourier transforms over [`Array2<Complex64>`](ptycho_array::Array2).
+//!
+//! The 2D transform is computed as a row pass followed by a column pass
+//! (implemented as transpose → row pass → transpose so that both passes stream
+//! through contiguous memory). A Rayon-parallel driver is provided for the
+//! large fields of the forward model; the paper's CUDA kernels parallelise the
+//! same way across GPU threads.
+
+use crate::{CArray2, Complex64, FftPlan};
+use ptycho_array::Array2;
+use rayon::prelude::*;
+
+/// A reusable plan for 2D FFTs of a fixed `(rows, cols)` shape (both powers of
+/// two).
+#[derive(Clone, Debug)]
+pub struct Fft2Plan {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2Plan {
+    /// Creates a plan for `rows x cols` transforms.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or not a power of two.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_plan: FftPlan::new(cols),
+            col_plan: FftPlan::new(rows),
+        }
+    }
+
+    /// `(rows, cols)` shape the plan was built for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Forward 2D transform (unnormalised), serial driver.
+    pub fn forward(&self, field: &CArray2) -> CArray2 {
+        self.transform(field, true, false)
+    }
+
+    /// Inverse 2D transform (normalised by `1/(rows·cols)`), serial driver.
+    pub fn inverse(&self, field: &CArray2) -> CArray2 {
+        self.transform(field, false, false)
+    }
+
+    /// Forward 2D transform using Rayon to parallelise across rows/columns.
+    pub fn forward_par(&self, field: &CArray2) -> CArray2 {
+        self.transform(field, true, true)
+    }
+
+    /// Inverse 2D transform using Rayon to parallelise across rows/columns.
+    pub fn inverse_par(&self, field: &CArray2) -> CArray2 {
+        self.transform(field, false, true)
+    }
+
+    fn transform(&self, field: &CArray2, forward: bool, parallel: bool) -> CArray2 {
+        assert_eq!(
+            field.shape(),
+            (self.rows, self.cols),
+            "Fft2Plan shape {:?} does not match field shape {:?}",
+            (self.rows, self.cols),
+            field.shape()
+        );
+
+        // Row pass.
+        let mut data = field.clone();
+        Self::row_pass(&mut data, &self.row_plan, forward, parallel);
+
+        // Column pass via transpose so both passes stream contiguous rows. The
+        // inverse row/column passes each apply 1/len along their own axis, so
+        // the combined inverse normalisation of 1/(rows*cols) needs no extra step.
+        let mut transposed = data.transposed();
+        Self::row_pass(&mut transposed, &self.col_plan, forward, parallel);
+        transposed.transposed()
+    }
+
+    fn row_pass(data: &mut CArray2, plan: &FftPlan, forward: bool, parallel: bool) {
+        let cols = data.cols();
+        let buf = data.as_mut_slice();
+        let apply = |row: &mut [Complex64]| {
+            if forward {
+                plan.forward(row);
+            } else {
+                plan.inverse(row);
+            }
+        };
+        if parallel {
+            buf.par_chunks_mut(cols).for_each(apply);
+        } else {
+            buf.chunks_mut(cols).for_each(apply);
+        }
+    }
+}
+
+/// One-shot forward 2D FFT (builds a throwaway plan).
+pub fn fft2(field: &CArray2) -> CArray2 {
+    Fft2Plan::new(field.rows(), field.cols()).forward(field)
+}
+
+/// One-shot inverse 2D FFT (builds a throwaway plan).
+pub fn ifft2(field: &CArray2) -> CArray2 {
+    Fft2Plan::new(field.rows(), field.cols()).inverse(field)
+}
+
+/// Circularly shifts the zero-frequency component to the centre of the array.
+///
+/// For even dimensions `fftshift` and [`ifftshift`] coincide; both are provided
+/// for readability at call sites.
+pub fn fftshift<T: Clone + Default>(field: &Array2<T>) -> Array2<T> {
+    roll(field, (field.rows() / 2) as i64, (field.cols() / 2) as i64)
+}
+
+/// Inverse of [`fftshift`].
+pub fn ifftshift<T: Clone + Default>(field: &Array2<T>) -> Array2<T> {
+    roll(
+        field,
+        (field.rows() - field.rows() / 2) as i64,
+        (field.cols() - field.cols() / 2) as i64,
+    )
+}
+
+/// Circularly rolls the array contents by `(drow, dcol)` (positive = down/right).
+pub fn roll<T: Clone + Default>(field: &Array2<T>, drow: i64, dcol: i64) -> Array2<T> {
+    let rows = field.rows() as i64;
+    let cols = field.cols() as i64;
+    if rows == 0 || cols == 0 {
+        return field.clone();
+    }
+    Array2::from_fn(field.rows(), field.cols(), |r, c| {
+        let sr = (r as i64 - drow).rem_euclid(rows) as usize;
+        let sc = (c as i64 - dcol).rem_euclid(cols) as usize;
+        field[(sr, sc)].clone()
+    })
+}
+
+/// The squared magnitude of every element (diffraction intensity).
+pub fn intensity(field: &CArray2) -> Array2<f64> {
+    field.map(|v| v.norm_sqr())
+}
+
+/// The magnitude of every element (diffraction amplitude).
+pub fn amplitude(field: &CArray2) -> Array2<f64> {
+    field.map(|v| v.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn test_field(rows: usize, cols: usize) -> CArray2 {
+        Array2::from_fn(rows, cols, |r, c| {
+            Complex64::new(
+                ((r * 13 + c * 7) as f64 * 0.13).sin(),
+                ((r * 5 + c * 3) as f64 * 0.29).cos(),
+            )
+        })
+    }
+
+    /// Reference 2D DFT built from the naive 1D DFT.
+    fn dft2_reference(field: &CArray2) -> CArray2 {
+        let (rows, cols) = field.shape();
+        // Rows first.
+        let mut row_passed = Array2::full(rows, cols, Complex64::ZERO);
+        for r in 0..rows {
+            let spectrum = dft::dft(field.row(r));
+            for c in 0..cols {
+                row_passed[(r, c)] = spectrum[c];
+            }
+        }
+        // Then columns.
+        let mut out = Array2::full(rows, cols, Complex64::ZERO);
+        for c in 0..cols {
+            let column: Vec<Complex64> = (0..rows).map(|r| row_passed[(r, c)]).collect();
+            let spectrum = dft::dft(&column);
+            for r in 0..rows {
+                out[(r, c)] = spectrum[r];
+            }
+        }
+        out
+    }
+
+    fn assert_fields_close(a: &CArray2, b: &CArray2, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((*x - *y).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft2() {
+        let field = test_field(8, 16);
+        let fast = fft2(&field);
+        let slow = dft2_reference(&field);
+        assert_fields_close(&fast, &slow, 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let field = test_field(16, 8);
+        let back = ifft2(&fft2(&field));
+        assert_fields_close(&back, &field, 1e-10);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let field = test_field(32, 32);
+        let plan = Fft2Plan::new(32, 32);
+        assert_fields_close(&plan.forward_par(&field), &plan.forward(&field), 1e-12);
+        assert_fields_close(&plan.inverse_par(&field), &plan.inverse(&field), 1e-12);
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let mut field = Array2::full(8, 8, Complex64::ZERO);
+        field[(0, 0)] = Complex64::ONE;
+        let spectrum = fft2(&field);
+        for v in spectrum.as_slice() {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_2d() {
+        let field = test_field(16, 16);
+        let spectrum = fft2(&field);
+        let spatial: f64 = field.as_slice().iter().map(|v| v.norm_sqr()).sum();
+        let spectral: f64 =
+            spectrum.as_slice().iter().map(|v| v.norm_sqr()).sum::<f64>() / (16.0 * 16.0);
+        assert!((spatial - spectral).abs() < 1e-8 * spatial.max(1.0));
+    }
+
+    #[test]
+    fn fftshift_moves_dc_to_center() {
+        let mut field = Array2::full(8, 8, Complex64::ZERO);
+        field[(0, 0)] = Complex64::ONE;
+        let shifted = fftshift(&field);
+        assert!((shifted[(4, 4)] - Complex64::ONE).abs() < 1e-15);
+        assert!(shifted[(0, 0)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn fftshift_ifftshift_roundtrip_even_and_odd() {
+        for &(rows, cols) in &[(8usize, 8usize), (7, 9), (6, 5)] {
+            let field: Array2<f64> = Array2::from_fn(rows, cols, |r, c| (r * cols + c) as f64);
+            let back = ifftshift(&fftshift(&field));
+            assert_eq!(back, field, "roundtrip failed for {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn roll_wraps_around() {
+        let field: Array2<i32> = Array2::from_fn(3, 3, |r, c| (r * 3 + c) as i32);
+        let rolled = roll(&field, 1, 1);
+        assert_eq!(rolled[(0, 0)], field[(2, 2)]);
+        assert_eq!(rolled[(1, 1)], field[(0, 0)]);
+        let back = roll(&rolled, -1, -1);
+        assert_eq!(back, field);
+    }
+
+    #[test]
+    fn intensity_and_amplitude() {
+        let field = Array2::full(2, 2, Complex64::new(3.0, 4.0));
+        let i = intensity(&field);
+        let a = amplitude(&field);
+        assert!(i.iter().all(|&v| (v - 25.0).abs() < 1e-12));
+        assert!(a.iter().all(|&v| (v - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match field shape")]
+    fn plan_shape_mismatch_panics() {
+        let plan = Fft2Plan::new(8, 8);
+        let field = Array2::full(4, 4, Complex64::ZERO);
+        let _ = plan.forward(&field);
+    }
+}

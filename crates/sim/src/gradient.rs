@@ -1,0 +1,296 @@
+//! The per-probe-location likelihood cost and its image gradient.
+//!
+//! Eqn. (2) of the paper writes the total image gradient as the sum of the
+//! individual gradients `∂f_i/∂V`, each of which is "significant only within
+//! the probe location circle i". This module computes one such individual
+//! gradient by the adjoint (back-propagation) of the multi-slice model: it is
+//! the quantity the Gradient Decomposition method tessellates into tiles and
+//! accumulates in overlap regions.
+//!
+//! The object variable is the per-slice complex transmission function; the
+//! gradient returned here is the Wirtinger derivative `∂f_i/∂conj(t_s)`, so a
+//! gradient-descent update is `t_s ← t_s − α · grad_s`.
+
+use crate::multislice::{ForwardPass, MultisliceModel};
+use ptycho_array::{Array2, Array3};
+use ptycho_fft::{CArray2, CArray3, Complex64};
+
+/// The result of evaluating one probe location: the scalar data-fidelity cost
+/// and the gradient with respect to the object patch.
+#[derive(Clone, Debug)]
+pub struct GradientResult {
+    /// The squared-error cost `f_i(V) = Σ_k (|y_k| − |G_k|)²`.
+    pub loss: f64,
+    /// Gradient with respect to the object transmission patch, shape
+    /// `(slices, window, window)`.
+    pub gradient: CArray3,
+}
+
+/// Computes the data-fidelity cost for one probe location without the gradient.
+pub fn probe_loss(
+    model: &MultisliceModel,
+    object_patch: &CArray3,
+    measured_amplitude: &Array2<f64>,
+) -> f64 {
+    let pass = model.forward(object_patch);
+    loss_from_pass(&pass, measured_amplitude)
+}
+
+fn loss_from_pass(pass: &ForwardPass, measured_amplitude: &Array2<f64>) -> f64 {
+    let simulated = pass.amplitude();
+    assert_eq!(
+        simulated.shape(),
+        measured_amplitude.shape(),
+        "measurement shape {:?} does not match simulation {:?}",
+        measured_amplitude.shape(),
+        simulated.shape()
+    );
+    simulated
+        .as_slice()
+        .iter()
+        .zip(measured_amplitude.as_slice())
+        .map(|(s, m)| (s - m) * (s - m))
+        .sum()
+}
+
+/// Computes the cost *and* the gradient `∂f_i/∂conj(t)` for one probe location
+/// by back-propagating through the multi-slice model.
+pub fn probe_gradient(
+    model: &MultisliceModel,
+    object_patch: &CArray3,
+    measured_amplitude: &Array2<f64>,
+) -> GradientResult {
+    let n = model.window_px();
+    let pass = model.forward(object_patch);
+    let loss = loss_from_pass(&pass, measured_amplitude);
+
+    // ∂L/∂conj(D) for the amplitude-matching loss: (|D| − y) · D / |D|.
+    let residual: CArray2 = Array2::from_fn(n, n, |r, c| {
+        let d = pass.far_field[(r, c)];
+        let y = measured_amplitude[(r, c)];
+        let a = d.abs();
+        if a == 0.0 {
+            Complex64::ZERO
+        } else {
+            d.scale((a - y) / a)
+        }
+    });
+
+    // Back through the far-field FFT: the adjoint of the unnormalised forward
+    // transform is the unnormalised inverse transform.
+    let mut back = adjoint_fft(model, &residual);
+
+    // Back through the slices in reverse order.
+    let mut gradient_slices: Vec<CArray2> = vec![Array2::full(n, n, Complex64::ZERO); model.slices()];
+    for s in (0..model.slices()).rev() {
+        // `back` currently holds ∂L/∂conj(psi_{s+1}); pull it through the
+        // propagator to get ∂L/∂conj(a_s) where a_s = t_s ⊙ psi_s.
+        let d_a = model.plan().propagate_adjoint(&back);
+        let psi_s = &pass.incident[s];
+        let t_s = object_patch.slice(s);
+        // ∂L/∂conj(t_s) = ∂L/∂conj(a_s) ⊙ conj(psi_s)
+        gradient_slices[s] = d_a.zip_map(psi_s, |g, p| *g * p.conj());
+        // ∂L/∂conj(psi_s) = ∂L/∂conj(a_s) ⊙ conj(t_s)
+        back = d_a.zip_map(&t_s, |g, t| *g * t.conj());
+    }
+
+    GradientResult {
+        loss,
+        gradient: Array3::from_slices(gradient_slices),
+    }
+}
+
+/// Adjoint of the far-field transform used in [`MultisliceModel::forward`].
+fn adjoint_fft(model: &MultisliceModel, residual: &CArray2) -> CArray2 {
+    // F^H = N · F^{-1}; the plan's inverse applies 1/N per axis, so multiply
+    // the result back by the element count.
+    let n = model.window_px();
+    let mut out = model.plan().fft().inverse(residual);
+    let scale = (n * n) as f64;
+    out.map_inplace(|v| *v = v.scale(scale));
+    out
+}
+
+/// A well-scaled gradient-descent step size for the given model, following the
+/// ePIE normalisation: the amplitude loss has curvature of order
+/// `window² · max|p|²` with respect to the transmission, so its reciprocal is a
+/// stable step. Multiply by a relaxation factor in `(0, 1]` for extra safety.
+pub fn suggested_step(model: &MultisliceModel) -> f64 {
+    let n = model.window_px();
+    let max_probe_intensity = model
+        .probe()
+        .field()
+        .as_slice()
+        .iter()
+        .map(|v| v.norm_sqr())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    1.0 / ((n * n) as f64 * max_probe_intensity)
+}
+
+/// Scales a gradient by a step size and subtracts it from the object patch:
+/// the `V_k ← V_k − α·∂f_i/∂V_k` update of Algorithm 1 (steps 8 and 15).
+pub fn apply_gradient_step(object_patch: &mut CArray3, gradient: &CArray3, step: f64) {
+    assert_eq!(object_patch.shape(), gradient.shape(), "shape mismatch");
+    for (t, g) in object_patch.iter_mut().zip(gradient.iter()) {
+        *t -= g.scale(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physics::ImagingGeometry;
+    use crate::probe::{Probe, ProbeConfig};
+
+    fn small_model(slices: usize) -> MultisliceModel {
+        let probe = Probe::new(ProbeConfig {
+            window_px: 16,
+            geometry: ImagingGeometry {
+                pixel_size_pm: 50.0,
+                defocus_pm: 5_000.0,
+                ..ImagingGeometry::paper()
+            },
+            total_intensity: 1.0,
+        });
+        MultisliceModel::new(probe, slices)
+    }
+
+    fn phase_object(slices: usize, n: usize, strength: f64) -> CArray3 {
+        Array3::from_fn(slices, n, n, |s, r, c| {
+            Complex64::cis(strength * ((r + 2 * c + s) as f64 * 0.37).sin())
+        })
+    }
+
+    #[test]
+    fn loss_is_zero_for_perfect_match() {
+        let model = small_model(2);
+        let object = phase_object(2, 16, 0.2);
+        let measured = model.simulate_amplitude(&object);
+        let loss = probe_loss(&model, &object, &measured);
+        assert!(loss < 1e-18, "got {loss}");
+    }
+
+    #[test]
+    fn loss_positive_for_mismatch() {
+        let model = small_model(2);
+        let object = phase_object(2, 16, 0.2);
+        let measured = model.simulate_amplitude(&object);
+        let wrong = phase_object(2, 16, 0.5);
+        assert!(probe_loss(&model, &wrong, &measured) > 1e-8);
+    }
+
+    #[test]
+    fn gradient_is_zero_at_the_optimum() {
+        let model = small_model(2);
+        let object = phase_object(2, 16, 0.2);
+        let measured = model.simulate_amplitude(&object);
+        let result = probe_gradient(&model, &object, &measured);
+        let max_grad = result
+            .gradient
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_grad < 1e-9, "gradient at optimum should vanish, got {max_grad}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let model = small_model(2);
+        let truth = phase_object(2, 16, 0.3);
+        let measured = model.simulate_amplitude(&truth);
+        let guess = phase_object(2, 16, 0.1);
+        let result = probe_gradient(&model, &guess, &measured);
+
+        let eps = 1e-6;
+        // Probe a handful of voxels in both the real and imaginary directions.
+        for &(s, r, c) in &[(0usize, 8usize, 8usize), (1, 4, 11), (0, 12, 5)] {
+            let g = result.gradient[(s, r, c)];
+
+            let mut perturbed = guess.clone();
+            perturbed[(s, r, c)] += Complex64::new(eps, 0.0);
+            let d_re = (probe_loss(&model, &perturbed, &measured) - result.loss) / eps;
+
+            let mut perturbed = guess.clone();
+            perturbed[(s, r, c)] += Complex64::new(0.0, eps);
+            let d_im = (probe_loss(&model, &perturbed, &measured) - result.loss) / eps;
+
+            // dL = 2·Re(g·conj(dt)): real perturbation → 2·Re(g), imaginary → 2·Im(g).
+            assert!(
+                (d_re - 2.0 * g.re).abs() < 1e-3 * (1.0 + d_re.abs()),
+                "re mismatch at ({s},{r},{c}): fd={d_re}, grad={}",
+                2.0 * g.re
+            );
+            assert!(
+                (d_im - 2.0 * g.im).abs() < 1e-3 * (1.0 + d_im.abs()),
+                "im mismatch at ({s},{r},{c}): fd={d_im}, grad={}",
+                2.0 * g.im
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss() {
+        let model = small_model(3);
+        let truth = phase_object(3, 16, 0.3);
+        let measured = model.simulate_amplitude(&truth);
+        let mut guess = Array3::full(3, 16, 16, Complex64::ONE);
+
+        let before = probe_loss(&model, &guess, &measured);
+        let step = 0.5 * suggested_step(&model);
+        for _ in 0..10 {
+            let result = probe_gradient(&model, &guess, &measured);
+            apply_gradient_step(&mut guess, &result.gradient, step);
+        }
+        let after = probe_loss(&model, &guess, &measured);
+        assert!(
+            after < before * 0.9,
+            "descent should reduce the loss: before={before}, after={after}"
+        );
+    }
+
+    #[test]
+    fn gradient_concentrated_under_probe() {
+        // The paper's key locality property: the individual gradient is
+        // significant only inside the probe-location circle.
+        let model = small_model(1);
+        let truth = phase_object(1, 16, 0.4);
+        let measured = model.simulate_amplitude(&truth);
+        let guess = Array3::full(1, 16, 16, Complex64::ONE);
+        let result = probe_gradient(&model, &guess, &measured);
+
+        let probe_intensity = model.probe().field().map(|v| v.norm_sqr());
+        // Split pixels into "illuminated" (top 50% of probe intensity) and
+        // "dark" (bottom 10%), compare mean gradient magnitudes.
+        let mut illuminated = Vec::new();
+        let mut dark = Vec::new();
+        let mut intensities: Vec<f64> = probe_intensity.as_slice().to_vec();
+        intensities.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let hi = intensities[(intensities.len() as f64 * 0.5) as usize];
+        let lo = intensities[(intensities.len() as f64 * 0.1) as usize];
+        for (r, c, p) in probe_intensity.indexed_iter() {
+            let g = result.gradient[(0, r, c)].abs();
+            if *p >= hi {
+                illuminated.push(g);
+            } else if *p <= lo {
+                dark.push(g);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&illuminated) > 5.0 * mean(&dark),
+            "gradient should be concentrated under the probe: bright={}, dark={}",
+            mean(&illuminated),
+            mean(&dark)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match simulation")]
+    fn mismatched_measurement_shape_panics() {
+        let model = small_model(1);
+        let object = phase_object(1, 16, 0.1);
+        let bad = Array2::<f64>::zeros(8, 8);
+        let _ = probe_loss(&model, &object, &bad);
+    }
+}

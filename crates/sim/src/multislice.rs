@@ -1,0 +1,301 @@
+//! The multi-slice forward model `G` (Eqn. 1, ref. [14]).
+//!
+//! For one probe location the model takes the probe wavefunction and the
+//! object patch covered by the probe window and alternates two operations per
+//! slice: *transmission* (multiply by the slice's complex transmission
+//! function) and *propagation* (Fresnel free-space propagation to the next
+//! slice, a diagonal operator in the Fourier domain). The far-field diffraction
+//! pattern is the Fourier transform of the exit wave; its magnitude is compared
+//! against the measured magnitude in the Maximum-Likelihood cost.
+//!
+//! This is the computational kernel whose `N log N` FFT cost the paper
+//! identifies as the source of super-linear strong scaling (Sec. VI-C).
+
+use crate::probe::Probe;
+use ptycho_array::Array2;
+use ptycho_fft::fft2d::Fft2Plan;
+use ptycho_fft::{CArray2, CArray3, Complex64};
+use std::f64::consts::PI;
+
+/// Precomputed Fresnel propagator and FFT plan for a probe window.
+#[derive(Clone, Debug)]
+pub struct PropagationPlan {
+    window_px: usize,
+    fft: Fft2Plan,
+    /// Fresnel transfer function `H(k) = exp(-iπλΔz|k|²)` in unshifted layout.
+    transfer: CArray2,
+}
+
+impl PropagationPlan {
+    /// Builds the propagator for a square window of `window_px` pixels with
+    /// the given wavelength, pixel size and slice spacing (all in picometres).
+    pub fn new(window_px: usize, wavelength_pm: f64, pixel_size_pm: f64, slice_dz_pm: f64) -> Self {
+        assert!(window_px.is_power_of_two(), "window must be a power of two");
+        let n = window_px;
+        let dk = 1.0 / (n as f64 * pixel_size_pm);
+        let transfer = Array2::from_fn(n, n, |r, c| {
+            let fr = if r <= n / 2 { r as f64 } else { r as f64 - n as f64 };
+            let fc = if c <= n / 2 { c as f64 } else { c as f64 - n as f64 };
+            let k2 = (fr * dk) * (fr * dk) + (fc * dk) * (fc * dk);
+            Complex64::cis(-PI * wavelength_pm * slice_dz_pm * k2)
+        });
+        Self {
+            window_px,
+            fft: Fft2Plan::new(n, n),
+            transfer,
+        }
+    }
+
+    /// Window size in pixels.
+    pub fn window_px(&self) -> usize {
+        self.window_px
+    }
+
+    /// The FFT plan shared by propagation and far-field formation.
+    pub fn fft(&self) -> &Fft2Plan {
+        &self.fft
+    }
+
+    /// Propagates a wave by one slice spacing.
+    pub fn propagate(&self, wave: &CArray2) -> CArray2 {
+        let mut spectrum = self.fft.forward(wave);
+        spectrum = spectrum.hadamard(&self.transfer);
+        self.fft.inverse(&spectrum)
+    }
+
+    /// Adjoint (= inverse, since `|H| = 1`) propagation by one slice spacing.
+    pub fn propagate_adjoint(&self, wave: &CArray2) -> CArray2 {
+        let conj_transfer = self.transfer.map(|v| v.conj());
+        let mut spectrum = self.fft.forward(wave);
+        spectrum = spectrum.hadamard(&conj_transfer);
+        self.fft.inverse(&spectrum)
+    }
+}
+
+/// Everything the forward pass produced, retained for the adjoint pass.
+#[derive(Clone, Debug)]
+pub struct ForwardPass {
+    /// The incident wave at the entrance of every slice (`psi_s` before
+    /// transmission), length `slices + 1`; the last entry is the exit wave.
+    pub incident: Vec<CArray2>,
+    /// The far-field diffraction wave `D = FFT(exit)`.
+    pub far_field: CArray2,
+}
+
+impl ForwardPass {
+    /// The simulated diffraction amplitude `|G(p_i, V)|`.
+    pub fn amplitude(&self) -> Array2<f64> {
+        self.far_field.map(|v| v.abs())
+    }
+
+    /// The simulated diffraction intensity `|G(p_i, V)|²`.
+    pub fn intensity(&self) -> Array2<f64> {
+        self.far_field.map(|v| v.norm_sqr())
+    }
+}
+
+/// The multi-slice model bound to a probe and a propagation plan.
+#[derive(Clone, Debug)]
+pub struct MultisliceModel {
+    probe: Probe,
+    plan: PropagationPlan,
+    slices: usize,
+}
+
+impl MultisliceModel {
+    /// Creates a model for `slices` object slices using the probe's imaging
+    /// geometry for the propagator.
+    pub fn new(probe: Probe, slices: usize) -> Self {
+        assert!(slices > 0, "need at least one slice");
+        let geom = probe.config().geometry;
+        let plan = PropagationPlan::new(
+            probe.window_px(),
+            geom.wavelength_pm(),
+            geom.pixel_size_pm,
+            geom.slice_thickness_pm,
+        );
+        Self {
+            probe,
+            plan,
+            slices,
+        }
+    }
+
+    /// The probe this model simulates.
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// The propagation plan (FFT + Fresnel transfer function).
+    pub fn plan(&self) -> &PropagationPlan {
+        &self.plan
+    }
+
+    /// Number of object slices the model expects.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Side length of the probe window in pixels.
+    pub fn window_px(&self) -> usize {
+        self.probe.window_px()
+    }
+
+    /// Runs the forward model on an object patch (shape
+    /// `(slices, window, window)`), keeping intermediates for the adjoint.
+    ///
+    /// # Panics
+    /// Panics if the patch shape does not match the model.
+    pub fn forward(&self, object_patch: &CArray3) -> ForwardPass {
+        let n = self.window_px();
+        assert_eq!(
+            object_patch.shape(),
+            (self.slices, n, n),
+            "object patch shape {:?} does not match model (slices={}, window={})",
+            object_patch.shape(),
+            self.slices,
+            n
+        );
+
+        let mut incident = Vec::with_capacity(self.slices + 1);
+        let mut psi = self.probe.field().clone();
+        incident.push(psi.clone());
+        for s in 0..self.slices {
+            let transmitted = psi.hadamard(&object_patch.slice(s));
+            psi = self.plan.propagate(&transmitted);
+            incident.push(psi.clone());
+        }
+        let far_field = self.plan.fft.forward(&psi);
+        ForwardPass {
+            incident,
+            far_field,
+        }
+    }
+
+    /// Convenience wrapper returning only the diffraction amplitude.
+    pub fn simulate_amplitude(&self, object_patch: &CArray3) -> Array2<f64> {
+        self.forward(object_patch).amplitude()
+    }
+
+    /// Number of complex FFTs evaluated per forward pass (used by the
+    /// performance model): one propagation FFT pair per slice plus the final
+    /// far-field transform.
+    pub fn ffts_per_forward(&self) -> usize {
+        2 * self.slices + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physics::ImagingGeometry;
+    use crate::probe::ProbeConfig;
+    use ptycho_array::Array3;
+
+    fn test_probe(window: usize) -> Probe {
+        Probe::new(ProbeConfig {
+            window_px: window,
+            geometry: ImagingGeometry {
+                pixel_size_pm: 50.0,
+                defocus_pm: 10_000.0,
+                ..ImagingGeometry::paper()
+            },
+            total_intensity: 1.0,
+        })
+    }
+
+    fn vacuum(slices: usize, window: usize) -> CArray3 {
+        Array3::full(slices, window, window, Complex64::ONE)
+    }
+
+    #[test]
+    fn propagation_conserves_energy() {
+        let probe = test_probe(32);
+        let model = MultisliceModel::new(probe, 3);
+        let wave = model.probe().field().clone();
+        let propagated = model.plan().propagate(&wave);
+        let e0: f64 = wave.as_slice().iter().map(|v| v.norm_sqr()).sum();
+        let e1: f64 = propagated.as_slice().iter().map(|v| v.norm_sqr()).sum();
+        assert!((e0 - e1).abs() < 1e-9 * e0);
+    }
+
+    #[test]
+    fn propagate_then_adjoint_is_identity() {
+        let probe = test_probe(32);
+        let model = MultisliceModel::new(probe, 1);
+        let wave = model.probe().field().clone();
+        let roundtrip = model.plan().propagate_adjoint(&model.plan().propagate(&wave));
+        for (a, b) in roundtrip.as_slice().iter().zip(wave.as_slice()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn vacuum_preserves_total_intensity() {
+        let probe = test_probe(32);
+        let dose = probe.total_intensity();
+        let model = MultisliceModel::new(probe, 4);
+        let pass = model.forward(&vacuum(4, 32));
+        // Parseval: far-field intensity = N² x real-space intensity for an
+        // unnormalised FFT of an energy-preserving chain.
+        let n2 = (32.0f64 * 32.0).recip();
+        let far_energy: f64 = pass.far_field.as_slice().iter().map(|v| v.norm_sqr()).sum();
+        assert!((far_energy * n2 - dose).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_object_changes_diffraction() {
+        let probe = test_probe(32);
+        let model = MultisliceModel::new(probe, 2);
+        let vacuum_amp = model.simulate_amplitude(&vacuum(2, 32));
+        // A phase grating.
+        let grating = Array3::from_fn(2, 32, 32, |_, _, c| {
+            Complex64::cis(if c % 4 < 2 { 0.3 } else { -0.3 })
+        });
+        let grating_amp = model.simulate_amplitude(&grating);
+        let diff: f64 = vacuum_amp
+            .as_slice()
+            .iter()
+            .zip(grating_amp.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-3, "diffraction should respond to the object");
+    }
+
+    #[test]
+    fn forward_keeps_all_intermediates() {
+        let probe = test_probe(16);
+        let model = MultisliceModel::new(probe, 3);
+        let pass = model.forward(&vacuum(3, 16));
+        assert_eq!(pass.incident.len(), 4);
+        assert_eq!(pass.far_field.shape(), (16, 16));
+        assert_eq!(pass.amplitude().shape(), (16, 16));
+    }
+
+    #[test]
+    fn fft_count_model() {
+        let probe = test_probe(16);
+        let model = MultisliceModel::new(probe, 5);
+        assert_eq!(model.ffts_per_forward(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model")]
+    fn wrong_patch_shape_panics() {
+        let probe = test_probe(16);
+        let model = MultisliceModel::new(probe, 2);
+        let _ = model.forward(&vacuum(3, 16));
+    }
+
+    #[test]
+    fn amplitude_and_intensity_consistent() {
+        let probe = test_probe(16);
+        let model = MultisliceModel::new(probe, 1);
+        let pass = model.forward(&vacuum(1, 16));
+        let amp = pass.amplitude();
+        let int = pass.intensity();
+        for (a, i) in amp.as_slice().iter().zip(int.as_slice()) {
+            assert!((a * a - i).abs() < 1e-9);
+        }
+    }
+}

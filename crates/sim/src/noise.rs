@@ -1,0 +1,130 @@
+//! Poisson counting noise for simulated data acquisition.
+//!
+//! Detectors count electrons, so measured diffraction intensities follow a
+//! Poisson distribution whose mean is the noiseless intensity scaled by the
+//! dose. The Maximum-Likelihood methods the paper builds on are specifically
+//! preferred over Fourier deconvolution because they tolerate this noise at
+//! low dose (Sec. II-B).
+
+use ptycho_array::Array2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one Poisson-distributed sample with the given mean.
+///
+/// Uses Knuth's product method for small means and a normal approximation for
+/// large means; both are adequate for simulation purposes.
+pub fn poisson_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut product: f64 = rng.gen();
+        while product > limit {
+            k += 1;
+            product *= rng.gen::<f64>();
+        }
+        k as f64
+    } else {
+        // Normal approximation N(mean, mean), clamped at zero.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + z * mean.sqrt()).max(0.0).round()
+    }
+}
+
+/// Applies Poisson noise to a diffraction *intensity* pattern.
+///
+/// `dose_scale` converts intensity units to expected electron counts; the
+/// returned pattern is rescaled back to the original units so that noiseless
+/// and noisy data are directly comparable.
+pub fn apply_poisson_noise(intensity: &Array2<f64>, dose_scale: f64, seed: u64) -> Array2<f64> {
+    assert!(dose_scale > 0.0, "dose_scale must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    intensity.map(|&v| {
+        let counts = poisson_sample(&mut rng, v.max(0.0) * dose_scale);
+        counts / dose_scale
+    })
+}
+
+/// Converts a noisy intensity pattern to the amplitude (`sqrt`) domain used by
+/// the reconstruction cost.
+pub fn intensity_to_amplitude(intensity: &Array2<f64>) -> Array2<f64> {
+    intensity.map(|&v| v.max(0.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_gives_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson_sample(&mut rng, 0.0), 0.0);
+        assert_eq!(poisson_sample(&mut rng, -3.0), 0.0);
+    }
+
+    #[test]
+    fn sample_mean_tracks_parameter_small() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 4000;
+        let mean = 5.0;
+        let total: f64 = (0..n).map(|_| poisson_sample(&mut rng, mean)).sum();
+        let sample_mean = total / n as f64;
+        assert!((sample_mean - mean).abs() < 0.2, "got {sample_mean}");
+    }
+
+    #[test]
+    fn sample_mean_tracks_parameter_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2000;
+        let mean = 500.0;
+        let total: f64 = (0..n).map(|_| poisson_sample(&mut rng, mean)).sum();
+        let sample_mean = total / n as f64;
+        assert!((sample_mean - mean).abs() < 5.0, "got {sample_mean}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let intensity = Array2::from_fn(8, 8, |r, c| (r * 8 + c) as f64);
+        let a = apply_poisson_noise(&intensity, 10.0, 42);
+        let b = apply_poisson_noise(&intensity, 10.0, 42);
+        let c = apply_poisson_noise(&intensity, 10.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn high_dose_approaches_noiseless() {
+        let intensity = Array2::full(16, 16, 4.0);
+        let noisy = apply_poisson_noise(&intensity, 1e6, 7);
+        let max_rel_err = noisy
+            .as_slice()
+            .iter()
+            .map(|&v| ((v - 4.0) / 4.0).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_rel_err < 0.02, "got {max_rel_err}");
+    }
+
+    #[test]
+    fn low_dose_is_noisier_than_high_dose() {
+        let intensity = Array2::full(32, 32, 1.0);
+        let noisy_low = apply_poisson_noise(&intensity, 5.0, 11);
+        let noisy_high = apply_poisson_noise(&intensity, 5000.0, 11);
+        let var = |img: &Array2<f64>| {
+            let m = img.sum() / img.len() as f64;
+            img.as_slice().iter().map(|v| (v - m) * (v - m)).sum::<f64>() / img.len() as f64
+        };
+        assert!(var(&noisy_low) > 10.0 * var(&noisy_high));
+    }
+
+    #[test]
+    fn amplitude_conversion_clamps_negative() {
+        let intensity = Array2::from_vec(1, 3, vec![4.0, 0.0, -1.0]);
+        let amp = intensity_to_amplitude(&intensity);
+        assert_eq!(amp.as_slice(), &[2.0, 0.0, 0.0]);
+    }
+}
