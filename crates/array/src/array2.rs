@@ -207,13 +207,23 @@ impl<T> Array2<T> {
 
     /// A single row as a slice.
     pub fn row(&self, r: usize) -> &[T] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// A single row as a mutable slice.
     pub fn row_mut(&mut self, r: usize) -> &mut [T] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -237,11 +247,11 @@ impl<T> Array2<T> {
     }
 
     /// Applies `f` to every element, producing a new array.
-    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Array2<U> {
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Array2<U> {
         Array2 {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 

@@ -95,7 +95,11 @@ impl<T: Clone> Array3<T> {
     /// Overwrites slice `s` with `plane`.
     pub fn set_slice(&mut self, s: usize, plane: &Array2<T>) {
         assert!(s < self.depth, "slice {} out of bounds ({})", s, self.depth);
-        assert_eq!(plane.shape(), (self.rows, self.cols), "set_slice: shape mismatch");
+        assert_eq!(
+            plane.shape(),
+            (self.rows, self.cols),
+            "set_slice: shape mismatch"
+        );
         let n = self.rows * self.cols;
         self.data[s * n..(s + 1) * n].clone_from_slice(plane.as_slice());
     }
@@ -199,12 +203,12 @@ impl<T> Array3<T> {
     }
 
     /// Applies `f` to every voxel, producing a new volume.
-    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Array3<U> {
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Array3<U> {
         Array3 {
             depth: self.depth,
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 

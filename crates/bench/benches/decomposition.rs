@@ -22,7 +22,9 @@ fn bench_methods(c: &mut Criterion) {
     let cluster = Cluster::new(ClusterTopology::summit());
 
     let mut group = c.benchmark_group("method_comparison_one_iteration");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let gd_config = SolverConfig {
         iterations: 1,
         halo_px: 20,
@@ -48,7 +50,9 @@ fn bench_methods(c: &mut Criterion) {
 
 fn bench_scaling_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling_model");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     group.bench_function("table3_generation", |b| {
         b.iter(|| scaling_tables(PaperDataset::Large))
     });

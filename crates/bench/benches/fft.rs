@@ -21,7 +21,9 @@ fn field(n: usize) -> Array2<Complex64> {
 
 fn bench_fft_1d(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft_1d");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for &n in &[256usize, 1024, 4096] {
         let plan = FftPlan::new(n);
         let input = signal(n);
@@ -41,7 +43,9 @@ fn bench_fft_1d(c: &mut Criterion) {
 
 fn bench_fft_2d(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft_2d");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for &n in &[64usize, 128] {
         let plan = Fft2Plan::new(n, n);
         let data = field(n);

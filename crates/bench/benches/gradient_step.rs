@@ -18,7 +18,9 @@ fn bench_inner_loop(c: &mut Criterion) {
     let step = 0.5 * suggested_step(model);
 
     let mut group = c.benchmark_group("algorithm1_inner_loop");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     group.bench_function("gradient_accumulate_update", |b| {
         b.iter(|| {
             let patch = extract_patch(truth, &loc.window);
@@ -41,7 +43,9 @@ fn bench_full_iteration(c: &mut Criterion) {
         ..SolverConfig::default()
     };
     let mut group = c.benchmark_group("gd_full_iteration");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     for ranks in [1usize, 4] {
         group.bench_function(format!("{ranks}_ranks"), |b| {
             b.iter(|| {

@@ -30,7 +30,9 @@ fn phase_object(slices: usize, n: usize) -> Array3<Complex64> {
 
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("multislice_forward");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for &(window, slices) in &[(32usize, 2usize), (32, 8), (64, 4)] {
         let m = model(window, slices);
         let object = phase_object(slices, window);
@@ -45,7 +47,9 @@ fn bench_forward(c: &mut Criterion) {
 
 fn bench_gradient(c: &mut Criterion) {
     let mut group = c.benchmark_group("probe_gradient");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for &(window, slices) in &[(32usize, 2usize), (64, 4)] {
         let m = model(window, slices);
         let truth = phase_object(slices, window);

@@ -34,7 +34,9 @@ fn buffers_for(grid: &TileGrid, slices: usize) -> Vec<CArray3> {
 
 fn bench_passes(c: &mut Criterion) {
     let mut group = c.benchmark_group("accumulation_passes");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     for &(grid_rows, grid_cols) in &[(2usize, 2usize), (3, 3)] {
         let image = 96;
         let slices = 2;

@@ -10,8 +10,12 @@ fn main() {
         ("large Lead Titanate", PaperDataset::Large),
     ] {
         let series = fig7a(dataset);
-        let mut table = Table::new(format!("Fig. 7a: strong scaling, {name} dataset"))
-            .headers(&["GPUs", "Runtime (min)", "Ideal O(1/P) (min)", "Speedup vs 6 GPUs"]);
+        let mut table = Table::new(format!("Fig. 7a: strong scaling, {name} dataset")).headers(&[
+            "GPUs",
+            "Runtime (min)",
+            "Ideal O(1/P) (min)",
+            "Speedup vs 6 GPUs",
+        ]);
         let base = series[0].1;
         for (gpus, runtime, ideal) in &series {
             table.row(vec![

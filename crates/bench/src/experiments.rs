@@ -362,8 +362,7 @@ pub fn fig9(iterations: usize) -> Vec<ConvergenceCurve> {
                 pass_frequency: *frequency,
                 ..SolverConfig::default()
             };
-            let result =
-                GradientDecompositionSolver::new(&dataset, config, (2, 3)).run(&cluster);
+            let result = GradientDecompositionSolver::new(&dataset, config, (2, 3)).run(&cluster);
             ConvergenceCurve {
                 label: label.to_string(),
                 costs: result.cost_history.costs().to_vec(),
@@ -378,18 +377,17 @@ pub fn fig9(iterations: usize) -> Vec<ConvergenceCurve> {
 
 /// Renders the Fig. 7b breakdown as a table.
 pub fn render_fig7b(rows: &[(usize, TimeBreakdown, TimeBreakdown)]) -> Table {
-    let mut table = Table::new(
-        "Fig. 7b: runtime breakdown per 100 iterations, large dataset (minutes)",
-    )
-    .headers(&[
-        "GPUs",
-        "compute",
-        "wait",
-        "comm (APPP)",
-        "comm (w/o APPP)",
-        "total (APPP)",
-        "total (w/o APPP)",
-    ]);
+    let mut table =
+        Table::new("Fig. 7b: runtime breakdown per 100 iterations, large dataset (minutes)")
+            .headers(&[
+                "GPUs",
+                "compute",
+                "wait",
+                "comm (APPP)",
+                "comm (w/o APPP)",
+                "total (APPP)",
+                "total (w/o APPP)",
+            ]);
     for (gpus, with, without) in rows {
         table.row(vec![
             gpus.to_string(),
@@ -422,7 +420,10 @@ mod tests {
     fn scaling_tables_have_na_cells_for_hve() {
         let (gd, hve) = scaling_tables(PaperDataset::Small);
         assert!(gd.points.iter().all(Option::is_some));
-        assert!(hve.points.iter().any(Option::is_none), "HVE must hit NA cells");
+        assert!(
+            hve.points.iter().any(Option::is_none),
+            "HVE must hit NA cells"
+        );
         let rendered = render_scaling_rows("test", &hve);
         assert!(rendered.render().contains("NA"));
     }

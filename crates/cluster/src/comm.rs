@@ -98,7 +98,11 @@ impl<M: Payload> RankContext<M> {
     /// # Panics
     /// Panics if `to` is out of range.
     pub fn isend(&mut self, to: usize, tag: u64, payload: M) {
-        assert!(to < self.size, "rank {to} out of range ({} ranks)", self.size);
+        assert!(
+            to < self.size,
+            "rank {to} out of range ({} ranks)",
+            self.size
+        );
         let bytes = payload.payload_bytes();
         let wire_time = self.topology.transfer_time(self.rank, to, bytes);
         self.clock.charge_communication(wire_time);
@@ -214,8 +218,7 @@ impl Cluster {
         let barrier = Arc::new(Barrier::new(num_ranks));
         let body = &body;
 
-        let mut outcomes: Vec<Option<RankOutcome<R>>> =
-            (0..num_ranks).map(|_| None).collect();
+        let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..num_ranks).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(num_ranks);
@@ -249,7 +252,10 @@ impl Cluster {
             }
         });
 
-        outcomes.into_iter().map(|o| o.expect("missing rank")).collect()
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("missing rank"))
+            .collect()
     }
 }
 

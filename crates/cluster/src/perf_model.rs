@@ -106,12 +106,7 @@ impl HardwareModel {
     }
 
     /// Seconds for one gradient evaluation at one probe location.
-    pub fn probe_gradient_time(
-        &self,
-        window: usize,
-        slices: usize,
-        working_set_bytes: f64,
-    ) -> f64 {
+    pub fn probe_gradient_time(&self, window: usize, slices: usize, working_set_bytes: f64) -> f64 {
         self.per_probe_overhead
             + self.compute_time(Self::gradient_flops(window, slices), working_set_bytes)
     }
@@ -155,7 +150,10 @@ mod tests {
         let f2k = HardwareModel::fft_flops(2048);
         // Doubling n slightly more than doubles the work.
         assert!(f2k / f1k > 2.0 && f2k / f1k < 2.4);
-        assert_eq!(HardwareModel::fft2d_flops(64), 2.0 * 64.0 * HardwareModel::fft_flops(64));
+        assert_eq!(
+            HardwareModel::fft2d_flops(64),
+            2.0 * 64.0 * HardwareModel::fft_flops(64)
+        );
     }
 
     #[test]
@@ -171,7 +169,10 @@ mod tests {
         let hw = HardwareModel::summit_v100();
         let huge = hw.cache_speedup(1e12);
         let tiny = hw.cache_speedup(1e3);
-        assert!(huge >= 1.0 && huge < 1.2, "cold working set ~ no speedup, got {huge}");
+        assert!(
+            (1.0..1.2).contains(&huge),
+            "cold working set ~ no speedup, got {huge}"
+        );
         assert!((tiny - hw.max_cache_speedup).abs() < 1e-9);
         // Monotone non-increasing in working-set size.
         let mut last = f64::INFINITY;

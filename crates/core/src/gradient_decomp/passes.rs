@@ -83,8 +83,7 @@ fn successor(grid: &TileGrid, rank: usize, axis: Axis) -> Option<usize> {
 /// The overlap between this rank and a peer, in this rank's tile-local
 /// coordinates (empty when the extended tiles do not touch).
 fn local_overlap(grid: &TileGrid, rank: usize, peer: usize) -> ptycho_array::Rect {
-    grid.overlap(rank, peer)
-        .to_local(&grid.tile(rank).extended)
+    grid.overlap(rank, peer).to_local(&grid.tile(rank).extended)
 }
 
 fn forward_tag(axis: Axis) -> u64 {
@@ -185,9 +184,7 @@ mod tests {
             global.add_region(grid.tile(rank).extended, local);
         }
         (0..grid.num_tiles())
-            .map(|rank| {
-                global.extract_region_with_fill(grid.tile(rank).extended, Complex64::ZERO)
-            })
+            .map(|rank| global.extract_region_with_fill(grid.tile(rank).extended, Complex64::ZERO))
             .collect()
     }
 
@@ -265,10 +262,22 @@ mod tests {
         let scan = scan_for(image);
         let grid = TileGrid::new(image, image, 3, 3, 4, &scan);
         let center = grid.rank_at(1, 1);
-        assert_eq!(predecessor(&grid, center, Axis::Vertical), Some(grid.rank_at(0, 1)));
-        assert_eq!(successor(&grid, center, Axis::Vertical), Some(grid.rank_at(2, 1)));
-        assert_eq!(predecessor(&grid, center, Axis::Horizontal), Some(grid.rank_at(1, 0)));
-        assert_eq!(successor(&grid, center, Axis::Horizontal), Some(grid.rank_at(1, 2)));
+        assert_eq!(
+            predecessor(&grid, center, Axis::Vertical),
+            Some(grid.rank_at(0, 1))
+        );
+        assert_eq!(
+            successor(&grid, center, Axis::Vertical),
+            Some(grid.rank_at(2, 1))
+        );
+        assert_eq!(
+            predecessor(&grid, center, Axis::Horizontal),
+            Some(grid.rank_at(1, 0))
+        );
+        assert_eq!(
+            successor(&grid, center, Axis::Horizontal),
+            Some(grid.rank_at(1, 2))
+        );
         assert_eq!(predecessor(&grid, 0, Axis::Vertical), None);
         assert_eq!(successor(&grid, grid.rank_at(2, 2), Axis::Horizontal), None);
     }

@@ -343,8 +343,7 @@ mod tests {
                 halo_px: 20,
                 ..SolverConfig::default()
             };
-            let result =
-                GradientDecompositionSolver::new(&dataset, config, (2, 2)).run(&cluster);
+            let result = GradientDecompositionSolver::new(&dataset, config, (2, 2)).run(&cluster);
             assert!(
                 result.cost_history.final_cost() < result.cost_history.initial_cost(),
                 "{freq:?} failed to reduce the cost"

@@ -72,7 +72,14 @@ impl<'a> HaloVoxelExchangeSolver<'a> {
     ) -> Result<Self, HaloExchangeError> {
         let (_, rows, cols) = dataset.object_shape();
         let halo_px = TileGrid::hve_required_halo_px(dataset.scan(), config.hve_extra_probe_rows);
-        let grid = TileGrid::new(rows, cols, grid_dims.0, grid_dims.1, halo_px, dataset.scan());
+        let grid = TileGrid::new(
+            rows,
+            cols,
+            grid_dims.0,
+            grid_dims.1,
+            halo_px,
+            dataset.scan(),
+        );
 
         let smallest_tile_px = grid
             .tiles()

@@ -218,7 +218,8 @@ fn memory_from_geometry(
     } else {
         0.0
     };
-    let workspace = WORKSPACE_DETECTOR_BUFFERS * detector * GPU_VOXEL_BYTES + FRAMEWORK_OVERHEAD_BYTES;
+    let workspace =
+        WORKSPACE_DETECTOR_BUFFERS * detector * GPU_VOXEL_BYTES + FRAMEWORK_OVERHEAD_BYTES;
     MemoryBreakdown {
         tile_voxels,
         halo_voxels,
@@ -281,7 +282,10 @@ mod tests {
             .map(|&g| gd_memory_per_gpu(&spec, g, GD_HALO_PM).gigabytes())
             .collect();
         for pair in footprints.windows(2) {
-            assert!(pair[1] < pair[0], "memory must shrink with more GPUs: {footprints:?}");
+            assert!(
+                pair[1] < pair[0],
+                "memory must shrink with more GPUs: {footprints:?}"
+            );
         }
     }
 
@@ -294,9 +298,15 @@ mod tests {
         let at6 = gd_memory_per_gpu(&spec, 6, GD_HALO_PM).gigabytes();
         let at4158 = gd_memory_per_gpu(&spec, 4158, GD_HALO_PM).gigabytes();
         assert!((4.5..14.0).contains(&at6), "6-GPU footprint {at6} GB");
-        assert!((0.08..0.4).contains(&at4158), "4158-GPU footprint {at4158} GB");
+        assert!(
+            (0.08..0.4).contains(&at4158),
+            "4158-GPU footprint {at4158} GB"
+        );
         let reduction = at6 / at4158;
-        assert!(reduction > 25.0, "memory reduction {reduction} should be tens of x");
+        assert!(
+            reduction > 25.0,
+            "memory reduction {reduction} should be tens of x"
+        );
     }
 
     #[test]

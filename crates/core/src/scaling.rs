@@ -182,7 +182,8 @@ impl ScalingScenario {
         // Communication.
         let communication = match method {
             Method::GradientDecomposition => {
-                let bytes_per_message = (2.0 * geometry.halo_px
+                let bytes_per_message = (2.0
+                    * geometry.halo_px
                     * geometry.extended_px.1.max(geometry.extended_px.0)
                     * slices as f64
                     * GPU_VOXEL_BYTES) as usize;
@@ -235,8 +236,8 @@ impl ScalingScenario {
         // amplitude projection, independent of the tile decomposition. The
         // multiplier is a calibration constant for how much of the per-probe
         // kernel is insensitive to tile size.
-        let detector_flops = self.detector_work_scale
-            * HardwareModel::gradient_flops(self.spec.detector_px, slices);
+        let detector_flops =
+            self.detector_work_scale * HardwareModel::gradient_flops(self.spec.detector_px, slices);
         // Tile-sized work: multi-slice propagation over the extended tile.
         let tile_side = geometry.extended_area().sqrt().max(2.0) as usize;
         let tile_flops = HardwareModel::gradient_flops(tile_side, slices);
@@ -314,7 +315,10 @@ mod tests {
         let runtimes: Vec<f64> = table.iter().flatten().map(|p| p.runtime_minutes).collect();
         assert_eq!(runtimes.len(), 6);
         for pair in runtimes.windows(2) {
-            assert!(pair[1] < pair[0], "runtime must fall with more GPUs: {runtimes:?}");
+            assert!(
+                pair[1] < pair[0],
+                "runtime must fall with more GPUs: {runtimes:?}"
+            );
         }
     }
 

@@ -50,12 +50,14 @@ pub fn border_mask(grid: &TileGrid, width: usize) -> Array2<bool> {
         let core = tile.core;
         // Vertical borders (right edge of the tile, unless at the image edge).
         if core.col1 < bounds.col1 {
-            let band = Rect::from_corners(core.row0, core.row1, core.col1 - width, core.col1 + width);
+            let band =
+                Rect::from_corners(core.row0, core.row1, core.col1 - width, core.col1 + width);
             mask.fill_region(band, true);
         }
         // Horizontal borders (bottom edge of the tile).
         if core.row1 < bounds.row1 {
-            let band = Rect::from_corners(core.row1 - width, core.row1 + width, core.col0, core.col1);
+            let band =
+                Rect::from_corners(core.row1 - width, core.row1 + width, core.col0, core.col1);
             mask.fill_region(band, true);
         }
     }
@@ -90,7 +92,11 @@ pub fn seam_artifact_metric(image: &Array2<f64>, grid: &TileGrid, band_width: us
     }
     let interior_mean = stats::mean(&interior);
     if interior_mean == 0.0 {
-        return if stats::mean(&border) == 0.0 { 1.0 } else { f64::INFINITY };
+        return if stats::mean(&border) == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
     }
     stats::mean(&border) / interior_mean
 }

@@ -105,7 +105,7 @@ impl TileGrid {
         let mut best_gap = workers;
         let limit = (workers as f64).sqrt() as usize + 1;
         for rows in 1..=limit {
-            if workers % rows == 0 {
+            if workers.is_multiple_of(rows) {
                 let cols = workers / rows;
                 let gap = cols - rows.min(cols);
                 if gap < best_gap {
@@ -227,9 +227,9 @@ impl TileGrid {
     /// fill, otherwise neighbouring tiles cannot be made consistent and the
     /// method cannot run ("NA" entries of Table II(b)).
     pub fn hve_feasible(&self, hve_halo_px: usize) -> bool {
-        self.tiles.iter().all(|t| {
-            t.core.rows() >= hve_halo_px && t.core.cols() >= hve_halo_px
-        })
+        self.tiles
+            .iter()
+            .all(|t| t.core.rows() >= hve_halo_px && t.core.cols() >= hve_halo_px)
     }
 }
 
@@ -317,7 +317,9 @@ mod tests {
     fn distant_tiles_do_not_overlap_with_small_halo() {
         let grid = grid_3x3();
         assert!(grid.overlap(0, 8).is_empty());
-        assert!(grid.overlap(grid.rank_at(0, 0), grid.rank_at(0, 2)).is_empty());
+        assert!(grid
+            .overlap(grid.rank_at(0, 0), grid.rank_at(0, 2))
+            .is_empty());
     }
 
     #[test]
@@ -356,7 +358,10 @@ mod tests {
         let hve_halo = TileGrid::hve_required_halo_px(&scan, 2);
         // 2 rows x 16 px + 16 px half-window = 48.
         assert_eq!(hve_halo, 48);
-        assert!(hve_halo > 8, "HVE halo must exceed the GD halo used in tests");
+        assert!(
+            hve_halo > 8,
+            "HVE halo must exceed the GD halo used in tests"
+        );
     }
 
     #[test]

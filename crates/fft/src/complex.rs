@@ -177,6 +177,8 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    // Complex division is multiplication by the reciprocal; not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }
@@ -330,7 +332,10 @@ mod tests {
     #[test]
     fn exp_of_imaginary_is_cis() {
         let theta = 1.234;
-        assert!(close(Complex64::new(0.0, theta).exp(), Complex64::cis(theta)));
+        assert!(close(
+            Complex64::new(0.0, theta).exp(),
+            Complex64::cis(theta)
+        ));
     }
 
     #[test]
@@ -354,7 +359,7 @@ mod tests {
 
     #[test]
     fn sum_iterators() {
-        let values = vec![Complex64::new(1.0, 1.0); 4];
+        let values = [Complex64::new(1.0, 1.0); 4];
         let owned: Complex64 = values.iter().copied().sum();
         let referenced: Complex64 = values.iter().sum();
         assert!(close(owned, Complex64::new(4.0, 4.0)));

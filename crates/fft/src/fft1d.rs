@@ -270,7 +270,9 @@ mod tests {
         let n = 64;
         let plan = FftPlan::new(n);
         let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.0, (n - i) as f64)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.0, (n - i) as f64))
+            .collect();
         let alpha = Complex64::new(2.0, -1.0);
 
         let mut lhs: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x * alpha + *y).collect();
@@ -315,7 +317,9 @@ mod tests {
 
     #[test]
     fn one_shot_helpers_roundtrip() {
-        let input: Vec<Complex64> = (0..32).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let input: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
         let mut data = input.clone();
         fft(&mut data);
         ifft(&mut data);

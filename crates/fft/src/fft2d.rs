@@ -231,8 +231,12 @@ mod tests {
         let field = test_field(16, 16);
         let spectrum = fft2(&field);
         let spatial: f64 = field.as_slice().iter().map(|v| v.norm_sqr()).sum();
-        let spectral: f64 =
-            spectrum.as_slice().iter().map(|v| v.norm_sqr()).sum::<f64>() / (16.0 * 16.0);
+        let spectral: f64 = spectrum
+            .as_slice()
+            .iter()
+            .map(|v| v.norm_sqr())
+            .sum::<f64>()
+            / (16.0 * 16.0);
         assert!((spatial - spectral).abs() < 1e-8 * spatial.max(1.0));
     }
 

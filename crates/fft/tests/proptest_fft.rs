@@ -6,8 +6,11 @@ use ptycho_fft::fft2d::{fft2, fftshift, ifft2, ifftshift, Fft2Plan};
 use ptycho_fft::{dft, Complex64, FftPlan};
 
 fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), len).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex64::new(re, im))
+            .collect()
+    })
 }
 
 fn pow2_len() -> impl Strategy<Value = usize> {

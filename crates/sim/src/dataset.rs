@@ -399,7 +399,10 @@ mod tests {
         let noisy = Dataset::synthesize(config);
         let truth = noisy.specimen().transmission().clone();
         let cost = noisy.total_cost(&truth);
-        assert!(cost > 1e-10, "noisy data should not fit exactly, got {cost}");
+        assert!(
+            cost > 1e-10,
+            "noisy data should not fit exactly, got {cost}"
+        );
     }
 
     #[test]

@@ -81,7 +81,8 @@ pub fn probe_gradient(
     let mut back = adjoint_fft(model, &residual);
 
     // Back through the slices in reverse order.
-    let mut gradient_slices: Vec<CArray2> = vec![Array2::full(n, n, Complex64::ZERO); model.slices()];
+    let mut gradient_slices: Vec<CArray2> =
+        vec![Array2::full(n, n, Complex64::ZERO); model.slices()];
     for s in (0..model.slices()).rev() {
         // `back` currently holds ∂L/∂conj(psi_{s+1}); pull it through the
         // propagator to get ∂L/∂conj(a_s) where a_s = t_s ⊙ psi_s.
@@ -191,7 +192,10 @@ mod tests {
             .iter()
             .map(|v| v.abs())
             .fold(0.0f64, f64::max);
-        assert!(max_grad < 1e-9, "gradient at optimum should vanish, got {max_grad}");
+        assert!(
+            max_grad < 1e-9,
+            "gradient at optimum should vanish, got {max_grad}"
+        );
     }
 
     #[test]

@@ -20,6 +20,25 @@
 //! * [`noise`] — Poisson counting noise for simulated acquisition.
 //! * [`dataset`] — bundled datasets: simulated acquisition plus the *geometry*
 //!   presets of Table I used by the performance model.
+//!
+//! # Quick start
+//!
+//! Simulate a tiny noise-free acquisition and verify that the ground-truth
+//! object reproduces its own measured diffraction amplitudes:
+//!
+//! ```
+//! use ptycho_sim::dataset::{extract_patch, Dataset, SyntheticConfig};
+//! use ptycho_sim::probe_loss;
+//!
+//! // Specimen, probe, raster scan and measurements, all in one bundle.
+//! let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+//! let loc = dataset.scan().locations()[0];
+//!
+//! // The likelihood cost f_i(V) of Eqn. (2) vanishes at the ground truth.
+//! let truth = extract_patch(dataset.specimen().transmission(), &loc.window);
+//! let loss = probe_loss(dataset.model(), &truth, dataset.measurement(&loc));
+//! assert!(loss < 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,7 +53,9 @@ pub mod scan;
 pub mod specimen;
 
 pub use dataset::{Dataset, DatasetSpec};
-pub use gradient::{apply_gradient_step, probe_gradient, probe_loss, suggested_step, GradientResult};
+pub use gradient::{
+    apply_gradient_step, probe_gradient, probe_loss, suggested_step, GradientResult,
+};
 pub use multislice::{MultisliceModel, PropagationPlan};
 pub use probe::{Probe, ProbeConfig};
 pub use scan::{ProbeLocation, ScanConfig, ScanPattern};

@@ -34,8 +34,16 @@ impl PropagationPlan {
         let n = window_px;
         let dk = 1.0 / (n as f64 * pixel_size_pm);
         let transfer = Array2::from_fn(n, n, |r, c| {
-            let fr = if r <= n / 2 { r as f64 } else { r as f64 - n as f64 };
-            let fc = if c <= n / 2 { c as f64 } else { c as f64 - n as f64 };
+            let fr = if r <= n / 2 {
+                r as f64
+            } else {
+                r as f64 - n as f64
+            };
+            let fc = if c <= n / 2 {
+                c as f64
+            } else {
+                c as f64 - n as f64
+            };
             let k2 = (fr * dk) * (fr * dk) + (fc * dk) * (fc * dk);
             Complex64::cis(-PI * wavelength_pm * slice_dz_pm * k2)
         });
@@ -224,7 +232,9 @@ mod tests {
         let probe = test_probe(32);
         let model = MultisliceModel::new(probe, 1);
         let wave = model.probe().field().clone();
-        let roundtrip = model.plan().propagate_adjoint(&model.plan().propagate(&wave));
+        let roundtrip = model
+            .plan()
+            .propagate_adjoint(&model.plan().propagate(&wave));
         for (a, b) in roundtrip.as_slice().iter().zip(wave.as_slice()) {
             assert!((*a - *b).abs() < 1e-10);
         }

@@ -116,7 +116,11 @@ mod tests {
         let noisy_high = apply_poisson_noise(&intensity, 5000.0, 11);
         let var = |img: &Array2<f64>| {
             let m = img.sum() / img.len() as f64;
-            img.as_slice().iter().map(|v| (v - m) * (v - m)).sum::<f64>() / img.len() as f64
+            img.as_slice()
+                .iter()
+                .map(|v| (v - m) * (v - m))
+                .sum::<f64>()
+                / img.len() as f64
         };
         assert!(var(&noisy_low) > 10.0 * var(&noisy_high));
     }

@@ -83,8 +83,16 @@ impl Probe {
         for r in 0..n {
             for c in 0..n {
                 // Signed frequency indices in FFT order.
-                let fr = if r <= n / 2 { r as f64 } else { r as f64 - n as f64 };
-                let fc = if c <= n / 2 { c as f64 } else { c as f64 - n as f64 };
+                let fr = if r <= n / 2 {
+                    r as f64
+                } else {
+                    r as f64 - n as f64
+                };
+                let fc = if c <= n / 2 {
+                    c as f64
+                } else {
+                    c as f64 - n as f64
+                };
                 let kr = fr * dk;
                 let kc = fc * dk;
                 let k2 = kr * kr + kc * kc;

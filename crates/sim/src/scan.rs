@@ -46,8 +46,16 @@ impl ScanConfig {
             usable_rows >= 0.0 && usable_cols >= 0.0,
             "object ({object_rows}x{object_cols}) smaller than probe window {window_px}"
         );
-        let step_r = if scan_rows > 1 { usable_rows / (scan_rows - 1) as f64 } else { 0.0 };
-        let step_c = if scan_cols > 1 { usable_cols / (scan_cols - 1) as f64 } else { 0.0 };
+        let step_r = if scan_rows > 1 {
+            usable_rows / (scan_rows - 1) as f64
+        } else {
+            0.0
+        };
+        let step_c = if scan_cols > 1 {
+            usable_cols / (scan_cols - 1) as f64
+        } else {
+            0.0
+        };
         let step = step_r.min(step_c).max(1.0);
         Self {
             rows: scan_rows,
@@ -186,7 +194,10 @@ impl ScanPattern {
         self.locations
             .iter()
             .filter(|loc| {
-                region.contains(loc.center_px.0.floor() as i64, loc.center_px.1.floor() as i64)
+                region.contains(
+                    loc.center_px.0.floor() as i64,
+                    loc.center_px.1.floor() as i64,
+                )
             })
             .copied()
             .collect()

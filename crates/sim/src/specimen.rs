@@ -119,9 +119,8 @@ impl Specimen {
             for ic in 0..n_cells_c {
                 let base_r = ir as f64 * cell_px;
                 let base_c = ic as f64 * cell_px;
-                let jitter = |rng: &mut StdRng| {
-                    (rng.gen::<f64>() - 0.5) * 2.0 * config.displacement_pm / dx
-                };
+                let jitter =
+                    |rng: &mut StdRng| (rng.gen::<f64>() - 0.5) * 2.0 * config.displacement_pm / dx;
                 columns.push((base_r + jitter(&mut rng), base_c + jitter(&mut rng), PB));
                 columns.push((
                     base_r + cell_px / 2.0 + jitter(&mut rng),
@@ -143,8 +142,8 @@ impl Specimen {
 
         // Rasterise each slice. Successive slices get slightly shifted and
         // re-weighted columns so the volume is genuinely three-dimensional.
-        let sigma_scale = interaction_parameter(config.geometry.energy_ev)
-            * config.geometry.slice_thickness_pm;
+        let sigma_scale =
+            interaction_parameter(config.geometry.energy_ev) * config.geometry.slice_thickness_pm;
         let mut slices = Vec::with_capacity(config.slices);
         let mut tslices = Vec::with_capacity(config.slices);
         for s in 0..config.slices {
@@ -165,8 +164,7 @@ impl Specimen {
                         let dr = r as f64 - cr;
                         let dc = c as f64 - cc;
                         let g = (-(dr * dr + dc * dc) / (2.0 * width_px * width_px)).exp();
-                        pot[(r as usize, c as usize)] +=
-                            species.peak_potential * slice_weight * g;
+                        pot[(r as usize, c as usize)] += species.peak_potential * slice_weight * g;
                     }
                 }
             }

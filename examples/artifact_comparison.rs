@@ -10,9 +10,9 @@
 
 use ptycho_array::{stats, Array2};
 use ptycho_bench::experiments::{fig8, quality_dataset};
+use ptycho_cluster::{Cluster, ClusterTopology};
 use ptycho_core::stitch::{border_mask, phase_image};
 use ptycho_core::{GradientDecompositionSolver, SolverConfig};
-use ptycho_cluster::{Cluster, ClusterTopology};
 
 /// Renders an image as coarse ASCII (for a quick visual check in a terminal).
 fn ascii_view(image: &Array2<f64>, step: usize) -> String {

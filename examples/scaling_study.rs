@@ -35,19 +35,21 @@ fn main() {
         ..SolverConfig::default()
     };
 
-    println!("real threaded execution ({} probe locations, 3 iterations):", dataset.scan().len());
-    println!("{:>6}  {:>12}  {:>16}  {:>14}", "ranks", "wall (s)", "max compute (s)", "final cost");
+    println!(
+        "real threaded execution ({} probe locations, 3 iterations):",
+        dataset.scan().len()
+    );
+    println!(
+        "{:>6}  {:>12}  {:>16}  {:>14}",
+        "ranks", "wall (s)", "max compute (s)", "final cost"
+    );
     let mut baseline_wall = None;
     for ranks in [1usize, 2, 4, 6] {
         let solver = GradientDecompositionSolver::for_workers(&dataset, config, ranks);
         let start = Instant::now();
         let result = solver.run(&cluster);
         let wall = start.elapsed().as_secs_f64();
-        let max_compute = result
-            .time
-            .iter()
-            .map(|t| t.compute)
-            .fold(0.0f64, f64::max);
+        let max_compute = result.time.iter().map(|t| t.compute).fold(0.0f64, f64::max);
         baseline_wall.get_or_insert(wall);
         println!(
             "{ranks:>6}  {wall:>12.2}  {max_compute:>16.2}  {:>14.4}",
@@ -60,7 +62,10 @@ fn main() {
 
     // Part 2: paper-scale model (Fig. 7a / Table III(a)).
     println!("\npaper-scale model, large Lead Titanate dataset (calibrated at 6 GPUs = 5543 min):");
-    println!("{:>6}  {:>14}  {:>16}  {:>10}", "GPUs", "runtime (min)", "ideal O(1/P) min", "speedup");
+    println!(
+        "{:>6}  {:>14}  {:>16}  {:>10}",
+        "GPUs", "runtime (min)", "ideal O(1/P) min", "speedup"
+    );
     let series = fig7a(PaperDataset::Large);
     let base = series[0].1;
     for (gpus, runtime, ideal) in series {

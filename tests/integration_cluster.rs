@@ -3,8 +3,8 @@
 //! topology-aware costs and the analytic scaling model they feed.
 
 use ptycho_cluster::{Cluster, ClusterTopology, HardwareModel, TimeBreakdown};
-use ptycho_core::scaling::{Method, ScalingScenario, GD_HALO_PM, HVE_HALO_PM};
 use ptycho_core::memory_model::{decomposition_geometry, gd_memory_per_gpu, hve_memory_per_gpu};
+use ptycho_core::scaling::{Method, ScalingScenario, GD_HALO_PM, HVE_HALO_PM};
 use ptycho_sim::dataset::DatasetSpec;
 
 #[test]
@@ -83,8 +83,7 @@ fn scaling_model_is_consistent_with_memory_model() {
         assert!((gd.memory_gb - expected).abs() < 1e-9);
 
         if let Some(hve) = scenario.point(Method::HaloVoxelExchange, gpus, true) {
-            let expected =
-                hve_memory_per_gpu(&scenario.spec, gpus, HVE_HALO_PM, 2).gigabytes();
+            let expected = hve_memory_per_gpu(&scenario.spec, gpus, HVE_HALO_PM, 2).gigabytes();
             assert!((hve.memory_gb - expected).abs() < 1e-9);
         }
     }

@@ -117,13 +117,12 @@ fn gd_memory_is_dominated_by_tile_not_full_volume() {
         halo_px: 16,
         ..SolverConfig::default()
     };
-    let result =
-        GradientDecompositionSolver::new(&ds, config, (3, 3)).run(&Cluster::default());
+    let result = GradientDecompositionSolver::new(&ds, config, (3, 3)).run(&Cluster::default());
     let (d, r, c) = ds.object_shape();
     let full_volume_bytes = d * r * c * 16;
     for memory in &result.memory {
-        let voxels = memory.peak_of(MemoryCategory::TileVoxels)
-            + memory.peak_of(MemoryCategory::HaloVoxels);
+        let voxels =
+            memory.peak_of(MemoryCategory::TileVoxels) + memory.peak_of(MemoryCategory::HaloVoxels);
         assert!(
             voxels < full_volume_bytes / 2,
             "a 3x3 tile should hold well under half the volume ({voxels} bytes)"
@@ -170,8 +169,7 @@ fn gd_halo_width_trades_memory_for_gradient_coverage() {
             halo_px: halo,
             ..SolverConfig::default()
         };
-        let result =
-            GradientDecompositionSolver::new(&ds, config, (2, 2)).run(&Cluster::default());
+        let result = GradientDecompositionSolver::new(&ds, config, (2, 2)).run(&Cluster::default());
         peaks.push(result.average_peak_memory_bytes());
     }
     assert!(

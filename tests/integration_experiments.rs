@@ -31,11 +31,7 @@ fn table2_and_table3_shapes_match_paper() {
         }
 
         // GD memory falls monotonically too.
-        let gd_memory: Vec<f64> = gd
-            .points
-            .iter()
-            .map(|p| p.unwrap().memory_gb)
-            .collect();
+        let gd_memory: Vec<f64> = gd.points.iter().map(|p| p.unwrap().memory_gb).collect();
         for pair in gd_memory.windows(2) {
             assert!(pair[1] < pair[0], "GD memory must fall: {gd_memory:?}");
         }

@@ -1,0 +1,293 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *API subset its benches actually use*:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! the [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`].
+//!
+//! Measurement is a deliberately simple wall-clock protocol: each benchmark
+//! runs one warm-up iteration, then `sample_size` timed iterations, and
+//! reports min / mean / max per iteration on stdout. There are no statistical
+//! confidence intervals, outlier classification, HTML reports or baseline
+//! comparisons — for those, swap in the real crate (a one-line manifest
+//! change; every bench compiles unmodified against either).
+//!
+//! ```
+//! use criterion::{Criterion, black_box};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("sum_1k", |b| {
+//!     b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// bodies. Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation (accepted, surfaced in the report header).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter, rendered as
+    /// `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Times the closure handed to it by a benchmark definition.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` once to warm up, then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_and_report(label: &str, sample_size: usize, body: impl FnOnce(&mut Bencher)) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut bencher = Bencher {
+        sample_size,
+        samples: &mut samples,
+    };
+    body(&mut bencher);
+    if samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    println!(
+        "{label:<60} time: [{} {} {}]  ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        samples.len(),
+    );
+}
+
+/// A named collection of related benchmarks (mirrors
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in always runs exactly
+    /// `sample_size` iterations regardless of the requested wall-clock
+    /// budget.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (printed alongside the group name).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        println!("  [throughput: {throughput:?}]");
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_and_report(&label, self.sample_size, |b| body(b));
+        self
+    }
+
+    /// Defines and immediately runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_and_report(&label, self.sample_size, |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (a report separator in this stand-in).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Defines and immediately runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_and_report(&id.into().id, sample_size, |b| body(b));
+        self
+    }
+
+    /// Prints the closing summary line (called by [`criterion_main!`]).
+    pub fn final_summary(&self) {
+        println!("benchmark run complete (offline criterion stand-in; no statistics)");
+    }
+}
+
+/// Declares a benchmark group function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_registered_benchmarks() {
+        let mut calls = 0usize;
+        {
+            let mut c = Criterion::default();
+            let mut group = c.benchmark_group("demo");
+            group.sample_size(3);
+            group.bench_function("one", |b| b.iter(|| calls += 1));
+            group.bench_with_input(BenchmarkId::new("two", 7), &7usize, |b, &n| {
+                b.iter(|| calls += n)
+            });
+            group.finish();
+        }
+        // one: 1 warmup + 3 samples = 4; two: (1 + 3) * 7 = 28.
+        assert_eq!(calls, 4 + 28);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("fft", 256).id, "fft/256");
+        assert_eq!(BenchmarkId::from_parameter("64px").id, "64px");
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(750)), "750 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for the
+//! [`crossbeam-channel`](https://crates.io/crates/crossbeam-channel) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *API subset it actually uses*: [`unbounded`]
+//! channels with cloneable [`Sender`]s **and** cloneable [`Receiver`]s
+//! (multi-producer multi-consumer), blocking [`Receiver::recv`] and
+//! non-blocking [`Receiver::try_recv`], with disconnection reported once all
+//! peers on the other side have dropped.
+//!
+//! The implementation is a `Mutex<VecDeque>` + `Condvar` — simpler and slower
+//! than crossbeam's lock-free design, but semantically equivalent for the
+//! message volumes the simulated cluster (`ptycho-cluster`) moves. Swapping
+//! in the real crate is a one-line manifest change.
+//!
+//! ```
+//! let (tx, rx) = crossbeam_channel::unbounded();
+//! let rx2 = rx.clone(); // MPMC: receivers clone too
+//! tx.send(41).unwrap();
+//! tx.send(1).unwrap();
+//! assert_eq!(rx.recv().unwrap() + rx2.recv().unwrap(), 42);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Channel<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// The unsent payload is handed back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like the real crate: Debug without requiring `T: Debug`.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+/// The sending half of an unbounded channel. Cloneable (multi-producer).
+pub struct Sender<T> {
+    channel: Arc<Channel<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value` without blocking (the channel is unbounded).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.channel.inner.lock().expect("channel poisoned");
+        if inner.receivers == 0 {
+            return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.channel.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.channel.inner.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            channel: Arc::clone(&self.channel),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.channel.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake blocked receivers so they can observe the disconnect.
+            self.channel.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half of an unbounded channel. Cloneable (multi-consumer);
+/// each message is delivered to exactly one receiver.
+pub struct Receiver<T> {
+    channel: Arc<Channel<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.channel.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .channel
+                .not_empty
+                .wait(inner)
+                .expect("channel poisoned");
+        }
+    }
+
+    /// Returns a queued message if one is available, without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.channel.inner.lock().expect("channel poisoned");
+        match inner.queue.pop_front() {
+            Some(value) => Ok(value),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.channel
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
+        Receiver {
+            channel: Arc::clone(&self.channel),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.channel
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .receivers -= 1;
+    }
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let channel = Arc::new(Channel {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            channel: Arc::clone(&channel),
+        },
+        Receiver { channel },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_empty_vs_disconnected() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded::<u64>();
+        let handle = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(77).unwrap();
+        assert_eq!(handle.join().unwrap(), 77);
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_stream() {
+        let (tx, rx1) = unbounded::<u32>();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = [a, b];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+    }
+}

@@ -1,0 +1,551 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *API subset its property tests actually use*:
+//!
+//! * the [`proptest!`] macro (including the `#![proptest_config(..)]` inner
+//!   attribute and `name in strategy` argument bindings),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * range strategies (`0usize..200`, `-100.0f64..100.0`, …), tuple
+//!   strategies, [`strategy::Strategy::prop_map`], [`strategy::Just`] and
+//!   [`collection::vec`],
+//! * [`test_runner::Config`] (exported from the prelude as `ProptestConfig`)
+//!   with `with_cases`.
+//!
+//! Each test function runs its body over `cases` deterministically generated
+//! inputs (seeded per-test from the test's module path, overridable via the
+//! `PROPTEST_STUB_SEED` environment variable). Failures report the generated
+//! inputs. Unlike the real crate there is **no shrinking** and no persisted
+//! regression corpus — a failing case is reported as generated. The call
+//! surface is compatible, so replacing this stub with the real crate is a
+//! one-line manifest change and restores shrinking for free.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     #[test]
+//!     fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// The crate-level doctest demonstrates `proptest!`, whose grammar requires a
+// `#[test]` attribute on each property.
+#![allow(clippy::test_attr_in_doctest)]
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    /// Per-test configuration (mirrors `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated input cases each property test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real crate defaults to 256; this stub matches it.
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property within a test case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Result type produced by a property-test body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 generator driving input generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test identifier (usually
+        /// `module_path!() :: test_name`), so each test draws an independent
+        /// but reproducible stream. Set `PROPTEST_STUB_SEED` to perturb every
+        /// stream at once when hunting for flaky properties.
+        pub fn deterministic(test_id: &str) -> Self {
+            // FNV-1a over the identifier.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_id.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            if let Ok(extra) = std::env::var("PROPTEST_STUB_SEED") {
+                if let Ok(seed) = extra.trim().parse::<u64>() {
+                    h ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                }
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Returns a uniform index in `[0, bound)`.
+        pub fn next_index(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "cannot sample from an empty set");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of an output type from random bits (mirrors
+    /// `proptest::strategy::Strategy`, without value trees / shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, map }
+        }
+
+        /// Generates a value, then uses it to pick a follow-up strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, map: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, map }
+        }
+
+        /// Discards generated values failing `filter` (retries generation;
+        /// panics if the predicate rejects 1000 draws in a row).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            filter: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                source: self,
+                whence,
+                filter,
+            }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.new_value(rng))
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.map)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_filter`].
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        filter: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            for _ in 0..1000 {
+                let value = self.source.new_value(rng);
+                if (self.filter)(&value) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive draws: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "cannot sample from empty range");
+                    (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(span > 0, "cannot sample from empty range");
+                    (*self.start() as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            self.start + rng.next_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: a fixed length or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                min: len,
+                max_exclusive: len + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max_exclusive: *range.end() + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.max_exclusive - self.size.min;
+            let len = if span <= 1 {
+                self.size.min
+            } else {
+                self.size.min + rng.next_index(span)
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module glob-imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (`prop::collection::vec(..)`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Fails the enclosing property if `cond` is false.
+///
+/// Expands to an early `return Err(..)`, so it is only valid inside a
+/// [`proptest!`] body (or any function returning
+/// [`test_runner::TestCaseResult`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the enclosing property if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property tests (mirrors `proptest::proptest!`).
+///
+/// Supports the subset of the real macro's grammar used in this workspace:
+/// an optional `#![proptest_config(expr)]` inner attribute followed by test
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
+                // Rendered before the body runs: the body takes the inputs
+                // by value and may consume them.
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)+),
+                    $(&$arg),+
+                );
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed on case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in -16i64..32, b in 0usize..24, c in -1.5f64..2.5) {
+            prop_assert!((-16..32).contains(&a));
+            prop_assert!(b < 24);
+            prop_assert!((-1.5..2.5).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(pair in (0u32..10, 0u32..10).prop_map(|(x, y)| x + y)) {
+            prop_assert!(pair <= 18);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(0i32..5, 7usize)) {
+            prop_assert_eq!(v.len(), 7);
+            for e in v {
+                prop_assert!((0..5).contains(&e));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(13))]
+        #[test]
+        fn config_is_honoured(x in 0u64..1000) {
+            // 13 cases run; each must satisfy the bound.
+            prop_assert!(x < 1000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "property `always_fails` failed")]
+        fn always_fails(x in 0u32..4) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = crate::test_runner::TestRng::deterministic("just");
+        let s = Just(vec![1, 2, 3]);
+        assert_eq!(
+            crate::strategy::Strategy::new_value(&s, &mut rng),
+            [1, 2, 3]
+        );
+    }
+}

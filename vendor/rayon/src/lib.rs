@@ -1,0 +1,172 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *API subset it actually uses*, executed
+//! **sequentially** on the calling thread. The trait and method names mirror
+//! `rayon 1.x`, so replacing this stub with the real crate is a one-line
+//! change in the workspace manifest and requires no source edits — every
+//! `par_*` call site then becomes genuinely parallel.
+//!
+//! Because the stand-in is sequential, code written against it is
+//! automatically deterministic; the real crate's work-stealing scheduler
+//! preserves the same element ordering for the combinators used here
+//! (`for_each` over `par_chunks_mut`, `map`/`collect` over `par_iter`).
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let mut rows = vec![1.0f64; 12];
+//! rows.par_chunks_mut(4).for_each(|row| {
+//!     for v in row {
+//!         *v *= 2.0;
+//!     }
+//! });
+//! assert!(rows.iter().all(|&v| v == 2.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Sequential analogue of `rayon::iter`: re-uses the standard iterators.
+pub mod iter {
+    /// Conversion into a "parallel" iterator (sequential here).
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts `self` into an iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for collections viewed by shared reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (a shared reference).
+        type Item: 'a;
+        /// Iterates over `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        type Item = <&'a C as IntoIterator>::Item;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for collections viewed by exclusive reference.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (an exclusive reference).
+        type Item: 'a;
+        /// Iterates over `&mut self`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator,
+    {
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+        type Item = <&'a mut C as IntoIterator>::Item;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential analogue of `rayon::slice`.
+pub mod slice {
+    /// Chunked access to shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Chunked access to mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Mirrors `rayon::prelude` for glob imports.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Runs two closures (sequentially here; in parallel with the real crate).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads (always 1: this stand-in is sequential).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk() {
+        let mut data = vec![0u32; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let data = vec![1, 2, 3, 4];
+        let a: i32 = data.par_iter().sum();
+        assert_eq!(a, 10);
+        let b: Vec<i32> = data.into_par_iter().map(|v| v * 2).collect();
+        assert_eq!(b, [2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}
