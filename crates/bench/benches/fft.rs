@@ -46,7 +46,9 @@ fn bench_fft_2d(c: &mut Criterion) {
     group
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
-    for &n in &[64usize, 128] {
+    // 256 sits well above the worker pool's sequential-fallback threshold,
+    // so multi-core machines show the fan-out win there.
+    for &n in &[64usize, 128, 256] {
         let plan = Fft2Plan::new(n, n);
         let data = field(n);
         group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {

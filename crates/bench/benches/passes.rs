@@ -1,9 +1,10 @@
 //! Micro-benchmarks for the directional accumulation passes (Fig. 4) and the
-//! gradient-message serialisation they rely on.
+//! gradient-message serialisation they rely on, parameterised over the
+//! communication backend (threaded vs. deterministic lockstep).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ptycho_array::Array3;
-use ptycho_cluster::{Cluster, ClusterTopology};
+use ptycho_cluster::{Cluster, ClusterTopology, CommBackend, LockstepBackend, RankComm};
 use ptycho_core::gradient_decomp::passes::run_accumulation_passes;
 use ptycho_core::tiling::TileGrid;
 use ptycho_fft::{CArray3, Complex64};
@@ -32,6 +33,16 @@ fn buffers_for(grid: &TileGrid, slices: usize) -> Vec<CArray3> {
         .collect()
 }
 
+fn run_once<B: CommBackend>(backend: &B, grid: &TileGrid, initial: &[CArray3]) {
+    backend
+        .run::<Vec<f64>, (), _>(grid.num_tiles(), |ctx| {
+            let mut buffer = initial[ctx.rank()].clone();
+            run_accumulation_passes(ctx, grid, &mut buffer)?;
+            Ok(())
+        })
+        .expect("no faults injected");
+}
+
 fn bench_passes(c: &mut Criterion) {
     let mut group = c.benchmark_group("accumulation_passes");
     group
@@ -42,17 +53,14 @@ fn bench_passes(c: &mut Criterion) {
         let slices = 2;
         let s = scan(image);
         let grid = TileGrid::new(image, image, grid_rows, grid_cols, 8, &s);
-        let cluster = Cluster::new(ClusterTopology::summit());
+        let threaded = Cluster::new(ClusterTopology::summit());
+        let lockstep = LockstepBackend::new(ClusterTopology::summit());
         let initial = buffers_for(&grid, slices);
-        let grid_ref = &grid;
-        let initial_ref = &initial;
-        group.bench_function(format!("{grid_rows}x{grid_cols}_grid"), |b| {
-            b.iter(|| {
-                cluster.run::<Vec<f64>, (), _>(grid_ref.num_tiles(), |ctx| {
-                    let mut buffer = initial_ref[ctx.rank()].clone();
-                    run_accumulation_passes(ctx, grid_ref, &mut buffer);
-                })
-            })
+        group.bench_function(format!("{grid_rows}x{grid_cols}_grid_threaded"), |b| {
+            b.iter(|| run_once(&threaded, &grid, &initial))
+        });
+        group.bench_function(format!("{grid_rows}x{grid_cols}_grid_lockstep"), |b| {
+            b.iter(|| run_once(&lockstep, &grid, &initial))
         });
     }
     group.finish();

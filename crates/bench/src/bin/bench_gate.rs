@@ -1,0 +1,92 @@
+//! CI entry point for the benchmark regression gate.
+//!
+//! Typical flow (also wired in `.github/workflows/ci.yml`):
+//!
+//! ```text
+//! rm -f target/bench-results.jsonl
+//! CRITERION_SUMMARY_PATH=$PWD/target/bench-results.jsonl cargo bench -p ptycho-bench
+//! cargo run --release -p ptycho-bench --bin bench_gate
+//! ```
+//!
+//! Compares `target/bench-results.jsonl` (override with
+//! `PTYCHO_BENCH_CURRENT`) against the committed `BENCH_baseline.json`
+//! (override with `PTYCHO_BENCH_BASELINE`), failing with a non-zero exit on
+//! a regression beyond the allowed factor (`PTYCHO_BENCH_GATE_FACTOR`,
+//! default 4.0). Run with `--write-baseline` to regenerate the baseline file
+//! from the current results instead of comparing.
+
+use ptycho_bench::gate::{
+    evaluate, parse_baseline, parse_summary_lines, render_baseline, GateConfig,
+};
+use std::process::ExitCode;
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn main() -> ExitCode {
+    let current_path = env_or("PTYCHO_BENCH_CURRENT", "target/bench-results.jsonl");
+    let baseline_path = env_or("PTYCHO_BENCH_BASELINE", "BENCH_baseline.json");
+    let write_baseline = std::env::args().any(|arg| arg == "--write-baseline");
+
+    let current_text = match std::fs::read_to_string(&current_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!(
+                "bench gate: cannot read current results at {current_path}: {error}\n\
+                 run `CRITERION_SUMMARY_PATH=$PWD/{current_path} cargo bench -p ptycho-bench` first"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = parse_summary_lines(&current_text);
+    if current.is_empty() {
+        eprintln!("bench gate: {current_path} contains no benchmark results");
+        return ExitCode::FAILURE;
+    }
+
+    if write_baseline {
+        let rendered = render_baseline(&current);
+        if let Err(error) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("bench gate: cannot write {baseline_path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench gate: wrote {} entries to {baseline_path}",
+            current.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!(
+                "bench gate: cannot read baseline at {baseline_path}: {error}\n\
+                 regenerate it with `cargo run -p ptycho-bench --bin bench_gate -- --write-baseline`"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_baseline(&baseline_text);
+
+    let factor = env_or("PTYCHO_BENCH_GATE_FACTOR", "")
+        .parse::<f64>()
+        .unwrap_or(GateConfig::default().factor);
+    let config = GateConfig {
+        factor,
+        ..GateConfig::default()
+    };
+
+    let report = evaluate(&baseline, &current, &config);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench gate: FAILED — at least one hot path regressed beyond {factor}x \
+             (set PTYCHO_BENCH_GATE_FACTOR to adjust)"
+        );
+        ExitCode::FAILURE
+    }
+}

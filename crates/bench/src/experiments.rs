@@ -17,7 +17,7 @@
 
 use crate::report::{fmt, fmt_or_na, Table};
 use ptycho_array::stats;
-use ptycho_cluster::{Cluster, ClusterTopology, TimeBreakdown};
+use ptycho_cluster::{Cluster, ClusterTopology, CommBackend, LockstepBackend, TimeBreakdown};
 use ptycho_core::config::PassFrequency;
 use ptycho_core::scaling::{Method, ScalingPoint, ScalingScenario};
 use ptycho_core::stitch::phase_image;
@@ -25,6 +25,37 @@ use ptycho_core::{
     seam_artifact_metric, GradientDecompositionSolver, HaloVoxelExchangeSolver, SolverConfig,
 };
 use ptycho_sim::dataset::{Dataset, DatasetSpec, SyntheticConfig};
+
+/// Which communication backend the real-solver experiments (Figs. 8 and 9)
+/// execute on. Selected by the `PTYCHO_BACKEND` environment variable:
+/// `threaded` (default, one OS thread per rank) or `lockstep`
+/// (deterministic cooperative scheduling — identical results on every run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// One OS thread per rank ([`Cluster`]).
+    #[default]
+    Threaded,
+    /// Deterministic cooperative scheduling ([`LockstepBackend`]).
+    Lockstep,
+}
+
+impl BackendChoice {
+    /// Reads `PTYCHO_BACKEND` (`threaded` | `lockstep`, case-insensitive).
+    ///
+    /// # Panics
+    /// Panics on an unrecognised value, so typos fail loudly instead of
+    /// silently benchmarking the wrong backend.
+    pub fn from_env() -> Self {
+        match std::env::var("PTYCHO_BACKEND") {
+            Err(_) => Self::default(),
+            Ok(value) => match value.to_ascii_lowercase().as_str() {
+                "" | "threaded" => BackendChoice::Threaded,
+                "lockstep" => BackendChoice::Lockstep,
+                other => panic!("PTYCHO_BACKEND must be 'threaded' or 'lockstep', got '{other}'"),
+            },
+        }
+    }
+}
 
 /// The paper's measured single-node (6 GPU) runtimes in minutes, used to
 /// calibrate the performance model (Tables II(a) and III(a)).
@@ -278,11 +309,23 @@ pub fn quality_dataset(seed: u64) -> Dataset {
     })
 }
 
-/// Runs both methods on the same dataset and tile grid and measures seam
-/// artifacts at the tile borders (Fig. 8) plus reconstruction error.
+/// Runs both methods on the backend selected by `PTYCHO_BACKEND` (see
+/// [`BackendChoice`]) and measures seam artifacts at the tile borders
+/// (Fig. 8) plus reconstruction error.
 pub fn fig8(iterations: usize) -> Fig8Result {
+    match BackendChoice::from_env() {
+        BackendChoice::Threaded => fig8_on(iterations, &Cluster::new(ClusterTopology::summit())),
+        BackendChoice::Lockstep => {
+            fig8_on(iterations, &LockstepBackend::new(ClusterTopology::summit()))
+        }
+    }
+}
+
+/// Runs both methods on the same dataset and tile grid and measures seam
+/// artifacts at the tile borders (Fig. 8) plus reconstruction error, on an
+/// explicit communication backend.
+pub fn fig8_on<B: CommBackend>(iterations: usize, cluster: &B) -> Fig8Result {
     let dataset = quality_dataset(17);
-    let cluster = Cluster::new(ClusterTopology::summit());
     let grid_dims = (3, 3);
 
     // The Gradient Decomposition halo covers the probe window (the paper uses
@@ -294,7 +337,7 @@ pub fn fig8(iterations: usize) -> Fig8Result {
         step_relaxation: 0.1,
         ..SolverConfig::default()
     };
-    let gd = GradientDecompositionSolver::new(&dataset, gd_config, grid_dims).run(&cluster);
+    let gd = GradientDecompositionSolver::new(&dataset, gd_config, grid_dims).run(cluster);
 
     // The baseline uses the paper's two extra probe-location rows; in the
     // high-overlap regime that is not enough for tiles to agree at their
@@ -308,7 +351,7 @@ pub fn fig8(iterations: usize) -> Fig8Result {
     };
     let hve = HaloVoxelExchangeSolver::new(&dataset, hve_config, grid_dims)
         .expect("3x3 grid is feasible for the baseline on this dataset")
-        .run(&cluster);
+        .run(cluster);
 
     let truth_phase = dataset.specimen().phase_slice(0);
     let gd_phase = phase_image(&gd.volume, 0);
@@ -341,12 +384,23 @@ pub struct ConvergenceCurve {
     pub costs: Vec<f64>,
 }
 
+/// Runs the Fig. 9 protocol on the backend selected by `PTYCHO_BACKEND`
+/// (see [`BackendChoice`]).
+pub fn fig9(iterations: usize) -> Vec<ConvergenceCurve> {
+    match BackendChoice::from_env() {
+        BackendChoice::Threaded => fig9_on(iterations, &Cluster::new(ClusterTopology::summit())),
+        BackendChoice::Lockstep => {
+            fig9_on(iterations, &LockstepBackend::new(ClusterTopology::summit()))
+        }
+    }
+}
+
 /// Runs the Gradient Decomposition solver with the three communication
 /// frequencies of Fig. 9 (once per probe location, twice per iteration, once
-/// per iteration) and returns the three convergence curves.
-pub fn fig9(iterations: usize) -> Vec<ConvergenceCurve> {
+/// per iteration) and returns the three convergence curves, on an explicit
+/// communication backend.
+pub fn fig9_on<B: CommBackend>(iterations: usize, cluster: &B) -> Vec<ConvergenceCurve> {
     let dataset = quality_dataset(23);
-    let cluster = Cluster::new(ClusterTopology::summit());
     let variants = [
         ("T = every probe location", PassFrequency::EveryProbe),
         ("T = twice per iteration", PassFrequency::PerIteration(2)),
@@ -362,7 +416,7 @@ pub fn fig9(iterations: usize) -> Vec<ConvergenceCurve> {
                 pass_frequency: *frequency,
                 ..SolverConfig::default()
             };
-            let result = GradientDecompositionSolver::new(&dataset, config, (2, 3)).run(&cluster);
+            let result = GradientDecompositionSolver::new(&dataset, config, (2, 3)).run(cluster);
             ConvergenceCurve {
                 label: label.to_string(),
                 costs: result.cost_history.costs().to_vec(),
@@ -414,6 +468,9 @@ mod tests {
         assert!(text.contains("4158"));
         assert!(text.contains("16632"));
         assert!(text.contains("1024x1024"));
+        // The paper's 86-87% probe overlap range, as rendered in Table I.
+        assert!(text.contains("87%"), "small dataset overlap: {text}");
+        assert!(text.contains("86%"), "large dataset overlap: {text}");
     }
 
     #[test]
@@ -435,6 +492,13 @@ mod tests {
         assert!(claims.memory_advantage > 1.5);
         assert!(claims.speed_advantage > 10.0);
         assert!(claims.scalability_advantage >= 9.0);
+    }
+
+    #[test]
+    fn backend_choice_defaults_to_threaded() {
+        if std::env::var_os("PTYCHO_BACKEND").is_none() {
+            assert_eq!(BackendChoice::from_env(), BackendChoice::Threaded);
+        }
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The benchmark regression gate.
+//!
+//! `cargo bench -p ptycho-bench` (with `CRITERION_SUMMARY_PATH` set) emits
+//! one JSON line per benchmark; this module parses those lines, compares
+//! them against the committed `BENCH_baseline.json`, and flags hot-path
+//! regressions. The comparison is deliberately *generous*: timings move
+//! between machines and CI runners, so only a multi-x slowdown on a
+//! non-trivial benchmark fails the gate (see [`GateConfig`]). The
+//! `bench_gate` binary wraps this module for CI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Mean nanoseconds per benchmark label.
+pub type BenchResults = BTreeMap<String, f64>;
+
+/// Tolerances of the regression gate.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// A benchmark fails when `current > factor * baseline`.
+    pub factor: f64,
+    /// Benchmarks with a baseline mean below this many nanoseconds are
+    /// ignored — micro-timings are dominated by noise.
+    pub min_baseline_ns: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            // Generous: catches order-of-magnitude hot-path regressions (an
+            // accidentally quadratic loop, a lost parallel path) without
+            // tripping on machine-to-machine variance.
+            factor: 4.0,
+            min_baseline_ns: 50_000.0,
+        }
+    }
+}
+
+/// One flagged regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// The benchmark label.
+    pub label: String,
+    /// Baseline mean in nanoseconds.
+    pub baseline_ns: f64,
+    /// Current mean in nanoseconds.
+    pub current_ns: f64,
+}
+
+impl Regression {
+    /// Slowdown ratio current/baseline.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+/// The outcome of one gate evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Benchmarks that exceeded the allowed slowdown.
+    pub regressions: Vec<Regression>,
+    /// Labels present in the current run and compared against the baseline.
+    pub compared: usize,
+    /// Labels skipped because the baseline mean sat below the noise floor.
+    pub skipped_noise: usize,
+    /// Current labels with no baseline entry (new benchmarks — allowed).
+    pub missing_baseline: Vec<String>,
+}
+
+impl GateReport {
+    /// True when no benchmark regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench gate: {} compared, {} below noise floor, {} new",
+            self.compared,
+            self.skipped_noise,
+            self.missing_baseline.len()
+        );
+        for label in &self.missing_baseline {
+            let _ = writeln!(out, "  new (no baseline): {label}");
+        }
+        for regression in &self.regressions {
+            let _ = writeln!(
+                out,
+                "  REGRESSION {}: {:.2}x ({:.3} ms -> {:.3} ms)",
+                regression.label,
+                regression.ratio(),
+                regression.baseline_ns / 1e6,
+                regression.current_ns / 1e6,
+            );
+        }
+        if self.passed() {
+            let _ = writeln!(out, "bench gate: OK");
+        }
+        out
+    }
+}
+
+/// Parses the JSON-lines output a `cargo bench` run appends to
+/// `CRITERION_SUMMARY_PATH`. Duplicate labels keep the *last* entry (a rerun
+/// in the same file supersedes earlier lines).
+pub fn parse_summary_lines(text: &str) -> BenchResults {
+    let mut results = BenchResults::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(label) = extract_string_field(line, "label") else {
+            continue;
+        };
+        let Some(mean) = extract_number_field(line, "mean_ns") else {
+            continue;
+        };
+        results.insert(label, mean);
+    }
+    results
+}
+
+/// Parses a baseline file: the flat JSON object written by
+/// [`render_baseline`] (`{"label": mean_ns, ...}`).
+pub fn parse_baseline(text: &str) -> BenchResults {
+    let mut results = BenchResults::new();
+    let body = text.trim().trim_start_matches('{').trim_end_matches('}');
+    for entry in body.split(',') {
+        let Some((key, value)) = entry.split_once(':') else {
+            continue;
+        };
+        let label = key.trim().trim_matches('"');
+        if label.is_empty() {
+            continue;
+        }
+        if let Ok(mean) = value.trim().parse::<f64>() {
+            results.insert(label.to_string(), mean);
+        }
+    }
+    results
+}
+
+/// Renders results as the committed baseline format: a flat, sorted,
+/// human-diffable JSON object.
+pub fn render_baseline(results: &BenchResults) -> String {
+    let mut out = String::from("{\n");
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(label, mean)| format!("  \"{label}\": {mean:.0}"))
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n}\n");
+    out
+}
+
+/// Compares a current run against the baseline under the given tolerances.
+/// Labels only present in the baseline are ignored (a bench was removed);
+/// labels only present in the current run are reported but never fail.
+pub fn evaluate(
+    baseline: &BenchResults,
+    current: &BenchResults,
+    config: &GateConfig,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (label, &current_ns) in current {
+        let Some(&baseline_ns) = baseline.get(label) else {
+            report.missing_baseline.push(label.clone());
+            continue;
+        };
+        if baseline_ns < config.min_baseline_ns {
+            report.skipped_noise += 1;
+            continue;
+        }
+        report.compared += 1;
+        if current_ns > config.factor * baseline_ns {
+            report.regressions.push(Regression {
+                label: label.clone(),
+                baseline_ns,
+                current_ns,
+            });
+        }
+    }
+    report
+}
+
+fn extract_string_field(line: &str, field: &str) -> Option<String> {
+    let marker = format!("\"{field}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = line[start..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_number_field(line: &str, field: &str) -> Option<f64> {
+    let marker = format!("\"{field}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINES: &str = r#"
+{"label": "fft_2d/serial/128", "mean_ns": 1200000, "min_ns": 1100000, "max_ns": 1300000, "samples": 20}
+{"label": "fft_2d/rayon_parallel/128", "mean_ns": 700000, "min_ns": 650000, "max_ns": 800000, "samples": 20}
+{"label": "tiny/bench", "mean_ns": 900, "min_ns": 800, "max_ns": 1000, "samples": 10}
+"#;
+
+    #[test]
+    fn parses_summary_lines() {
+        let results = parse_summary_lines(LINES);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results["fft_2d/serial/128"], 1_200_000.0);
+        assert_eq!(results["tiny/bench"], 900.0);
+    }
+
+    #[test]
+    fn duplicate_labels_keep_the_last_run() {
+        let text = concat!(
+            "{\"label\": \"a\", \"mean_ns\": 10, \"min_ns\": 1, \"max_ns\": 20, \"samples\": 3}\n",
+            "{\"label\": \"a\", \"mean_ns\": 30, \"min_ns\": 1, \"max_ns\": 40, \"samples\": 3}\n",
+        );
+        assert_eq!(parse_summary_lines(text)["a"], 30.0);
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        let results = parse_summary_lines(LINES);
+        let rendered = render_baseline(&results);
+        let reparsed = parse_baseline(&rendered);
+        assert_eq!(results.len(), reparsed.len());
+        for (label, mean) in &results {
+            assert!((reparsed[label] - mean).abs() < 1.0, "{label}");
+        }
+    }
+
+    #[test]
+    fn gate_passes_identical_runs_and_ignores_noise() {
+        let results = parse_summary_lines(LINES);
+        let report = evaluate(&results, &results, &GateConfig::default());
+        assert!(report.passed());
+        // The 900 ns benchmark sits below the 50 us noise floor.
+        assert_eq!(report.skipped_noise, 1);
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn gate_flags_large_regressions_only() {
+        let baseline = parse_summary_lines(LINES);
+        let mut current = baseline.clone();
+        // 2x slower: inside the generous 4x budget.
+        current.insert("fft_2d/serial/128".into(), 2_400_000.0);
+        assert!(evaluate(&baseline, &current, &GateConfig::default()).passed());
+        // 10x slower: a real hot-path regression.
+        current.insert("fft_2d/serial/128".into(), 12_000_000.0);
+        let report = evaluate(&baseline, &current, &GateConfig::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].label, "fft_2d/serial/128");
+        assert!(report.regressions[0].ratio() > 9.0);
+        assert!(report.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn new_benchmarks_never_fail_the_gate() {
+        let baseline = parse_summary_lines(LINES);
+        let mut current = baseline.clone();
+        current.insert("brand/new/bench".into(), 5_000_000.0);
+        let report = evaluate(&baseline, &current, &GateConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.missing_baseline, vec!["brand/new/bench".to_string()]);
+    }
+}

@@ -31,4 +31,5 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod gate;
 pub mod report;

@@ -1,0 +1,460 @@
+//! Fault injection and communication record/replay.
+//!
+//! [`FaultInjectionBackend`] wraps any [`CommBackend`] and filters every
+//! message a rank sends through a seeded [`FaultPolicy`]: a message can be
+//! delivered normally, dropped, duplicated, or delayed (held back until its
+//! sender next blocks, which reorders it past later traffic). Decisions are a
+//! pure function of `(seed, from, to, tag, seq)` — `seq` being the sender's
+//! per-`(to, tag)` message counter — so the same policy produces the same
+//! faults on every run and on every backend, including the free-running
+//! threaded one.
+//!
+//! Every wrapped run also records a [`CommTrace`]: one [`TraceEvent`] per
+//! send decision. A trace can be fed back through
+//! [`FaultInjectionBackend::replay`], which re-executes the recorded
+//! decisions verbatim instead of consulting the policy — the foundation of
+//! reproduce-from-trace debugging.
+
+use super::{CommBackend, CommError, Payload, RankComm, RankFailure, RankOutcome};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Message identity within one run: `(from, to, tag, seq)`.
+type MessageKey = (usize, usize, u64, u64);
+/// Recorded decisions keyed by message identity, for replay.
+type DecisionMap = HashMap<MessageKey, FaultAction>;
+
+/// What the fault layer decided to do with one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the message normally.
+    Deliver,
+    /// Silently discard the message (the receiver is *not* told).
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Hold the message back until the sender next blocks (in a receive, at a
+    /// barrier, or at rank completion), letting later traffic overtake it.
+    Delay,
+}
+
+/// A seeded, deterministic fault model.
+///
+/// Probabilities are evaluated in the order drop → duplicate → delay against
+/// a single uniform draw per message, so their sum must stay ≤ 1. An optional
+/// tag filter restricts faults to one message class (e.g. a single
+/// directional pass), and [`FaultPolicy::drop_message`] pins a single exact
+/// message for surgical tests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPolicy {
+    /// Seed for the per-message decision hash.
+    pub seed: u64,
+    /// Probability that a message is dropped.
+    pub drop_probability: f64,
+    /// Probability that a message is duplicated.
+    pub duplicate_probability: f64,
+    /// Probability that a message is delayed (reordered).
+    pub delay_probability: f64,
+    /// When set, messages with any *other* tag are always delivered.
+    pub only_tag: Option<u64>,
+    /// When set, deterministically drops exactly the message identified by
+    /// `(from, to, tag, seq)` in addition to the probabilistic rules.
+    pub drop_exact: Option<(usize, usize, u64, u64)>,
+}
+
+impl FaultPolicy {
+    /// A policy that never injects faults (but still records a trace).
+    pub fn reliable(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            delay_probability: 0.0,
+            only_tag: None,
+            drop_exact: None,
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn drop(mut self, probability: f64) -> Self {
+        self.drop_probability = probability;
+        self
+    }
+
+    /// Sets the duplicate probability.
+    pub fn duplicate(mut self, probability: f64) -> Self {
+        self.duplicate_probability = probability;
+        self
+    }
+
+    /// Sets the delay probability.
+    pub fn delay(mut self, probability: f64) -> Self {
+        self.delay_probability = probability;
+        self
+    }
+
+    /// Restricts faults to messages with the given tag.
+    pub fn on_tag(mut self, tag: u64) -> Self {
+        self.only_tag = Some(tag);
+        self
+    }
+
+    /// Deterministically drops exactly one message: the `seq`-th message
+    /// (0-based, counted per `(from, to, tag)` stream) from rank `from` to
+    /// rank `to` with tag `tag`.
+    pub fn drop_message(mut self, from: usize, to: usize, tag: u64, seq: u64) -> Self {
+        self.drop_exact = Some((from, to, tag, seq));
+        self
+    }
+
+    fn decide(&self, from: usize, to: usize, tag: u64, seq: u64) -> FaultAction {
+        if self.drop_exact == Some((from, to, tag, seq)) {
+            return FaultAction::Drop;
+        }
+        if let Some(only) = self.only_tag {
+            if tag != only {
+                return FaultAction::Deliver;
+            }
+        }
+        let draw = unit_draw(self.seed, from, to, tag, seq);
+        if draw < self.drop_probability {
+            FaultAction::Drop
+        } else if draw < self.drop_probability + self.duplicate_probability {
+            FaultAction::Duplicate
+        } else if draw < self.drop_probability + self.duplicate_probability + self.delay_probability
+        {
+            FaultAction::Delay
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// SplitMix64-style finaliser over the message identity — deterministic,
+/// backend-independent, and independent of the `rand` stand-in so recorded
+/// traces stay valid if the vendored crates are swapped for real ones.
+fn unit_draw(seed: u64, from: usize, to: usize, tag: u64, seq: u64) -> f64 {
+    let mut x = seed
+        ^ (from as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (to as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ tag.wrapping_mul(0x94d0_49bb_1331_11eb)
+        ^ seq.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One recorded send decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sending rank.
+    pub from: usize,
+    /// Destination rank.
+    pub to: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// 0-based position of this message in the sender's `(to, tag)` stream.
+    pub seq: u64,
+    /// Payload size in wire bytes.
+    pub bytes: usize,
+    /// What the fault layer did with the message.
+    pub action: FaultAction,
+}
+
+/// A recorded communication trace: every send decision of one run, in the
+/// canonical order `(from, to, tag, seq)`.
+///
+/// Within one sender a stream's `seq` order is the program order of the
+/// sends, so the canonical order is deterministic even when the run itself
+/// interleaved ranks nondeterministically (the threaded backend).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl CommTrace {
+    fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| (e.from, e.to, e.tag, e.seq));
+        Self { events }
+    }
+
+    /// The recorded events in canonical order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded send decisions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of messages affected by a fault (anything but `Deliver`).
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.action != FaultAction::Deliver)
+            .count()
+    }
+
+    fn decision_map(&self) -> DecisionMap {
+        self.events
+            .iter()
+            .map(|e| ((e.from, e.to, e.tag, e.seq), e.action))
+            .collect()
+    }
+}
+
+enum HarnessMode {
+    /// Decide from the policy.
+    Policy(FaultPolicy),
+    /// Re-execute recorded decisions; unknown messages are delivered.
+    Replay(Arc<DecisionMap>),
+}
+
+/// The per-rank fault filter a backend routes its sends through.
+///
+/// Created by [`FaultInjectionBackend`] and installed into each rank's comm
+/// via [`RankComm::install_fault_harness`]; backends without a harness skip
+/// the filter entirely.
+pub struct FaultHarness {
+    rank: usize,
+    mode: HarnessMode,
+    trace: Arc<Mutex<Vec<TraceEvent>>>,
+    seq: HashMap<(usize, u64), u64>,
+}
+
+impl FaultHarness {
+    /// Decides the fate of one outgoing message and records it in the trace.
+    pub fn decide(&mut self, to: usize, tag: u64, bytes: usize) -> FaultAction {
+        let counter = self.seq.entry((to, tag)).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        let action = match &self.mode {
+            HarnessMode::Policy(policy) => policy.decide(self.rank, to, tag, seq),
+            HarnessMode::Replay(map) => map
+                .get(&(self.rank, to, tag, seq))
+                .copied()
+                .unwrap_or(FaultAction::Deliver),
+        };
+        self.trace
+            .lock()
+            .expect("fault trace poisoned")
+            .push(TraceEvent {
+                from: self.rank,
+                to,
+                tag,
+                seq,
+                bytes,
+                action,
+            });
+        action
+    }
+}
+
+/// The one fault-dispatch protocol shared by every backend's `isend`: consult
+/// the harness (if any), then deliver / drop / duplicate via `deliver`, or
+/// park the payload in `delayed` (released by the backend when the sender
+/// next blocks or finishes). Keeping this in one place guarantees the
+/// backends cannot drift apart in fault semantics.
+pub(crate) fn route_send<M: super::Payload>(
+    harness: &mut Option<FaultHarness>,
+    delayed: &mut Vec<(usize, u64, M)>,
+    to: usize,
+    tag: u64,
+    payload: M,
+    mut deliver: impl FnMut(usize, u64, M),
+) {
+    let action = match harness {
+        Some(harness) => harness.decide(to, tag, payload.payload_bytes()),
+        None => FaultAction::Deliver,
+    };
+    match action {
+        FaultAction::Deliver => deliver(to, tag, payload),
+        FaultAction::Drop => {}
+        FaultAction::Duplicate => {
+            deliver(to, tag, payload.clone());
+            deliver(to, tag, payload);
+        }
+        FaultAction::Delay => delayed.push((to, tag, payload)),
+    }
+}
+
+/// A backend decorator injecting message faults and recording traces.
+///
+/// Wraps any [`CommBackend`]; the wrapped backend's [`RankComm`] is reused
+/// unchanged, with a per-rank [`FaultHarness`] installed before the rank body
+/// starts. Each call to [`CommBackend::run`] starts a fresh trace, readable
+/// afterwards via [`FaultInjectionBackend::trace`].
+pub struct FaultInjectionBackend<B> {
+    inner: B,
+    policy: FaultPolicy,
+    replay: Option<Arc<DecisionMap>>,
+    trace: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl<B: CommBackend> FaultInjectionBackend<B> {
+    /// Wraps `inner`, injecting faults according to `policy`.
+    ///
+    /// Loss detection is enforced on the wrapped backend
+    /// ([`CommBackend::with_loss_detection`]): a policy that drops messages
+    /// can surface errors, never hang the run.
+    pub fn new(inner: B, policy: FaultPolicy) -> Self {
+        Self {
+            inner: inner.with_loss_detection(),
+            policy,
+            replay: None,
+            trace: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Wraps `inner` in replay mode: the recorded decisions of `trace` are
+    /// re-executed verbatim (messages not present in the trace are
+    /// delivered normally). Loss detection is enforced, as in
+    /// [`FaultInjectionBackend::new`].
+    pub fn replay(inner: B, trace: &CommTrace) -> Self {
+        Self {
+            inner: inner.with_loss_detection(),
+            policy: FaultPolicy::reliable(0),
+            replay: Some(Arc::new(trace.decision_map())),
+            trace: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The trace recorded by the most recent `run`, in canonical order.
+    pub fn trace(&self) -> CommTrace {
+        CommTrace::from_events(self.trace.lock().expect("fault trace poisoned").clone())
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn harness_for(&self, rank: usize) -> FaultHarness {
+        let mode = match &self.replay {
+            Some(map) => HarnessMode::Replay(Arc::clone(map)),
+            None => HarnessMode::Policy(self.policy.clone()),
+        };
+        FaultHarness {
+            rank,
+            mode,
+            trace: Arc::clone(&self.trace),
+            seq: HashMap::new(),
+        }
+    }
+}
+
+impl<B: CommBackend + Sync> CommBackend for FaultInjectionBackend<B> {
+    type Comm<M: Payload + 'static> = B::Comm<M>;
+
+    fn run<M, R, F>(&self, num_ranks: usize, body: F) -> Result<Vec<RankOutcome<R>>, RankFailure>
+    where
+        M: Payload + 'static,
+        R: Send,
+        F: Fn(&mut Self::Comm<M>) -> Result<R, CommError> + Sync,
+    {
+        self.trace.lock().expect("fault trace poisoned").clear();
+        self.inner.run(num_ranks, |ctx: &mut B::Comm<M>| {
+            ctx.install_fault_harness(self.harness_for(ctx.rank()));
+            body(ctx)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_decisions_are_deterministic() {
+        let policy = FaultPolicy::reliable(7).drop(0.3).duplicate(0.2).delay(0.1);
+        for from in 0..4 {
+            for seq in 0..20 {
+                let a = policy.decide(from, 1, 0x10, seq);
+                let b = policy.decide(from, 1, 0x10, seq);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_shape_the_action_mix() {
+        let policy = FaultPolicy::reliable(99).drop(0.5);
+        let drops = (0..1000)
+            .filter(|&seq| policy.decide(0, 1, 2, seq) == FaultAction::Drop)
+            .count();
+        assert!(
+            (350..650).contains(&drops),
+            "~half the messages should drop, got {drops}/1000"
+        );
+
+        let reliable = FaultPolicy::reliable(99);
+        assert!((0..1000).all(|seq| reliable.decide(0, 1, 2, seq) == FaultAction::Deliver));
+    }
+
+    #[test]
+    fn tag_filter_limits_faults() {
+        let policy = FaultPolicy::reliable(3).drop(1.0).on_tag(0x11);
+        assert_eq!(policy.decide(0, 1, 0x10, 0), FaultAction::Deliver);
+        assert_eq!(policy.decide(0, 1, 0x11, 0), FaultAction::Drop);
+    }
+
+    #[test]
+    fn exact_drop_hits_one_message() {
+        let policy = FaultPolicy::reliable(3).drop_message(2, 0, 0x11, 1);
+        assert_eq!(policy.decide(2, 0, 0x11, 0), FaultAction::Deliver);
+        assert_eq!(policy.decide(2, 0, 0x11, 1), FaultAction::Drop);
+        assert_eq!(policy.decide(2, 0, 0x11, 2), FaultAction::Deliver);
+        assert_eq!(policy.decide(1, 0, 0x11, 1), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn trace_sorts_canonically_and_counts_faults() {
+        let trace = CommTrace::from_events(vec![
+            TraceEvent {
+                from: 1,
+                to: 0,
+                tag: 5,
+                seq: 1,
+                bytes: 8,
+                action: FaultAction::Drop,
+            },
+            TraceEvent {
+                from: 0,
+                to: 1,
+                tag: 5,
+                seq: 0,
+                bytes: 8,
+                action: FaultAction::Deliver,
+            },
+            TraceEvent {
+                from: 1,
+                to: 0,
+                tag: 5,
+                seq: 0,
+                bytes: 8,
+                action: FaultAction::Duplicate,
+            },
+        ]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.fault_count(), 2);
+        assert_eq!(trace.events()[0].from, 0);
+        assert_eq!(
+            trace.events()[1],
+            TraceEvent {
+                from: 1,
+                to: 0,
+                tag: 5,
+                seq: 0,
+                bytes: 8,
+                action: FaultAction::Duplicate,
+            }
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Pluggable communication backends.
+//!
+//! The reconstruction solvers in `ptycho-core` are written against two small
+//! traits rather than a concrete runtime:
+//!
+//! * [`RankComm`] is the per-rank surface — the MPI-flavoured primitives a
+//!   rank body actually uses (`isend`/`recv`/`try_recv`/`barrier`, plus the
+//!   rank's [`RankClock`] and [`MemoryTracker`]).
+//! * [`CommBackend`] is the launcher — it runs a rank body on `n` ranks and
+//!   collects one [`RankOutcome`] per rank.
+//!
+//! Three backends implement the pair:
+//!
+//! | Backend | Execution | Use it for |
+//! |---|---|---|
+//! | [`ThreadedBackend`] | one OS thread per rank, real channels | the default; wall-clock compute/wait measurement |
+//! | [`LockstepBackend`] | cooperative scheduler, one rank runs at a time in a fixed order | deterministic replayable runs, deadlock *detection* instead of hangs |
+//! | [`FaultInjectionBackend`] | wraps either of the above | dropping / duplicating / delaying messages under a seeded policy, and record/replay of communication traces |
+//!
+//! Communication failures are values, not hangs: [`RankComm::recv`] returns
+//! [`CommError`] when a message cannot arrive (receive timeout on the
+//! threaded backend, global deadlock detected by the lockstep scheduler), and
+//! [`CommBackend::run`] surfaces the first failing rank as a [`RankFailure`].
+
+pub mod fault;
+pub mod lockstep;
+pub mod threaded;
+
+use crate::clock::RankClock;
+use crate::memory::MemoryTracker;
+
+pub use fault::{CommTrace, FaultAction, FaultInjectionBackend, FaultPolicy, TraceEvent};
+pub use lockstep::{LockstepBackend, LockstepComm};
+pub use threaded::{Cluster, RankContext, ThreadedBackend};
+
+/// Payloads carried between ranks must report an approximate wire size so the
+/// analytic communication model can charge for them, and must be cloneable so
+/// the fault-injection layer can duplicate messages.
+pub trait Payload: Clone + Send {
+    /// Number of bytes this payload would occupy on the wire.
+    fn payload_bytes(&self) -> usize;
+}
+
+impl Payload for () {
+    fn payload_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn payload_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for Vec<f64> {
+    fn payload_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Payload for String {
+    fn payload_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A communication failure observed by one rank.
+///
+/// The simulated runtimes turn conditions that would hang an MPI job into
+/// values: a receive that cannot be satisfied is reported, not waited on
+/// forever.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A receive did not match any message within the backend's allowed wait
+    /// (see [`ThreadedBackend::with_recv_timeout`]).
+    RecvTimeout {
+        /// The receiving rank.
+        rank: usize,
+        /// The sender the receive was posted against.
+        from: usize,
+        /// The tag the receive was posted against.
+        tag: u64,
+    },
+    /// The lockstep scheduler proved that no rank can make progress: every
+    /// unfinished rank is blocked in a receive or a barrier and no matching
+    /// message is in flight.
+    Deadlock {
+        /// The rank reporting the deadlock.
+        rank: usize,
+        /// Human-readable description of what every blocked rank was waiting
+        /// for when the deadlock was detected.
+        detail: String,
+    },
+    /// A barrier did not complete within the backend's allowed wait — some
+    /// rank exited (usually with its own error) before arriving.
+    BarrierTimeout {
+        /// The rank that gave up waiting at the barrier.
+        rank: usize,
+    },
+    /// Every peer terminated while this rank was still waiting for a message.
+    PeersGone {
+        /// The receiving rank.
+        rank: usize,
+        /// The sender the receive was posted against.
+        from: usize,
+        /// The tag the receive was posted against.
+        tag: u64,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RecvTimeout { rank, from, tag } => write!(
+                f,
+                "rank {rank}: receive from rank {from} (tag {tag:#x}) timed out — \
+                 the message was lost or never sent"
+            ),
+            CommError::Deadlock { rank, detail } => {
+                write!(f, "rank {rank}: communication deadlock detected: {detail}")
+            }
+            CommError::BarrierTimeout { rank } => write!(
+                f,
+                "rank {rank}: barrier did not complete within the allowed wait — \
+                 a peer exited before arriving"
+            ),
+            CommError::PeersGone { rank, from, tag } => write!(
+                f,
+                "rank {rank}: all peers terminated while waiting for a message \
+                 from rank {from} (tag {tag:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// The failure of a whole multi-rank run: the lowest-ranked failing rank and
+/// its error, plus how many ranks failed in total.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankFailure {
+    /// The lowest failing rank.
+    pub rank: usize,
+    /// That rank's communication error.
+    pub error: CommError,
+    /// Total number of ranks that reported an error.
+    pub failed_ranks: usize,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rank(s) failed; first failure on rank {}: {}",
+            self.failed_ranks, self.rank, self.error
+        )
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+/// A message in flight between two ranks (shared by every backend).
+#[derive(Clone, Debug)]
+pub(crate) struct Envelope<M> {
+    pub(crate) from: usize,
+    pub(crate) tag: u64,
+    pub(crate) payload: M,
+}
+
+/// The outcome of one rank's execution.
+#[derive(Clone, Debug)]
+pub struct RankOutcome<R> {
+    /// The rank index.
+    pub rank: usize,
+    /// Whatever the rank body returned.
+    pub result: R,
+    /// Time accounting collected by the rank.
+    pub time: crate::clock::TimeBreakdown,
+    /// Memory accounting collected by the rank.
+    pub memory: MemoryTracker,
+}
+
+/// The per-rank communication surface the solvers are generic over.
+///
+/// The primitives mirror MPI: sends are non-blocking and buffered
+/// (`MPI_Isend`), receives are matched on `(source, tag)` with per-sender
+/// ordering (`MPI_Irecv` + `MPI_Wait`), and barriers synchronise every rank.
+/// On top of the wire surface each rank carries its own [`RankClock`] (time
+/// accounting) and [`MemoryTracker`] (memory accounting), because the solvers
+/// charge simulated compute time and GPU allocations as they go.
+pub trait RankComm<M: Payload> {
+    /// This rank's index in `0..size`.
+    fn rank(&self) -> usize;
+
+    /// Total number of ranks.
+    fn size(&self) -> usize;
+
+    /// Non-blocking send of `payload` to `to` with a user-chosen `tag` (the
+    /// analogue of `MPI_Isend` into a buffered request). The analytic wire
+    /// time for the message is charged to this rank's communication budget.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range.
+    fn isend(&mut self, to: usize, tag: u64, payload: M);
+
+    /// Blocking receive of the next message from `from` with tag `tag` (the
+    /// analogue of `MPI_Irecv` + `MPI_Wait`). Time spent blocked is charged
+    /// to wait time. Returns a [`CommError`] instead of hanging when the
+    /// backend can prove (deadlock) or strongly suspect (timeout) that the
+    /// message will never arrive.
+    fn recv(&mut self, from: usize, tag: u64) -> Result<M, CommError>;
+
+    /// Non-blocking probe: returns a matching message if one has already
+    /// arrived, without waiting.
+    fn try_recv(&mut self, from: usize, tag: u64) -> Option<M>;
+
+    /// Synchronises all ranks; blocked time is charged to wait time.
+    fn barrier(&mut self) -> Result<(), CommError>;
+
+    /// The rank's time accounting.
+    fn clock_mut(&mut self) -> &mut RankClock;
+
+    /// The rank's memory accounting.
+    fn memory_mut(&mut self) -> &mut MemoryTracker;
+
+    /// Installs a fault-injection harness that filters every subsequent send.
+    /// Used by [`FaultInjectionBackend`]; backends must route `isend` through
+    /// the harness once one is installed.
+    fn install_fault_harness(&mut self, harness: fault::FaultHarness);
+}
+
+/// A launcher that executes one body per rank and collects the outcomes.
+///
+/// `M` is the message type exchanged between ranks; `R` is the per-rank
+/// result type. The body returns `Result<R, CommError>` so that communication
+/// failures propagate out of the rank instead of panicking mid-run; `run`
+/// reports the first failing rank as a [`RankFailure`].
+pub trait CommBackend {
+    /// The concrete [`RankComm`] handed to each rank body.
+    type Comm<M: Payload + 'static>: RankComm<M>;
+
+    /// Runs `body` on `num_ranks` ranks and collects every rank's outcome,
+    /// ordered by rank.
+    fn run<M, R, F>(&self, num_ranks: usize, body: F) -> Result<Vec<RankOutcome<R>>, RankFailure>
+    where
+        M: Payload + 'static,
+        R: Send,
+        F: Fn(&mut Self::Comm<M>) -> Result<R, CommError> + Sync;
+
+    /// Returns a version of this backend on which a *lost* message is
+    /// guaranteed to surface as a [`CommError`] instead of an indefinite
+    /// hang. The lockstep backend already proves deadlocks, so this is a
+    /// no-op there; the threaded backend installs a generous receive
+    /// timeout unless one was configured explicitly.
+    /// [`FaultInjectionBackend`] applies this to whatever it wraps, so a
+    /// lossy policy can never hang the suite by construction.
+    fn with_loss_detection(self) -> Self
+    where
+        Self: Sized,
+    {
+        self
+    }
+}
+
+/// Splits per-rank `Result` outcomes into a success vector or the first
+/// failure — shared by every backend's `run`.
+pub(crate) fn collect_outcomes<R>(
+    outcomes: Vec<RankOutcome<Result<R, CommError>>>,
+) -> Result<Vec<RankOutcome<R>>, RankFailure> {
+    let failed_ranks = outcomes.iter().filter(|o| o.result.is_err()).count();
+    let mut collected = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        match outcome.result {
+            Ok(result) => collected.push(RankOutcome {
+                rank: outcome.rank,
+                result,
+                time: outcome.time,
+                memory: outcome.memory,
+            }),
+            Err(error) => {
+                return Err(RankFailure {
+                    rank: outcome.rank,
+                    error,
+                    failed_ranks,
+                })
+            }
+        }
+    }
+    Ok(collected)
+}

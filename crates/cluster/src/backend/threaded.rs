@@ -1,0 +1,694 @@
+//! The thread-backed, MPI-like message-passing backend.
+//!
+//! Each simulated GPU rank runs as an OS thread. Ranks exchange typed messages
+//! through unbounded channels: sends never block (the semantics of
+//! `MPI_Isend` into a buffered request), receives block until a matching
+//! message arrives (the semantics of `MPI_Wait` on an `MPI_Irecv`). Tag
+//! matching and per-sender ordering follow MPI rules.
+//!
+//! Wall-clock time spent blocked in receives and barriers is measured and
+//! charged to *wait* time; the analytic wire time of each message (from the
+//! [`ClusterTopology`]) is charged to *communication* time, because a channel
+//! between threads is orders of magnitude faster than InfiniBand and measuring
+//! it directly would tell us nothing about the modelled machine.
+
+use super::fault::{self, FaultHarness};
+use super::{
+    collect_outcomes, CommBackend, CommError, Envelope, Payload, RankComm, RankFailure, RankOutcome,
+};
+use crate::clock::RankClock;
+use crate::memory::MemoryTracker;
+use crate::topology::ClusterTopology;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A reusable counting barrier with an optional per-wait deadline, so that a
+/// rank whose peers died before arriving reports [`CommError::BarrierTimeout`]
+/// instead of waiting forever (`std::sync::Barrier` cannot time out).
+struct TimedBarrier {
+    size: usize,
+    state: Mutex<BarrierState>,
+    all_arrived: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl TimedBarrier {
+    fn new(size: usize) -> Self {
+        Self {
+            size,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            all_arrived: Condvar::new(),
+        }
+    }
+
+    /// Waits for all ranks; `Err(())` on deadline expiry (the arrival is
+    /// rolled back so a retry or a later generation is not corrupted).
+    fn wait(&self, timeout: Option<Duration>) -> Result<(), ()> {
+        let deadline = timeout.map(|limit| Instant::now() + limit);
+        let mut state = self.state.lock().expect("barrier poisoned");
+        let generation = state.generation;
+        state.arrived += 1;
+        if state.arrived == self.size {
+            state.arrived = 0;
+            state.generation += 1;
+            self.all_arrived.notify_all();
+            return Ok(());
+        }
+        while state.generation == generation {
+            match deadline {
+                None => {
+                    state = self.all_arrived.wait(state).expect("barrier poisoned");
+                }
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        state.arrived -= 1;
+                        return Err(());
+                    }
+                    let (guard, _) = self
+                        .all_arrived
+                        .wait_timeout(state, remaining)
+                        .expect("barrier poisoned");
+                    state = guard;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-rank handle of the threaded backend: identity, channels to every
+/// peer, clocks and memory.
+pub struct RankContext<M> {
+    rank: usize,
+    size: usize,
+    topology: ClusterTopology,
+    /// One sender per peer; `None` at this rank's own index, so that a rank
+    /// blocked in `recv` can observe every peer terminating (channel
+    /// disconnection) instead of waiting forever on a channel its own
+    /// handle keeps alive. Self-sends go straight to the stash.
+    senders: Vec<Option<Sender<Envelope<M>>>>,
+    receiver: Receiver<Envelope<M>>,
+    /// Out-of-order messages waiting for a matching `recv`.
+    stash: Vec<Envelope<M>>,
+    barrier: Arc<TimedBarrier>,
+    recv_timeout: Option<Duration>,
+    harness: Option<FaultHarness>,
+    /// Messages held back by a `Delay` fault, flushed when this rank next
+    /// blocks or finishes.
+    delayed: Vec<(usize, u64, M)>,
+    /// The rank's time accounting.
+    pub clock: RankClock,
+    /// The rank's memory accounting.
+    pub memory: MemoryTracker,
+}
+
+impl<M: Payload> RankContext<M> {
+    /// The topology the ranks are mapped onto.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Enqueues the message for real, charging analytic wire time. A free
+    /// associated function over disjoint fields so the fault-routing closure
+    /// and the delayed-flush path share one implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_parts(
+        senders: &[Option<Sender<Envelope<M>>>],
+        stash: &mut Vec<Envelope<M>>,
+        topology: &ClusterTopology,
+        clock: &mut RankClock,
+        from: usize,
+        to: usize,
+        tag: u64,
+        payload: M,
+    ) {
+        let bytes = payload.payload_bytes();
+        clock.charge_communication(topology.transfer_time(from, to, bytes));
+        let envelope = Envelope { from, tag, payload };
+        if to == from {
+            // Self-sends bypass the channel (see the `senders` field doc).
+            stash.push(envelope);
+            return;
+        }
+        // Unbounded channel: never blocks, mirroring a buffered Isend. A
+        // send to a rank that has already terminated (normally or with an
+        // error) is buffered into the void: the peer can never receive it,
+        // and panicking here would mask the original failure that made the
+        // peer exit early.
+        let _ = senders[to]
+            .as_ref()
+            .expect("only the self-sender slot is empty")
+            .send(envelope);
+    }
+
+    /// Releases every `Delay`-held message (called before blocking and at
+    /// rank completion).
+    fn flush_delayed(&mut self) {
+        let from = self.rank;
+        let RankContext {
+            senders,
+            stash,
+            topology,
+            clock,
+            delayed,
+            ..
+        } = self;
+        for (to, tag, payload) in std::mem::take(delayed) {
+            Self::deliver_parts(senders, stash, topology, clock, from, to, tag, payload);
+        }
+    }
+}
+
+impl<M: Payload> RankComm<M> for RankContext<M> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn isend(&mut self, to: usize, tag: u64, payload: M) {
+        assert!(
+            to < self.size,
+            "rank {to} out of range ({} ranks)",
+            self.size
+        );
+        let from = self.rank;
+        let RankContext {
+            harness,
+            delayed,
+            senders,
+            stash,
+            topology,
+            clock,
+            ..
+        } = self;
+        fault::route_send(harness, delayed, to, tag, payload, |to, tag, payload| {
+            Self::deliver_parts(senders, stash, topology, clock, from, to, tag, payload);
+        });
+    }
+
+    fn recv(&mut self, from: usize, tag: u64) -> Result<M, CommError> {
+        // Check the stash first (messages that arrived out of order).
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            return Ok(self.stash.remove(pos).payload);
+        }
+        // About to block: release anything the fault layer was delaying, so a
+        // delayed message can never deadlock its own sender's round-trip.
+        // Flushing can land a delayed *self*-send in the stash, so re-check.
+        self.flush_delayed();
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            return Ok(self.stash.remove(pos).payload);
+        }
+        let receiver = self.receiver.clone();
+        let rank = self.rank;
+        // One deadline for the whole receive: stashing a non-matching
+        // envelope must not restart the clock, or steady background traffic
+        // could postpone the timeout indefinitely.
+        let deadline = self.recv_timeout.map(|limit| Instant::now() + limit);
+        let mut found: Option<Result<M, CommError>> = None;
+        let stash = &mut self.stash;
+        self.clock.wait(|| loop {
+            let received = match deadline {
+                None => receiver
+                    .recv()
+                    .map_err(|_| CommError::PeersGone { rank, from, tag }),
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        Err(CommError::RecvTimeout { rank, from, tag })
+                    } else {
+                        receiver.recv_timeout(remaining).map_err(|e| match e {
+                            RecvTimeoutError::Timeout => CommError::RecvTimeout { rank, from, tag },
+                            RecvTimeoutError::Disconnected => {
+                                CommError::PeersGone { rank, from, tag }
+                            }
+                        })
+                    }
+                }
+            };
+            match received {
+                Ok(envelope) if envelope.from == from && envelope.tag == tag => {
+                    found = Some(Ok(envelope.payload));
+                    break;
+                }
+                Ok(envelope) => stash.push(envelope),
+                Err(error) => {
+                    found = Some(Err(error));
+                    break;
+                }
+            }
+        });
+        found.expect("recv loop exited without a message")
+    }
+
+    fn try_recv(&mut self, from: usize, tag: u64) -> Option<M> {
+        // Drain anything pending into the stash, then search it.
+        while let Ok(envelope) = self.receiver.try_recv() {
+            self.stash.push(envelope);
+        }
+        self.stash
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+            .map(|pos| self.stash.remove(pos).payload)
+    }
+
+    fn barrier(&mut self) -> Result<(), CommError> {
+        self.flush_delayed();
+        let barrier = Arc::clone(&self.barrier);
+        let timeout = self.recv_timeout;
+        let rank = self.rank;
+        self.clock.wait(move || {
+            barrier
+                .wait(timeout)
+                .map_err(|()| CommError::BarrierTimeout { rank })
+        })
+    }
+
+    fn clock_mut(&mut self) -> &mut RankClock {
+        &mut self.clock
+    }
+
+    fn memory_mut(&mut self) -> &mut MemoryTracker {
+        &mut self.memory
+    }
+
+    fn install_fault_harness(&mut self, harness: FaultHarness) {
+        self.harness = Some(harness);
+    }
+}
+
+/// The receive timeout [`CommBackend::with_loss_detection`] installs when
+/// none was configured explicitly.
+const DEFAULT_LOSS_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The threaded backend: spawns one OS thread per rank and wires up the
+/// channels.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadedBackend {
+    topology: ClusterTopology,
+    recv_timeout: Option<Duration>,
+}
+
+/// The historical name of the threaded backend, kept as the friendly alias
+/// used throughout the examples and tests.
+pub type Cluster = ThreadedBackend;
+
+impl ThreadedBackend {
+    /// Creates a threaded backend with the given topology.
+    pub fn new(topology: ClusterTopology) -> Self {
+        Self {
+            topology,
+            recv_timeout: None,
+        }
+    }
+
+    /// The topology ranks will see.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Bounds every blocking receive: a receive that does not complete within
+    /// `timeout` returns [`CommError::RecvTimeout`] instead of hanging
+    /// forever. Use this whenever messages can be lost (fault injection); the
+    /// default is to wait indefinitely, like `MPI_Wait`.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
+    }
+
+    /// The configured receive/barrier timeout, if any.
+    pub fn recv_timeout(&self) -> Option<Duration> {
+        self.recv_timeout
+    }
+
+    /// Runs `body` on `num_ranks` ranks in parallel and collects every rank's
+    /// outcome, ordered by rank (see [`CommBackend::run`]).
+    pub fn run<M, R, F>(
+        &self,
+        num_ranks: usize,
+        body: F,
+    ) -> Result<Vec<RankOutcome<R>>, RankFailure>
+    where
+        M: Payload + 'static,
+        R: Send,
+        F: Fn(&mut RankContext<M>) -> Result<R, CommError> + Sync,
+    {
+        assert!(num_ranks > 0, "need at least one rank");
+        let mut senders = Vec::with_capacity(num_ranks);
+        let mut receivers = Vec::with_capacity(num_ranks);
+        for _ in 0..num_ranks {
+            let (tx, rx) = unbounded::<Envelope<M>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(TimedBarrier::new(num_ranks));
+        let body = &body;
+
+        let mut outcomes: Vec<Option<RankOutcome<Result<R, CommError>>>> =
+            (0..num_ranks).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_ranks);
+            for (rank, receiver) in receivers.into_iter().enumerate() {
+                // Every peer's sender except this rank's own: a rank must
+                // never keep its own receive channel alive while blocked, so
+                // that "all peers terminated" is observable.
+                let senders: Vec<Option<Sender<Envelope<M>>>> = senders
+                    .iter()
+                    .enumerate()
+                    .map(|(peer, tx)| (peer != rank).then(|| tx.clone()))
+                    .collect();
+                let barrier = Arc::clone(&barrier);
+                let topology = self.topology;
+                let recv_timeout = self.recv_timeout;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = RankContext {
+                        rank,
+                        size: num_ranks,
+                        topology,
+                        senders,
+                        receiver,
+                        stash: Vec::new(),
+                        barrier,
+                        recv_timeout,
+                        harness: None,
+                        delayed: Vec::new(),
+                        clock: RankClock::new(),
+                        memory: MemoryTracker::new(),
+                    };
+                    let result = body(&mut ctx);
+                    // A delayed message must not be lost just because its
+                    // sender finished first.
+                    ctx.flush_delayed();
+                    RankOutcome {
+                        rank,
+                        result,
+                        time: ctx.clock.breakdown(),
+                        memory: ctx.memory,
+                    }
+                }));
+            }
+            // Drop the construction-time senders: from here on only live
+            // rank contexts keep channels connected, so a rank blocked in
+            // `recv` errors with `PeersGone` once every peer has finished.
+            drop(senders);
+            for (rank, handle) in handles.into_iter().enumerate() {
+                outcomes[rank] = Some(handle.join().expect("rank thread panicked"));
+            }
+        });
+
+        collect_outcomes(
+            outcomes
+                .into_iter()
+                .map(|o| o.expect("missing rank"))
+                .collect(),
+        )
+    }
+}
+
+impl CommBackend for ThreadedBackend {
+    type Comm<M: Payload + 'static> = RankContext<M>;
+
+    fn run<M, R, F>(&self, num_ranks: usize, body: F) -> Result<Vec<RankOutcome<R>>, RankFailure>
+    where
+        M: Payload + 'static,
+        R: Send,
+        F: Fn(&mut RankContext<M>) -> Result<R, CommError> + Sync,
+    {
+        ThreadedBackend::run(self, num_ranks, body)
+    }
+
+    fn with_loss_detection(mut self) -> Self {
+        // Generous enough that no healthy test-scale receive comes close,
+        // but bounded, so a dropped message is an error, not a hang. An
+        // explicit `with_recv_timeout` always wins.
+        self.recv_timeout.get_or_insert(DEFAULT_LOSS_TIMEOUT);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each rank sends its rank number around a ring; the total arriving
+        // back equals the sum of all ranks.
+        let cluster = Cluster::new(ClusterTopology::summit());
+        let n = 6;
+        let outcomes = cluster
+            .run::<Vec<f64>, f64, _>(n, |ctx| {
+                let next = (ctx.rank() + 1) % ctx.size();
+                let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                let mut total = ctx.rank() as f64;
+                let mut token = vec![ctx.rank() as f64];
+                for _ in 0..ctx.size() - 1 {
+                    ctx.isend(next, 7, token);
+                    token = ctx.recv(prev, 7)?;
+                    total += token[0];
+                    token = vec![token[0]];
+                }
+                Ok(total)
+            })
+            .unwrap();
+        let expected: f64 = (0..n).map(|x| x as f64).sum();
+        for o in &outcomes {
+            assert_eq!(o.result, expected, "rank {} total mismatch", o.rank);
+        }
+    }
+
+    #[test]
+    fn tag_matching_is_respected() {
+        let cluster = Cluster::default();
+        let outcomes = cluster
+            .run::<Vec<f64>, (f64, f64), _>(2, |ctx| {
+                if ctx.rank() == 0 {
+                    // Send tag 2 first, then tag 1; receiver asks for tag 1 first.
+                    ctx.isend(1, 2, vec![20.0]);
+                    ctx.isend(1, 1, vec![10.0]);
+                    Ok((0.0, 0.0))
+                } else {
+                    let first = ctx.recv(0, 1)?[0];
+                    let second = ctx.recv(0, 2)?[0];
+                    Ok((first, second))
+                }
+            })
+            .unwrap();
+        assert_eq!(outcomes[1].result, (10.0, 20.0));
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let cluster = Cluster::default();
+        let outcomes = cluster
+            .run::<Vec<f64>, bool, _>(2, |ctx| {
+                if ctx.rank() == 0 {
+                    // Never sends anything.
+                    Ok(true)
+                } else {
+                    Ok(ctx.try_recv(0, 1).is_none())
+                }
+            })
+            .unwrap();
+        assert!(outcomes[1].result);
+    }
+
+    #[test]
+    fn barrier_synchronises_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let cluster = Cluster::default();
+        let outcomes = cluster
+            .run::<(), usize, _>(4, |ctx| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                ctx.barrier()?;
+                // After the barrier every rank must observe all increments.
+                Ok(counter.load(Ordering::SeqCst))
+            })
+            .unwrap();
+        for o in outcomes {
+            assert_eq!(o.result, 4);
+        }
+    }
+
+    #[test]
+    fn communication_time_is_charged_to_sender() {
+        let cluster = Cluster::new(ClusterTopology::summit());
+        let payload_len = 1_000_000usize;
+        let outcomes = cluster
+            .run::<Vec<f64>, (), _>(7, |ctx| {
+                // Rank 0 sends a large buffer to rank 6 (different node).
+                if ctx.rank() == 0 {
+                    ctx.isend(6, 1, vec![0.0; payload_len]);
+                } else if ctx.rank() == 6 {
+                    let _ = ctx.recv(0, 1)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let bytes = payload_len * 8;
+        let expected = ClusterTopology::summit().transfer_time(0, 6, bytes);
+        assert!((outcomes[0].time.communication - expected).abs() < 1e-12);
+        assert_eq!(outcomes[6].time.communication, 0.0);
+        // The receiver's blocking time shows up as wait.
+        assert!(outcomes[6].time.wait >= 0.0);
+    }
+
+    #[test]
+    fn outcomes_are_ordered_by_rank() {
+        let cluster = Cluster::default();
+        let outcomes = cluster
+            .run::<(), usize, _>(5, |ctx| Ok(ctx.rank() * 10))
+            .unwrap();
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.rank, i);
+            assert_eq!(o.result, i * 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn send_to_invalid_rank_panics() {
+        let cluster = Cluster::default();
+        let _ = cluster.run::<(), (), _>(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.isend(5, 0, ());
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn loss_detection_installs_a_bounded_timeout() {
+        use super::super::{FaultInjectionBackend, FaultPolicy};
+        // Default: wait indefinitely, like MPI_Wait.
+        assert_eq!(Cluster::default().recv_timeout(), None);
+        // Loss detection bounds the wait...
+        let detected = Cluster::default().with_loss_detection();
+        assert_eq!(detected.recv_timeout(), Some(DEFAULT_LOSS_TIMEOUT));
+        // ...but never overrides an explicit choice.
+        let explicit = Cluster::default()
+            .with_recv_timeout(Duration::from_millis(50))
+            .with_loss_detection();
+        assert_eq!(explicit.recv_timeout(), Some(Duration::from_millis(50)));
+        // Wrapping in the fault layer enforces it automatically, so a lossy
+        // policy can never hang the run.
+        let faulty = FaultInjectionBackend::new(Cluster::default(), FaultPolicy::reliable(0));
+        assert_eq!(faulty.inner().recv_timeout(), Some(DEFAULT_LOSS_TIMEOUT));
+    }
+
+    #[test]
+    fn barrier_times_out_when_a_peer_never_arrives() {
+        let cluster = Cluster::default().with_recv_timeout(Duration::from_millis(50));
+        let failure = cluster
+            .run::<(), (), _>(3, |ctx| {
+                if ctx.rank() == 0 {
+                    Ok(()) // exits without reaching the barrier
+                } else {
+                    ctx.barrier()
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(failure.error, CommError::BarrierTimeout { .. }));
+        assert_eq!(failure.failed_ranks, 2);
+    }
+
+    #[test]
+    fn barrier_with_timeout_completes_when_everyone_arrives() {
+        let cluster = Cluster::default().with_recv_timeout(Duration::from_secs(5));
+        let outcomes = cluster
+            .run::<(), usize, _>(4, |ctx| {
+                ctx.barrier()?;
+                ctx.barrier()?;
+                Ok(ctx.rank())
+            })
+            .unwrap();
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn self_send_is_received_locally() {
+        let cluster = Cluster::default();
+        let outcomes = cluster
+            .run::<Vec<f64>, f64, _>(2, |ctx| {
+                let me = ctx.rank();
+                ctx.isend(me, 5, vec![me as f64 + 0.5]);
+                Ok(ctx.recv(me, 5)?[0])
+            })
+            .unwrap();
+        assert_eq!(outcomes[0].result, 0.5);
+        assert_eq!(outcomes[1].result, 1.5);
+    }
+
+    #[test]
+    fn recv_reports_peers_gone_when_every_peer_finishes() {
+        // No timeout configured: the error comes from channel disconnection
+        // once every other rank has terminated — not from a hang.
+        let cluster = Cluster::default();
+        let failure = cluster
+            .run::<Vec<f64>, (), _>(3, |ctx| {
+                if ctx.rank() == 2 {
+                    ctx.recv(0, 9)?;
+                }
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(failure.rank, 2);
+        assert!(matches!(
+            failure.error,
+            CommError::PeersGone {
+                rank: 2,
+                from: 0,
+                tag: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_missing_message_as_error() {
+        let cluster = Cluster::default().with_recv_timeout(Duration::from_millis(50));
+        let failure = cluster
+            .run::<Vec<f64>, (), _>(2, |ctx| {
+                if ctx.rank() == 1 {
+                    // Rank 0 never sends: this receive must error, not hang.
+                    ctx.recv(0, 9)?;
+                } else {
+                    // Outlive the receiver's timeout so the error is a
+                    // timeout, not peer disconnection.
+                    std::thread::sleep(Duration::from_millis(150));
+                }
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(failure.rank, 1);
+        assert_eq!(failure.failed_ranks, 1);
+        assert!(matches!(
+            failure.error,
+            CommError::RecvTimeout {
+                rank: 1,
+                from: 0,
+                tag: 9
+            }
+        ));
+    }
+}

@@ -19,7 +19,7 @@
 
 use crate::tiling::TileGrid;
 use crate::worker::{add_region_flat, extract_region_flat, set_region_flat};
-use ptycho_cluster::RankContext;
+use ptycho_cluster::{CommError, RankComm};
 use ptycho_fft::CArray3;
 
 /// Message tags for the four directional passes; combined with the sending
@@ -47,16 +47,20 @@ enum Axis {
 /// buffers of every tile whose extended region overlaps it.
 ///
 /// Every rank in the grid must call this the same number of times per
-/// iteration, otherwise the blocking receives deadlock.
-pub fn run_accumulation_passes(
-    ctx: &mut RankContext<Vec<f64>>,
+/// iteration, otherwise the blocking receives deadlock (on the lockstep
+/// backend the deadlock is detected and reported as a [`CommError`]).
+///
+/// Generic over the communication backend: any [`RankComm`] carrying the
+/// flat `re, im`-interleaved wire format works.
+pub fn run_accumulation_passes<C: RankComm<Vec<f64>>>(
+    ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
-) {
-    forward_pass(ctx, grid, buffer, Axis::Vertical);
-    backward_pass(ctx, grid, buffer, Axis::Vertical);
-    forward_pass(ctx, grid, buffer, Axis::Horizontal);
-    backward_pass(ctx, grid, buffer, Axis::Horizontal);
+) -> Result<(), CommError> {
+    forward_pass(ctx, grid, buffer, Axis::Vertical)?;
+    backward_pass(ctx, grid, buffer, Axis::Vertical)?;
+    forward_pass(ctx, grid, buffer, Axis::Horizontal)?;
+    backward_pass(ctx, grid, buffer, Axis::Horizontal)
 }
 
 /// The neighbour "before" this rank along an axis (above / to the left).
@@ -102,18 +106,18 @@ fn backward_tag(axis: Axis) -> u64 {
 
 /// Forward sweep: receive-and-add from the predecessor (if any), then send the
 /// now-augmented overlap region to the successor (if any).
-fn forward_pass(
-    ctx: &mut RankContext<Vec<f64>>,
+fn forward_pass<C: RankComm<Vec<f64>>>(
+    ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
     axis: Axis,
-) {
+) -> Result<(), CommError> {
     let rank = ctx.rank();
     let tag = forward_tag(axis);
     if let Some(prev) = predecessor(grid, rank, axis) {
         let region = local_overlap(grid, rank, prev);
         if !region.is_empty() {
-            let payload = ctx.recv(prev, tag);
+            let payload = ctx.recv(prev, tag)?;
             add_region_flat(buffer, region, &payload);
         }
     }
@@ -124,22 +128,23 @@ fn forward_pass(
             ctx.isend(next, tag, payload);
         }
     }
+    Ok(())
 }
 
 /// Backward sweep: receive-and-replace from the successor (if any), then send
 /// the overlap region back to the predecessor (if any).
-fn backward_pass(
-    ctx: &mut RankContext<Vec<f64>>,
+fn backward_pass<C: RankComm<Vec<f64>>>(
+    ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
     axis: Axis,
-) {
+) -> Result<(), CommError> {
     let rank = ctx.rank();
     let tag = backward_tag(axis);
     if let Some(next) = successor(grid, rank, axis) {
         let region = local_overlap(grid, rank, next);
         if !region.is_empty() {
-            let payload = ctx.recv(next, tag);
+            let payload = ctx.recv(next, tag)?;
             set_region_flat(buffer, region, &payload);
         }
     }
@@ -150,6 +155,7 @@ fn backward_pass(
             ctx.isend(prev, tag, payload);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -212,11 +218,13 @@ mod tests {
         let cluster = Cluster::new(ClusterTopology::summit());
         let grid_ref = &grid;
         let initial_ref = &initial;
-        let outcomes = cluster.run::<Vec<f64>, CArray3, _>(ranks, |ctx| {
-            let mut buffer = initial_ref[ctx.rank()].clone();
-            run_accumulation_passes(ctx, grid_ref, &mut buffer);
-            buffer
-        });
+        let outcomes = cluster
+            .run::<Vec<f64>, CArray3, _>(ranks, |ctx| {
+                let mut buffer = initial_ref[ctx.rank()].clone();
+                run_accumulation_passes(ctx, grid_ref, &mut buffer)?;
+                Ok(buffer)
+            })
+            .expect("no faults injected");
 
         for (rank, outcome) in outcomes.iter().enumerate() {
             let got = &outcome.result;

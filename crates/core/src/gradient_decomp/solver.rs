@@ -25,7 +25,9 @@ use crate::stitch::stitch_tiles;
 use crate::tiling::TileGrid;
 use crate::worker::TileWorker;
 use ptycho_array::Rect;
-use ptycho_cluster::{Cluster, MemoryCategory, MemoryTracker, RankContext, TimeBreakdown};
+use ptycho_cluster::{
+    CommBackend, CommError, MemoryCategory, MemoryTracker, RankComm, RankFailure, TimeBreakdown,
+};
 use ptycho_fft::CArray3;
 use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX};
 
@@ -116,8 +118,20 @@ impl<'a> GradientDecompositionSolver<'a> {
         }
     }
 
-    /// Runs the reconstruction on the given cluster, one rank per tile.
-    pub fn run(&self, cluster: &Cluster) -> ReconstructionResult {
+    /// Runs the reconstruction on the given communication backend, one rank
+    /// per tile. Panics on communication failure; use
+    /// [`Self::try_run`] when faults are expected (fault-injection tests).
+    pub fn run<B: CommBackend>(&self, backend: &B) -> ReconstructionResult {
+        self.try_run(backend)
+            .expect("communication failed during reconstruction")
+    }
+
+    /// Runs the reconstruction, surfacing communication failures (lost
+    /// messages, deadlocks) as an error instead of panicking.
+    pub fn try_run<B: CommBackend>(
+        &self,
+        backend: &B,
+    ) -> Result<ReconstructionResult, RankFailure> {
         let ranks = self.grid.num_tiles();
         let rounds = self.rounds_per_iteration();
         let initial = self.dataset.initial_guess();
@@ -126,23 +140,27 @@ impl<'a> GradientDecompositionSolver<'a> {
         let config = self.config;
         let initial_ref = &initial;
 
-        let outcomes = cluster.run::<Vec<f64>, (CArray3, Vec<f64>), _>(ranks, |ctx| {
+        let outcomes = backend.run::<Vec<f64>, (CArray3, Vec<f64>), _>(ranks, |ctx| {
             run_rank(ctx, dataset, grid, &config, rounds, initial_ref)
-        });
+        })?;
 
-        assemble_result(outcomes, grid.clone(), self.config.iterations)
+        Ok(assemble_result(
+            outcomes,
+            grid.clone(),
+            self.config.iterations,
+        ))
     }
 }
 
-/// The per-rank body of Algorithm 1.
-fn run_rank(
-    ctx: &mut RankContext<Vec<f64>>,
+/// The per-rank body of Algorithm 1, generic over the communication backend.
+fn run_rank<C: RankComm<Vec<f64>>>(
+    ctx: &mut C,
     dataset: &Dataset,
     grid: &TileGrid,
     config: &SolverConfig,
     rounds: usize,
     initial: &CArray3,
-) -> (CArray3, Vec<f64>) {
+) -> Result<(CArray3, Vec<f64>), CommError> {
     let rank = ctx.rank();
     let tile = grid.tile(rank).clone();
     let owned = tile.owned_locations.clone();
@@ -176,9 +194,9 @@ fn run_rank(
             let start = round * owned.len() / rounds;
             let end = (round + 1) * owned.len() / rounds;
             for loc in &owned[start..end] {
-                let (loss, gradient) = ctx.clock.compute(|| worker.compute_gradient(loc));
+                let (loss, gradient) = ctx.clock_mut().compute(|| worker.compute_gradient(loc));
                 iteration_cost += loss;
-                ctx.clock.compute(|| {
+                ctx.clock_mut().compute(|| {
                     worker.accumulate_patch(&mut acc_buf, loc, &gradient);
                     if config.local_updates {
                         worker.accumulate_patch(&mut own_acc, loc, &gradient);
@@ -188,10 +206,10 @@ fn run_rank(
             }
 
             // Steps 10-13: accumulate gradients across tiles.
-            run_accumulation_passes(ctx, grid, &mut acc_buf);
+            run_accumulation_passes(ctx, grid, &mut acc_buf)?;
 
             // Steps 14-15: update the tile from the accumulated gradients.
-            ctx.clock.compute(|| {
+            ctx.clock_mut().compute(|| {
                 if config.local_updates {
                     // Apply only what this tile has not already applied.
                     let remote = acc_buf.zip_map(&own_acc, |total, own| *total - *own);
@@ -208,8 +226,8 @@ fn run_rank(
         local_costs.push(iteration_cost);
     }
 
-    ctx.memory.max_merge(&memory);
-    (worker.core_volume(), local_costs)
+    ctx.memory_mut().max_merge(&memory);
+    Ok((worker.core_volume(), local_costs))
 }
 
 /// Gathers per-rank outcomes into a [`ReconstructionResult`].
@@ -245,7 +263,7 @@ fn assemble_result(
 mod tests {
     use super::*;
     use crate::config::PassFrequency;
-    use ptycho_cluster::ClusterTopology;
+    use ptycho_cluster::{Cluster, ClusterTopology};
     use ptycho_sim::dataset::SyntheticConfig;
 
     fn tiny_dataset() -> Dataset {

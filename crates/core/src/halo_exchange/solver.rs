@@ -7,7 +7,7 @@ use crate::stitch::stitch_tiles;
 use crate::tiling::TileGrid;
 use crate::worker::{extract_region_flat, set_region_flat, TileWorker};
 use ptycho_array::Rect;
-use ptycho_cluster::{Cluster, MemoryTracker, RankContext};
+use ptycho_cluster::{CommBackend, CommError, MemoryTracker, RankComm, RankFailure};
 use ptycho_fft::CArray3;
 use ptycho_sim::dataset::Dataset;
 use ptycho_sim::scan::ProbeLocation;
@@ -139,8 +139,19 @@ impl<'a> HaloVoxelExchangeSolver<'a> {
         self.assigned.iter().map(Vec::len).sum()
     }
 
-    /// Runs the baseline reconstruction.
-    pub fn run(&self, cluster: &Cluster) -> ReconstructionResult {
+    /// Runs the baseline reconstruction on the given communication backend.
+    /// Panics on communication failure; use [`Self::try_run`] when faults
+    /// are expected.
+    pub fn run<B: CommBackend>(&self, backend: &B) -> ReconstructionResult {
+        self.try_run(backend)
+            .expect("communication failed during reconstruction")
+    }
+
+    /// Runs the baseline, surfacing communication failures as an error.
+    pub fn try_run<B: CommBackend>(
+        &self,
+        backend: &B,
+    ) -> Result<ReconstructionResult, RankFailure> {
         let ranks = self.grid.num_tiles();
         let initial = self.dataset.initial_guess();
         let grid = &self.grid;
@@ -149,22 +160,22 @@ impl<'a> HaloVoxelExchangeSolver<'a> {
         let assigned = &self.assigned;
         let initial_ref = &initial;
 
-        let outcomes = cluster.run::<Vec<f64>, (CArray3, Vec<f64>), _>(ranks, |ctx| {
+        let outcomes = backend.run::<Vec<f64>, (CArray3, Vec<f64>), _>(ranks, |ctx| {
             run_rank(ctx, dataset, grid, &config, assigned, initial_ref)
-        });
+        })?;
 
-        assemble(outcomes, grid.clone(), config.iterations)
+        Ok(assemble(outcomes, grid.clone(), config.iterations))
     }
 }
 
-fn run_rank(
-    ctx: &mut RankContext<Vec<f64>>,
+fn run_rank<C: RankComm<Vec<f64>>>(
+    ctx: &mut C,
     dataset: &Dataset,
     grid: &TileGrid,
     config: &SolverConfig,
     assigned: &[Vec<ProbeLocation>],
     initial: &CArray3,
-) -> (CArray3, Vec<f64>) {
+) -> Result<(CArray3, Vec<f64>), CommError> {
     let rank = ctx.rank();
     let tile = grid.tile(rank).clone();
     let my_probes = &assigned[rank];
@@ -189,7 +200,7 @@ fn run_rank(
         // applied locally, immediately.
         let mut iteration_cost = 0.0;
         for loc in my_probes {
-            let (loss, gradient) = ctx.clock.compute(|| worker.compute_gradient(loc));
+            let (loss, gradient) = ctx.clock_mut().compute(|| worker.compute_gradient(loc));
             // Only count owned probes towards the global cost so that the
             // reported F(V) is comparable with the Gradient Decomposition
             // method (redundant evaluations would double-count).
@@ -199,7 +210,8 @@ fn run_rank(
             ) {
                 iteration_cost += loss;
             }
-            ctx.clock.compute(|| worker.apply_patch(loc, &gradient));
+            ctx.clock_mut()
+                .compute(|| worker.apply_patch(loc, &gradient));
         }
         local_costs.push(iteration_cost);
 
@@ -225,13 +237,13 @@ fn run_rank(
                 continue;
             }
             let recv_local = recv_region_global.to_local(&tile.extended);
-            let payload = ctx.recv(peer, TAG_VOXEL_PASTE);
+            let payload = ctx.recv(peer, TAG_VOXEL_PASTE)?;
             set_region_flat(worker.volume_mut(), recv_local, &payload);
         }
     }
 
-    ctx.memory.max_merge(&memory);
-    (worker.core_volume(), local_costs)
+    ctx.memory_mut().max_merge(&memory);
+    Ok((worker.core_volume(), local_costs))
 }
 
 fn assemble(
@@ -265,7 +277,7 @@ fn assemble(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptycho_cluster::ClusterTopology;
+    use ptycho_cluster::{Cluster, ClusterTopology};
     use ptycho_sim::dataset::SyntheticConfig;
 
     fn dataset() -> Dataset {

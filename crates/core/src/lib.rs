@@ -27,18 +27,27 @@
 //!
 //! # Quick start
 //!
+//! The solvers are generic over the communication backend
+//! (`ptycho_cluster::CommBackend`). Here a 4-rank Gradient Decomposition
+//! solve runs on the deterministic [`LockstepBackend`]: every run schedules
+//! the ranks identically, so the reconstruction is reproducible bit for bit;
+//! swapping in `Cluster::new(...)` (the threaded backend) runs the same
+//! solve on real OS threads and produces the same volume.
+//!
+//! [`LockstepBackend`]: ptycho_cluster::LockstepBackend
+//!
 //! ```
 //! use ptycho_core::{GradientDecompositionSolver, SolverConfig, TileGrid};
 //! use ptycho_sim::dataset::{Dataset, SyntheticConfig};
-//! use ptycho_cluster::{Cluster, ClusterTopology};
+//! use ptycho_cluster::{ClusterTopology, LockstepBackend};
 //!
 //! // Simulate a small acquisition, decompose it over a 2x2 tile grid, and
 //! // reconstruct on 4 simulated GPU ranks.
 //! let dataset = Dataset::synthesize(SyntheticConfig::tiny());
 //! let config = SolverConfig { iterations: 2, ..SolverConfig::default() };
 //! let solver = GradientDecompositionSolver::new(&dataset, config, (2, 2));
-//! let cluster = Cluster::new(ClusterTopology::summit());
-//! let result = solver.run(&cluster);
+//! let backend = LockstepBackend::new(ClusterTopology::summit());
+//! let result = solver.run(&backend);
 //! assert_eq!(result.volume.shape(), dataset.object_shape());
 //! assert!(result.cost_history.final_cost() < result.cost_history.initial_cost());
 //! ```

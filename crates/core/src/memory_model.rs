@@ -233,10 +233,27 @@ fn memory_from_geometry(
 /// paper's tables: each core tile must comfortably cover the halos it has to
 /// fill in its neighbours (we require the smallest tile side to be at least
 /// 1.5× the halo width).
+///
+/// This is deliberately *stricter* than [`hve_hard_feasible`]: the tables
+/// mark a cell NA once the method stops being practical, which happens
+/// before it becomes geometrically impossible. Every analytically feasible
+/// cell is therefore also hard-feasible (the threaded
+/// `HaloVoxelExchangeSolver` will construct), but not vice versa.
 pub fn hve_feasible(spec: &DatasetSpec, gpus: usize, halo_pm: f64) -> bool {
     let geometry = decomposition_geometry(spec, gpus, halo_pm, 0);
     let min_tile = geometry.tile_px.0.min(geometry.tile_px.1);
     min_tile >= 1.5 * geometry.halo_px
+}
+
+/// The *hard* Halo Voxel Exchange constraint — the analytic twin of
+/// `TileGrid::hve_feasible`, which is what makes
+/// `HaloVoxelExchangeSolver::new` return an error: a tile strictly smaller
+/// than the halo it must fill in its neighbours cannot produce consistent
+/// tiles at all.
+pub fn hve_hard_feasible(spec: &DatasetSpec, gpus: usize, halo_pm: f64) -> bool {
+    let geometry = decomposition_geometry(spec, gpus, halo_pm, 0);
+    let min_tile = geometry.tile_px.0.min(geometry.tile_px.1);
+    min_tile >= geometry.halo_px
 }
 
 #[cfg(test)]
@@ -334,6 +351,26 @@ mod tests {
             ratio > 1.5,
             "HVE floor ({hve_floor}) should be well above GD floor ({gd_floor}), ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn analytic_na_is_stricter_than_the_hard_constraint() {
+        // If the tables say a cell is runnable, the solver's hard constraint
+        // must agree; the converse may not hold (the 1.5x practicality band).
+        for spec in [
+            DatasetSpec::lead_titanate_small(),
+            DatasetSpec::lead_titanate_large(),
+        ] {
+            for gpus in [6usize, 24, 54, 126, 198, 462, 924, 4158] {
+                if hve_feasible(&spec, gpus, HVE_HALO_PM) {
+                    assert!(
+                        hve_hard_feasible(&spec, gpus, HVE_HALO_PM),
+                        "{} at {gpus} GPUs: table cell feasible but hard-infeasible",
+                        spec.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -182,6 +182,23 @@ impl SyntheticConfig {
             seed: 5,
         }
     }
+
+    /// The geometry the `quickstart` example runs: a 6×6 raster with 45 nm
+    /// defocus spreading each probe into a ~24 px circle, giving the >70%
+    /// probe overlap of the paper's acquisitions (the example prints ~73%).
+    /// Shared with the regression test that pins this overlap, so the
+    /// example and its test cannot drift apart.
+    pub fn quickstart() -> Self {
+        Self {
+            object_px: 128,
+            slices: 2,
+            scan_grid: (6, 6),
+            window_px: 64,
+            dose: None,
+            defocus_pm: 45_000.0,
+            seed: 42,
+        }
+    }
 }
 
 /// A fully synthesised dataset: ground-truth specimen, probe, scan pattern and
@@ -362,6 +379,32 @@ mod tests {
                 "{} overlap ratio {} should exceed the 70% threshold",
                 spec.name,
                 spec.overlap_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_datasets_pin_the_86_87_percent_overlap() {
+        // Regression test for the overlap-ratio audit: the paper quotes
+        // 86-87% probe overlap for both Lead Titanate datasets, and Table I
+        // renders the ratio as a whole percentage. Pin both the numeric range
+        // and the rendered value so neither the scan-step derivation nor the
+        // ratio formula can silently drift.
+        for (spec, expected_percent) in [
+            (DatasetSpec::lead_titanate_small(), "87"),
+            (DatasetSpec::lead_titanate_large(), "86"),
+        ] {
+            let ratio = spec.overlap_ratio();
+            assert!(
+                (0.85..0.88).contains(&ratio),
+                "{}: overlap ratio {ratio} outside the paper's 86-87% band",
+                spec.name
+            );
+            let rendered = format!("{:.0}", ratio * 100.0);
+            assert_eq!(
+                rendered, expected_percent,
+                "{}: Table I would render {rendered}%, paper says {expected_percent}%",
+                spec.name
             );
         }
     }

@@ -1,0 +1,264 @@
+//! Backend-parametrized integration tests for the `RankComm` subsystem.
+//!
+//! The contract under test: both solvers run unchanged on every communication
+//! backend; the threaded and lockstep backends produce **bit-identical**
+//! reconstructions; fault injection turns a lost pass message into a
+//! detectable error (never a hang or a silently wrong volume); and a recorded
+//! communication trace replays to an identical run.
+
+use ptycho_cluster::{
+    Cluster, ClusterTopology, CommError, FaultInjectionBackend, FaultPolicy, LockstepBackend,
+};
+use ptycho_core::gradient_decomp::passes::tags;
+use ptycho_core::{GradientDecompositionSolver, HaloVoxelExchangeSolver, SolverConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use std::time::Duration;
+
+fn dataset() -> Dataset {
+    Dataset::synthesize(SyntheticConfig {
+        object_px: 128,
+        slices: 2,
+        scan_grid: (4, 4),
+        window_px: 32,
+        dose: None,
+        defocus_pm: 12_000.0,
+        seed: 21,
+    })
+}
+
+fn gd_config() -> SolverConfig {
+    SolverConfig {
+        iterations: 2,
+        halo_px: 20,
+        ..SolverConfig::default()
+    }
+}
+
+fn assert_bit_identical(
+    a: &ptycho_core::ReconstructionResult,
+    b: &ptycho_core::ReconstructionResult,
+) {
+    assert_eq!(a.volume.shape(), b.volume.shape());
+    for (x, y) in a.volume.iter().zip(b.volume.iter()) {
+        assert_eq!(
+            x.re.to_bits(),
+            y.re.to_bits(),
+            "volumes must match bit for bit"
+        );
+        assert_eq!(
+            x.im.to_bits(),
+            y.im.to_bits(),
+            "volumes must match bit for bit"
+        );
+    }
+    for (x, y) in a.cost_history.costs().iter().zip(b.cost_history.costs()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "cost histories must match bit for bit"
+        );
+    }
+}
+
+#[test]
+fn gd_solver_is_bit_identical_across_backends() {
+    let ds = dataset();
+    let threaded = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+        .run(&Cluster::new(ClusterTopology::summit()));
+    let lockstep = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+        .run(&LockstepBackend::new(ClusterTopology::summit()));
+    assert_bit_identical(&threaded, &lockstep);
+    // The analytic communication charges agree too (wire time does not
+    // depend on the execution schedule).
+    for (a, b) in threaded.time.iter().zip(&lockstep.time) {
+        assert!((a.communication - b.communication).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn hve_solver_is_bit_identical_across_backends() {
+    let ds = dataset();
+    let config = SolverConfig {
+        iterations: 2,
+        hve_extra_probe_rows: 1,
+        ..SolverConfig::default()
+    };
+    let solver = HaloVoxelExchangeSolver::new(&ds, config, (2, 2)).expect("feasible");
+    let threaded = solver.run(&Cluster::new(ClusterTopology::summit()));
+    let lockstep = solver.run(&LockstepBackend::new(ClusterTopology::summit()));
+    assert_bit_identical(&threaded, &lockstep);
+}
+
+#[test]
+fn lockstep_reruns_are_bit_identical() {
+    let ds = dataset();
+    let backend = LockstepBackend::new(ClusterTopology::summit());
+    let a = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2)).run(&backend);
+    let b = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2)).run(&backend);
+    assert_bit_identical(&a, &b);
+}
+
+#[test]
+fn dropped_pass_message_is_a_detectable_error_on_lockstep() {
+    // Drop the first vertical-forward pass message from rank 0 to rank 2 (the
+    // tile below it on a 2x2 grid). The receiver can never complete its
+    // forward pass, every rank eventually blocks, and the lockstep scheduler
+    // must *prove* the deadlock — not hang, not return a wrong volume.
+    let ds = dataset();
+    let policy = FaultPolicy::reliable(0).drop_message(0, 2, tags::VERTICAL_FORWARD, 0);
+    let faulty =
+        FaultInjectionBackend::new(LockstepBackend::new(ClusterTopology::summit()), policy);
+
+    let failure = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+        .try_run(&faulty)
+        .expect_err("a dropped pass message must fail the run");
+    assert!(
+        matches!(failure.error, CommError::Deadlock { .. }),
+        "expected a proven deadlock, got: {}",
+        failure.error
+    );
+    let message = failure.to_string();
+    assert!(
+        message.contains("deadlock"),
+        "failure must be self-describing: {message}"
+    );
+    assert_eq!(
+        faulty.trace().fault_count(),
+        1,
+        "exactly one message was dropped"
+    );
+}
+
+#[test]
+fn dropped_pass_message_times_out_on_threaded() {
+    // Same fault on the threaded backend: the bounded receive turns the lost
+    // message into a timeout error instead of an infinite hang.
+    let ds = dataset();
+    let policy = FaultPolicy::reliable(0).drop_message(0, 2, tags::VERTICAL_FORWARD, 0);
+    let threaded =
+        Cluster::new(ClusterTopology::summit()).with_recv_timeout(Duration::from_millis(250));
+    let faulty = FaultInjectionBackend::new(threaded, policy);
+
+    let failure = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+        .try_run(&faulty)
+        .expect_err("a dropped pass message must fail the run");
+    assert!(
+        matches!(
+            failure.error,
+            CommError::RecvTimeout { .. } | CommError::PeersGone { .. }
+        ),
+        "expected a timeout-class error, got: {}",
+        failure.error
+    );
+}
+
+#[test]
+fn sends_to_an_already_failed_rank_do_not_panic_the_run() {
+    // Drop rank 0's first horizontal-forward message to rank 1: rank 1 times
+    // out and exits in round 1 while other ranks are still solving, so later
+    // rounds post sends to a rank whose channel is gone. Those sends must be
+    // buffered into the void and the run must still report the original
+    // failure as a value — not panic in the sender's thread.
+    let ds = dataset();
+    let config = SolverConfig {
+        iterations: 2,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let policy = FaultPolicy::reliable(0).drop_message(0, 1, tags::HORIZONTAL_FORWARD, 0);
+    let threaded =
+        Cluster::new(ClusterTopology::summit()).with_recv_timeout(Duration::from_millis(250));
+    let faulty = FaultInjectionBackend::new(threaded, policy);
+
+    let failure = GradientDecompositionSolver::new(&ds, config, (2, 2))
+        .try_run(&faulty)
+        .expect_err("the dropped message must fail the run");
+    assert!(
+        matches!(
+            failure.error,
+            CommError::RecvTimeout { .. } | CommError::PeersGone { .. }
+        ),
+        "expected a timeout-class error, got: {}",
+        failure.error
+    );
+}
+
+#[test]
+fn delayed_messages_do_not_corrupt_the_solve() {
+    // A delayed message is released before its sender next blocks, and the
+    // pass structure always posts a blocking receive between two sends on the
+    // same (from, to, tag) stream — so per-stream order survives and the
+    // reconstruction must equal the fault-free one.
+    let ds = dataset();
+    let clean = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+        .run(&LockstepBackend::new(ClusterTopology::summit()));
+
+    let policy = FaultPolicy::reliable(77).delay(0.5);
+    let faulty =
+        FaultInjectionBackend::new(LockstepBackend::new(ClusterTopology::summit()), policy);
+    let noisy = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+        .try_run(&faulty)
+        .expect("delays must not break the solve");
+    assert!(
+        faulty.trace().fault_count() > 0,
+        "delays must actually fire"
+    );
+    assert_bit_identical(&clean, &noisy);
+}
+
+#[test]
+fn duplicated_messages_are_ignored_by_single_round_traffic() {
+    // With one synchronisation round per stream, tag-matched receives consume
+    // exactly one copy per posted receive and spare duplicates rot harmlessly
+    // in the mailbox. (Across *multiple* rounds a duplicate is a real fault —
+    // a stale copy would match a later round's receive first — which is
+    // exactly the class of bug the fault layer exists to expose.)
+    let ds = dataset();
+    let config = SolverConfig {
+        iterations: 1,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let clean = GradientDecompositionSolver::new(&ds, config, (2, 2))
+        .run(&LockstepBackend::new(ClusterTopology::summit()));
+
+    let policy = FaultPolicy::reliable(77).duplicate(0.5);
+    let faulty =
+        FaultInjectionBackend::new(LockstepBackend::new(ClusterTopology::summit()), policy);
+    let noisy = GradientDecompositionSolver::new(&ds, config, (2, 2))
+        .try_run(&faulty)
+        .expect("spare duplicates must not break a single-round solve");
+    assert!(
+        faulty.trace().fault_count() > 0,
+        "duplicates must actually fire"
+    );
+    assert_bit_identical(&clean, &noisy);
+}
+
+#[test]
+fn recorded_trace_replays_to_an_identical_run() {
+    let ds = dataset();
+    let policy = FaultPolicy::reliable(13).duplicate(0.2).delay(0.2);
+
+    let recording =
+        FaultInjectionBackend::new(LockstepBackend::new(ClusterTopology::summit()), policy);
+    let original = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+        .try_run(&recording)
+        .expect("faults are non-fatal");
+    let trace = recording.trace();
+    assert!(trace.fault_count() > 0, "the recording must contain faults");
+
+    // Replay the recorded envelope decisions verbatim on a fresh backend.
+    let replaying =
+        FaultInjectionBackend::replay(LockstepBackend::new(ClusterTopology::summit()), &trace);
+    let replayed = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+        .try_run(&replaying)
+        .expect("replay reproduces the recorded run");
+
+    assert_eq!(
+        trace,
+        replaying.trace(),
+        "replay must re-execute the trace verbatim"
+    );
+    assert_bit_identical(&original, &replayed);
+}

@@ -2,7 +2,7 @@
 //! reconstruction workloads: message-passing patterns, time accounting,
 //! topology-aware costs and the analytic scaling model they feed.
 
-use ptycho_cluster::{Cluster, ClusterTopology, HardwareModel, TimeBreakdown};
+use ptycho_cluster::{Cluster, ClusterTopology, HardwareModel, RankComm, TimeBreakdown};
 use ptycho_core::memory_model::{decomposition_geometry, gd_memory_per_gpu, hve_memory_per_gpu};
 use ptycho_core::scaling::{Method, ScalingScenario, GD_HALO_PM, HVE_HALO_PM};
 use ptycho_sim::dataset::DatasetSpec;
@@ -12,19 +12,21 @@ fn all_to_one_gather_pattern_works_at_node_scale() {
     // A gather of per-rank partial costs to rank 0 — the pattern used to
     // assemble the global cost history — exercised at one "node" (6 ranks).
     let cluster = Cluster::new(ClusterTopology::summit());
-    let outcomes = cluster.run::<Vec<f64>, f64, _>(6, |ctx| {
-        let my_cost = (ctx.rank() + 1) as f64;
-        if ctx.rank() == 0 {
-            let mut total = my_cost;
-            for peer in 1..ctx.size() {
-                total += ctx.recv(peer, 99)[0];
+    let outcomes = cluster
+        .run::<Vec<f64>, f64, _>(6, |ctx| {
+            let my_cost = (ctx.rank() + 1) as f64;
+            if ctx.rank() == 0 {
+                let mut total = my_cost;
+                for peer in 1..ctx.size() {
+                    total += ctx.recv(peer, 99)?[0];
+                }
+                Ok(total)
+            } else {
+                ctx.isend(0, 99, vec![my_cost]);
+                Ok(0.0)
             }
-            total
-        } else {
-            ctx.isend(0, 99, vec![my_cost]);
-            0.0
-        }
-    });
+        })
+        .expect("no faults injected");
     assert_eq!(outcomes[0].result, 21.0);
 }
 
@@ -34,19 +36,24 @@ fn communication_charges_follow_topology() {
     let topology = ClusterTopology::summit();
     let cluster = Cluster::new(topology);
     let bytes = vec![0.0f64; 500_000];
-    let outcomes = cluster.run::<Vec<f64>, (), _>(12, |ctx| match ctx.rank() {
-        0 => {
-            ctx.isend(1, 1, bytes.clone()); // same node
-            ctx.isend(7, 2, bytes.clone()); // different node
-        }
-        1 => {
-            let _ = ctx.recv(0, 1);
-        }
-        7 => {
-            let _ = ctx.recv(0, 2);
-        }
-        _ => {}
-    });
+    let outcomes = cluster
+        .run::<Vec<f64>, (), _>(12, |ctx| {
+            match ctx.rank() {
+                0 => {
+                    ctx.isend(1, 1, bytes.clone()); // same node
+                    ctx.isend(7, 2, bytes.clone()); // different node
+                }
+                1 => {
+                    let _ = ctx.recv(0, 1)?;
+                }
+                7 => {
+                    let _ = ctx.recv(0, 2)?;
+                }
+                _ => {}
+            }
+            Ok(())
+        })
+        .expect("no faults injected");
     let sender = &outcomes[0].time;
     let intra = topology.transfer_time(0, 1, 500_000 * 8);
     let inter = topology.transfer_time(0, 7, 500_000 * 8);

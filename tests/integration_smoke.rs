@@ -13,6 +13,28 @@ use ptycho_core::{GradientDecompositionSolver, SolverConfig};
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
 
 #[test]
+fn quickstart_example_geometry_has_high_probe_overlap() {
+    // Regression test for the quickstart's "probe overlap ratio: 0%" report:
+    // the example's original 5x5/32 px geometry produced probe circles
+    // (~7 px radius) that genuinely never overlapped at its 24 px step. The
+    // example now runs `SyntheticConfig::quickstart()` (shared with this
+    // test, so the two cannot drift apart); its circles must overlap like
+    // the paper's datasets do (above the 70% threshold of Sec. II-A), and
+    // adjacent probe circles must physically intersect.
+    let dataset = Dataset::synthesize(SyntheticConfig::quickstart());
+    let ratio = dataset.scan().config().overlap_ratio();
+    assert!(
+        (0.70..0.80).contains(&ratio),
+        "quickstart geometry should sit above the 70% overlap threshold, got {ratio}"
+    );
+    let locations = dataset.scan().locations();
+    assert!(
+        locations[0].overlaps(&locations[1]),
+        "adjacent probe circles must intersect"
+    );
+}
+
+#[test]
 fn quickstart_path_end_to_end_on_tiny_dataset() {
     // 1. Simulate a tiny acquisition (96 px object, 3x3 scan, 2 slices).
     let dataset = Dataset::synthesize(SyntheticConfig::tiny());

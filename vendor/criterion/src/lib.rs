@@ -14,6 +14,14 @@
 //! comparisons — for those, swap in the real crate (a one-line manifest
 //! change; every bench compiles unmodified against either).
 //!
+//! One extension beyond the real crate's API surface: when the
+//! `CRITERION_SUMMARY_PATH` environment variable is set, every benchmark
+//! appends one JSON line (`{"label": ..., "mean_ns": ..., "min_ns": ...,
+//! "max_ns": ..., "samples": ...}`) to that file. The `bench_gate` binary in
+//! `ptycho-bench` consumes those lines to compare a run against the
+//! committed `BENCH_baseline.json` and fail CI on large hot-path
+//! regressions.
+//!
 //! ```
 //! use criterion::{Criterion, black_box};
 //!
@@ -111,6 +119,32 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// Appends one machine-readable result line to `CRITERION_SUMMARY_PATH`, if
+/// set. Labels contain only identifier characters and `/`, so no JSON
+/// escaping is needed; a write failure is reported but never fails the run.
+fn append_summary_line(label: &str, mean: Duration, min: Duration, max: Duration, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_SUMMARY_PATH") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"label\": \"{label}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {samples}}}\n",
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("criterion stand-in: could not append to {path}: {error}");
+    }
+}
+
 fn run_and_report(label: &str, sample_size: usize, body: impl FnOnce(&mut Bencher)) {
     let mut samples = Vec::with_capacity(sample_size);
     let mut bencher = Bencher {
@@ -133,6 +167,7 @@ fn run_and_report(label: &str, sample_size: usize, body: impl FnOnce(&mut Benche
         format_duration(max),
         samples.len(),
     );
+    append_summary_line(label, mean, min, max, samples.len());
 }
 
 /// A named collection of related benchmarks (mirrors

@@ -4,9 +4,9 @@
 //! The build environment for this repository has no access to crates.io, so
 //! the workspace vendors the *API subset it actually uses*: [`unbounded`]
 //! channels with cloneable [`Sender`]s **and** cloneable [`Receiver`]s
-//! (multi-producer multi-consumer), blocking [`Receiver::recv`] and
-//! non-blocking [`Receiver::try_recv`], with disconnection reported once all
-//! peers on the other side have dropped.
+//! (multi-producer multi-consumer), blocking [`Receiver::recv`], bounded-wait
+//! [`Receiver::recv_timeout`] and non-blocking [`Receiver::try_recv`], with
+//! disconnection reported once all peers on the other side have dropped.
 //!
 //! The implementation is a `Mutex<VecDeque>` + `Condvar` — simpler and slower
 //! than crossbeam's lock-free design, but semantically equivalent for the
@@ -64,6 +64,26 @@ pub struct RecvError;
 impl std::fmt::Display for RecvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the allowed wait.
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
     }
 }
 
@@ -153,6 +173,34 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Blocks until a message arrives, every sender is dropped, or `timeout`
+    /// elapses — whichever happens first.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.channel.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _timed_out) = self
+                .channel
+                .not_empty
+                .wait_timeout(inner, remaining)
+                .expect("channel poisoned");
+            inner = guard;
+        }
+    }
+
     /// Returns a queued message if one is available, without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut inner = self.channel.inner.lock().expect("channel poisoned");
@@ -236,6 +284,23 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -1,16 +1,26 @@
 //! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
 //!
 //! The build environment for this repository has no access to crates.io, so
-//! the workspace vendors the *API subset it actually uses*, executed
-//! **sequentially** on the calling thread. The trait and method names mirror
-//! `rayon 1.x`, so replacing this stub with the real crate is a one-line
-//! change in the workspace manifest and requires no source edits — every
-//! `par_*` call site then becomes genuinely parallel.
+//! the workspace vendors the *API subset it actually uses*. Unlike the first
+//! iteration of this stub, the slice combinators are now **genuinely
+//! parallel**: [`slice::ParallelSliceMut::par_chunks_mut`] and
+//! [`slice::ParallelSlice::par_chunks`] fan their chunks out over a
+//! fork-join worker pool sized to [`current_num_threads`] (scoped threads,
+//! one contiguous section per worker), and [`join`] runs its two closures
+//! concurrently. Work below a small threshold stays on the calling thread,
+//! so tiny inputs pay no spawn overhead.
 //!
-//! Because the stand-in is sequential, code written against it is
-//! automatically deterministic; the real crate's work-stealing scheduler
-//! preserves the same element ordering for the combinators used here
-//! (`for_each` over `par_chunks_mut`, `map`/`collect` over `par_iter`).
+//! The generic iterator adapters (`par_iter`, `into_par_iter`) remain
+//! sequential std iterators: they accept arbitrary `IntoIterator` sources,
+//! which a safe, dependency-free stub cannot fan out without the real
+//! crate's machinery. Every `par_*` call site compiles unmodified against
+//! real `rayon`, so restoring registry access upgrades those too with a
+//! one-line manifest change.
+//!
+//! Chunk processing is order-independent (each chunk is touched exactly
+//! once, by one worker), so results are deterministic and identical to the
+//! sequential stub — the property the `fft2_parallel_equals_serial` proptest
+//! in `ptycho-fft` pins.
 //!
 //! ```
 //! use rayon::prelude::*;
@@ -26,6 +36,38 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+/// Inputs smaller than this many elements are processed on the calling
+/// thread: spawning scoped workers costs tens of microseconds, which dwarfs
+/// the work in a small FFT row pass.
+const PARALLEL_THRESHOLD_ELEMS: usize = 2048;
+
+/// Number of worker threads the chunk combinators fan out to (the machine's
+/// available parallelism; 1 means every combinator runs sequentially).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, concurrently when more than one hardware thread is
+/// available (mirrors `rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        (ra, handle.join().expect("rayon::join closure panicked"))
+    })
+}
 
 /// Sequential analogue of `rayon::iter`: re-uses the standard iterators.
 pub mod iter {
@@ -90,29 +132,216 @@ pub mod iter {
     }
 }
 
-/// Sequential analogue of `rayon::slice`.
+/// Parallel chunked access to slices, backed by a scoped fork-join pool.
 pub mod slice {
-    /// Chunked access to shared slices.
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `rayon`'s `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    use super::{current_num_threads, PARALLEL_THRESHOLD_ELEMS};
+
+    /// How many workers to use for `len` elements split into `chunks` chunks.
+    fn workers_for(len: usize, chunks: usize) -> usize {
+        if len < PARALLEL_THRESHOLD_ELEMS {
+            return 1;
+        }
+        current_num_threads().min(chunks).max(1)
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+    /// A pending parallel iteration over immutable chunks (the stub analogue
+    /// of `rayon::slice::Chunks`).
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Number of chunks the iteration will visit.
+        fn chunk_count(&self) -> usize {
+            self.slice.len().div_ceil(self.chunk_size)
+        }
+
+        /// Applies `f` to every chunk, fanning out over the worker pool.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a [T]) + Sync,
+        {
+            self.enumerate().for_each(|(_, chunk)| f(chunk));
+        }
+
+        /// Pairs every chunk with its global index (mirrors
+        /// `ParallelIterator::enumerate`).
+        pub fn enumerate(self) -> ParChunksEnumerate<'a, T> {
+            ParChunksEnumerate { inner: self }
+        }
+
+        /// Sequential fallback for combinators the stub does not fan out.
+        pub fn into_seq(self) -> std::slice::Chunks<'a, T> {
+            self.slice.chunks(self.chunk_size)
+        }
+    }
+
+    /// Enumerated variant of [`ParChunks`].
+    pub struct ParChunksEnumerate<'a, T> {
+        inner: ParChunks<'a, T>,
+    }
+
+    impl<'a, T: Sync> ParChunksEnumerate<'a, T> {
+        /// Applies `f` to every `(chunk_index, chunk)` pair in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a [T])) + Sync,
+        {
+            let chunks = self.inner.chunk_count();
+            let workers = workers_for(self.inner.slice.len(), chunks);
+            let size = self.inner.chunk_size;
+            if workers <= 1 {
+                for (i, chunk) in self.inner.slice.chunks(size).enumerate() {
+                    f((i, chunk));
+                }
+                return;
+            }
+            let mut sections = Vec::with_capacity(workers);
+            let mut rest = self.inner.slice;
+            for w in 0..workers {
+                let lo = w * chunks / workers;
+                let hi = (w + 1) * chunks / workers;
+                let elems = ((hi - lo) * size).min(rest.len());
+                let (head, tail) = rest.split_at(elems);
+                sections.push((lo, head));
+                rest = tail;
+            }
+            let f = &f;
+            std::thread::scope(|scope| {
+                // Spawn workers for all but the first section; the calling
+                // thread processes section 0 itself instead of idling.
+                let mut sections = sections.into_iter();
+                let head = sections.next();
+                for (base, section) in sections {
+                    scope.spawn(move || {
+                        for (offset, chunk) in section.chunks(size).enumerate() {
+                            f((base + offset, chunk));
+                        }
+                    });
+                }
+                if let Some((base, section)) = head {
+                    for (offset, chunk) in section.chunks(size).enumerate() {
+                        f((base + offset, chunk));
+                    }
+                }
+            });
+        }
+    }
+
+    /// A pending parallel iteration over mutable chunks (the stub analogue
+    /// of `rayon::slice::ChunksMut`).
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        fn chunk_count(&self) -> usize {
+            self.slice.len().div_ceil(self.chunk_size)
+        }
+
+        /// Applies `f` to every chunk, fanning out over the worker pool.
+        /// Chunks are disjoint, so workers never alias.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Sync,
+        {
+            self.enumerate().for_each(|(_, chunk)| f(chunk));
+        }
+
+        /// Pairs every chunk with its global index.
+        pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+            ParChunksMutEnumerate { inner: self }
+        }
+
+        /// Sequential fallback for combinators the stub does not fan out.
+        pub fn into_seq(self) -> std::slice::ChunksMut<'a, T> {
+            self.slice.chunks_mut(self.chunk_size)
+        }
+    }
+
+    /// Enumerated variant of [`ParChunksMut`].
+    pub struct ParChunksMutEnumerate<'a, T> {
+        inner: ParChunksMut<'a, T>,
+    }
+
+    impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+        /// Applies `f` to every `(chunk_index, chunk)` pair in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Sync,
+        {
+            let chunks = self.inner.chunk_count();
+            let workers = workers_for(self.inner.slice.len(), chunks);
+            let size = self.inner.chunk_size;
+            if workers <= 1 {
+                for (i, chunk) in self.inner.slice.chunks_mut(size).enumerate() {
+                    f((i, chunk));
+                }
+                return;
+            }
+            let mut sections = Vec::with_capacity(workers);
+            let mut rest = self.inner.slice;
+            for w in 0..workers {
+                let lo = w * chunks / workers;
+                let hi = (w + 1) * chunks / workers;
+                let elems = ((hi - lo) * size).min(rest.len());
+                let (head, tail) = rest.split_at_mut(elems);
+                sections.push((lo, head));
+                rest = tail;
+            }
+            let f = &f;
+            std::thread::scope(|scope| {
+                // Spawn workers for all but the first section; the calling
+                // thread processes section 0 itself instead of idling.
+                let mut sections = sections.into_iter();
+                let head = sections.next();
+                for (base, section) in sections {
+                    scope.spawn(move || {
+                        for (offset, chunk) in section.chunks_mut(size).enumerate() {
+                            f((base + offset, chunk));
+                        }
+                    });
+                }
+                if let Some((base, section)) = head {
+                    for (offset, chunk) in section.chunks_mut(size).enumerate() {
+                        f((base + offset, chunk));
+                    }
+                }
+            });
+        }
+    }
+
+    /// Chunked access to shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel analogue of `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunks {
+                slice: self,
+                chunk_size,
+            }
         }
     }
 
     /// Chunked access to mutable slices.
-    pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel analogue of `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
         }
     }
 }
@@ -125,23 +354,11 @@ pub mod prelude {
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
-/// Runs two closures (sequentially here; in parallel with the real crate).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Number of worker threads (always 1: this stand-in is sequential).
-pub fn current_num_threads() -> usize {
-    1
-}
-
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn par_chunks_mut_visits_every_chunk() {
@@ -152,6 +369,54 @@ mod tests {
             }
         });
         assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_above_threshold() {
+        // Large enough to actually fan out on a multi-core machine; indices
+        // and contents must come out exactly as in the sequential case.
+        let n = 100_000usize;
+        let chunk = 257;
+        let mut data = vec![0usize; n];
+        data.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(i, part)| {
+                for (j, v) in part.iter_mut().enumerate() {
+                    *v = i * chunk + j;
+                }
+            });
+        for (expected, &got) in data.iter().enumerate() {
+            assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn par_chunks_reads_every_chunk_once() {
+        let data: Vec<u64> = (0..50_000).collect();
+        let seen = Mutex::new(HashSet::new());
+        let total = Mutex::new(0u64);
+        data.par_chunks(1000).enumerate().for_each(|(i, chunk)| {
+            assert!(seen.lock().unwrap().insert(i), "chunk {i} visited twice");
+            *total.lock().unwrap() += chunk.iter().sum::<u64>();
+        });
+        assert_eq!(seen.lock().unwrap().len(), 50);
+        assert_eq!(*total.lock().unwrap(), (0..50_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_for_each_uses_multiple_threads_when_available() {
+        // On a single-core machine this trivially holds with one thread.
+        let data = vec![1u8; 1 << 20];
+        let threads = Mutex::new(HashSet::new());
+        data.par_chunks(4096).for_each(|_| {
+            threads.lock().unwrap().insert(std::thread::current().id());
+        });
+        let used = threads.lock().unwrap().len();
+        let cap = super::current_num_threads();
+        assert!(used >= 1 && used <= cap.max(1));
+        if cap > 1 {
+            assert!(used > 1, "expected fan-out on a {cap}-thread machine");
+        }
     }
 
     #[test]
