@@ -1,0 +1,50 @@
+//! Engine-overhead benchmark: what the fault-tolerant iteration engine costs
+//! on the fault-free path.
+//!
+//! `fail_fast` is the zero-overhead configuration (no reliable wrapping, no
+//! barriers, no checkpoints) and doubles as the regression pin for the
+//! solver-into-kernel refactor; `retransmit_restart` adds the full recovery
+//! machinery — sequence-numbered acks, a per-iteration consistency barrier
+//! and a per-iteration tile-volume checkpoint — on a run that never faults,
+//! which is exactly the overhead a cautious production deployment would pay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptycho_cluster::{ClusterTopology, LockstepBackend};
+use ptycho_core::{GradientDecompositionSolver, RecoveryPolicy, SolverConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use std::time::Duration;
+
+fn bench_engine(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+    let config = SolverConfig {
+        iterations: 1,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let solver = GradientDecompositionSolver::new(&dataset, config, (2, 2));
+    let backend = LockstepBackend::new(ClusterTopology::summit());
+
+    let mut group = c.benchmark_group("engine_recovery");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("gd_2x2_fail_fast_lockstep", |b| {
+        b.iter(|| solver.run(&backend))
+    });
+    group.bench_function("gd_2x2_retransmit_restart_lockstep", |b| {
+        b.iter(|| {
+            solver
+                .run_with_recovery(
+                    &backend,
+                    RecoveryPolicy::RetransmitThenRestart {
+                        max_iteration_restarts: 1,
+                    },
+                )
+                .expect("fault-free run cannot fail")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Regenerates Table I: dataset sizes for measurements and reconstructions.
 
-use ptycho_bench::experiments::table1;
+use ptycho_bench::experiments::{backend_validation_line, table1};
 
 fn main() {
     println!("{}", table1().render());
@@ -8,4 +8,5 @@ fn main() {
         "Paper reference: measurements 1024x1024x4158 / 1024x1024x16632, \
          reconstructions 1536x1536x100 / 3072x3072x100 at 10x10x125 pm^3."
     );
+    println!("{}", backend_validation_line());
 }

@@ -365,6 +365,10 @@ impl<B: CommBackend + Sync> CommBackend for FaultInjectionBackend<B> {
             body(ctx)
         })
     }
+
+    fn loss_detection_enabled(&self) -> bool {
+        self.inner.loss_detection_enabled()
+    }
 }
 
 #[cfg(test)]

@@ -52,8 +52,15 @@ struct SchedState<M> {
     /// structure here; receives scan for the first match).
     mailboxes: Vec<Vec<Envelope<M>>>,
     /// Set once the scheduler has proven a global deadlock; blocked calls
-    /// observe it and return an error.
+    /// observe it and return an error. Cleared again the moment any rank
+    /// makes progress (takes a message, completes a barrier), because a
+    /// recovery layer may retransmit and resolve a previously proven
+    /// deadlock — the stale proof must not poison later blocking calls.
     deadlock: Option<String>,
+    /// Bumped each time a barrier completes, so a rank woken from a barrier
+    /// can tell a genuine release apart from a deadlock wake-up even after
+    /// earlier deadlocks were proven and recovered.
+    barrier_epoch: u64,
 }
 
 struct Shared<M> {
@@ -178,6 +185,9 @@ impl<M: Payload> LockstepComm<M> {
         let pos = state.mailboxes[rank]
             .iter()
             .position(|e| e.from == from && e.tag == tag)?;
+        // A successful receive is progress: any earlier deadlock proof is
+        // stale (a recovery layer retransmitted its way out of it).
+        state.deadlock = None;
         Some(state.mailboxes[rank].remove(pos).payload)
     }
 
@@ -270,18 +280,19 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         drop(state);
 
         let rank = self.rank;
-        let result = self.clock.wait(|| {
+        let result = self.clock.wait(|| loop {
             let mut state = shared.wait_for_turn(rank);
-            match Self::take_matching(&mut state, rank, from, tag) {
-                Some(payload) => Ok(payload),
-                None => {
-                    let detail = state
-                        .deadlock
-                        .clone()
-                        .unwrap_or_else(|| "woken without a matching message".to_string());
-                    Err(CommError::Deadlock { rank, detail })
-                }
+            if let Some(payload) = Self::take_matching(&mut state, rank, from, tag) {
+                return Ok(payload);
             }
+            if let Some(detail) = state.deadlock.clone() {
+                return Err(CommError::Deadlock { rank, detail });
+            }
+            // Spurious wake-up: this rank was released by a deadlock proof
+            // that another rank has since resolved (a recovery layer made
+            // progress and cleared it). Re-arm the wait and yield again.
+            state.status[rank] = RankStatus::BlockedRecv { from, tag };
+            shared.yield_baton(&mut state, rank);
         });
         result
     }
@@ -319,6 +330,7 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         let shared = Arc::clone(&self.shared);
         let mut state = shared.state.lock().expect("lockstep state poisoned");
         self.flush_delayed(&mut state);
+        let entered_epoch = state.barrier_epoch;
         state.status[self.rank] = RankStatus::BlockedBarrier;
         let all_arrived = state
             .status
@@ -337,6 +349,9 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
                 for status in state.status.iter_mut() {
                     *status = RankStatus::Runnable;
                 }
+                state.barrier_epoch += 1;
+                // Completing a barrier is progress; drop any stale proof.
+                state.deadlock = None;
                 shared.baton.notify_all();
                 return Ok(());
             }
@@ -345,15 +360,34 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         drop(state);
 
         let rank = self.rank;
-        self.clock.wait(|| {
-            let state = shared.wait_for_turn(rank);
-            match &state.deadlock {
-                Some(detail) => Err(CommError::Deadlock {
-                    rank,
-                    detail: detail.clone(),
-                }),
-                None => Ok(()),
+        self.clock.wait(|| loop {
+            let mut state = shared.wait_for_turn(rank);
+            // A bumped epoch means the barrier genuinely completed; only an
+            // un-bumped epoch with a standing deadlock proof is a failure.
+            if state.barrier_epoch != entered_epoch {
+                return Ok(());
             }
+            if let Some(detail) = state.deadlock.clone() {
+                return Err(CommError::Deadlock { rank, detail });
+            }
+            // Spurious wake-up (a proven deadlock was resolved by another
+            // rank's recovery): re-arm, releasing the barrier ourselves if
+            // every live rank is now waiting at it.
+            state.status[rank] = RankStatus::BlockedBarrier;
+            if state
+                .status
+                .iter()
+                .all(|s| *s == RankStatus::BlockedBarrier)
+            {
+                for status in state.status.iter_mut() {
+                    *status = RankStatus::Runnable;
+                }
+                state.barrier_epoch += 1;
+                state.deadlock = None;
+                shared.baton.notify_all();
+                return Ok(());
+            }
+            shared.yield_baton(&mut state, rank);
         })
     }
 
@@ -406,6 +440,7 @@ impl LockstepBackend {
                 status: vec![RankStatus::Runnable; num_ranks],
                 mailboxes: (0..num_ranks).map(|_| Vec::new()).collect(),
                 deadlock: None,
+                barrier_epoch: 0,
             }),
             baton: Condvar::new(),
         });

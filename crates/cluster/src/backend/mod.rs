@@ -24,6 +24,7 @@
 
 pub mod fault;
 pub mod lockstep;
+pub mod reliable;
 pub mod threaded;
 
 use crate::clock::RankClock;
@@ -31,6 +32,7 @@ use crate::memory::MemoryTracker;
 
 pub use fault::{CommTrace, FaultAction, FaultInjectionBackend, FaultPolicy, TraceEvent};
 pub use lockstep::{LockstepBackend, LockstepComm};
+pub use reliable::{ReliableComm, ReliableConfig, ReliableStats};
 pub use threaded::{Cluster, RankContext, ThreadedBackend};
 
 /// Payloads carried between ranks must report an approximate wire size so the
@@ -107,6 +109,19 @@ pub enum CommError {
         /// The tag the receive was posted against.
         tag: u64,
     },
+    /// The reliable-delivery layer ([`ReliableComm`]) retried a failing
+    /// blocking operation its full recovery budget — retransmitting
+    /// unacknowledged sends each time — and the operation still failed.
+    /// Carries the last underlying error so callers can escalate (e.g. to a
+    /// checkpoint restart) with the root cause intact.
+    RecoveryExhausted {
+        /// The rank that gave up.
+        rank: usize,
+        /// How many recovery rounds were attempted.
+        recoveries: usize,
+        /// The final underlying failure.
+        last: Box<CommError>,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -129,6 +144,15 @@ impl std::fmt::Display for CommError {
                 f,
                 "rank {rank}: all peers terminated while waiting for a message \
                  from rank {from} (tag {tag:#x})"
+            ),
+            CommError::RecoveryExhausted {
+                rank,
+                recoveries,
+                last,
+            } => write!(
+                f,
+                "rank {rank}: reliable delivery gave up after {recoveries} \
+                 retransmit/retry rounds; last failure: {last}"
             ),
         }
     }
@@ -260,6 +284,16 @@ pub trait CommBackend {
         Self: Sized,
     {
         self
+    }
+
+    /// True when a lost message surfaces as a [`CommError`] on this backend
+    /// (a proven deadlock, a bounded receive). Recovery layers that act on
+    /// such errors ([`ReliableComm`], the iteration engine's
+    /// retransmit/restart policy) are inert on a backend without it — they
+    /// would hang exactly like the raw backend — so they check this up
+    /// front and refuse loudly instead.
+    fn loss_detection_enabled(&self) -> bool {
+        true
     }
 }
 

@@ -444,6 +444,12 @@ impl CommBackend for ThreadedBackend {
         self.recv_timeout.get_or_insert(DEFAULT_LOSS_TIMEOUT);
         self
     }
+
+    fn loss_detection_enabled(&self) -> bool {
+        // Without a receive timeout a lost message blocks forever (like
+        // MPI_Wait), so no error ever reaches a recovery layer.
+        self.recv_timeout.is_some()
+    }
 }
 
 #[cfg(test)]

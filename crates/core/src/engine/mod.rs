@@ -1,0 +1,364 @@
+//! The shared fault-tolerant iteration engine.
+//!
+//! Both reconstruction methods — Gradient Decomposition and the Halo Voxel
+//! Exchange baseline — drive the same per-rank loop: initialise tile state,
+//! run the per-iteration passes/exchanges, collect per-iteration costs, and
+//! stitch the core tiles into the full volume. Before this module existed
+//! that loop was duplicated in both solvers; now each method implements only
+//! the [`SolverKernel`] trait (what *one iteration* does on *one rank*) and
+//! [`IterationEngine`] owns everything around it:
+//!
+//! * the per-rank iteration loop and cost bookkeeping,
+//! * gathering [`RankOutcome`]s and stitching the [`ReconstructionResult`],
+//! * **recovery**, governed by [`RecoveryPolicy`]:
+//!   - [`RecoveryPolicy::FailFast`] reproduces the historical behaviour —
+//!     the first communication failure aborts the run (and adds zero
+//!     overhead to the fault-free path; no extra barriers, no wrapping);
+//!   - [`RecoveryPolicy::RetransmitThenRestart`] wraps every rank's
+//!     communicator in [`ReliableComm`] (sequence-numbered ack/retransmit,
+//!     healing lost messages in place) and additionally keeps a lightweight
+//!     per-iteration checkpoint of each rank's tile state, so that a
+//!     [`RankFailure`] that survives retransmission rolls the whole run back
+//!     to the last consistent iteration boundary and re-runs it instead of
+//!     aborting, up to `max_iteration_restarts` times.
+//!
+//! ### Why checkpoints are consistent
+//!
+//! In recovery mode the engine ends every iteration with a barrier and saves
+//! the checkpoint only after the barrier completes. A barrier completes for
+//! either every rank or no rank, so whenever an attempt fails, every rank's
+//! latest checkpoint refers to the same iteration — the engine verifies this
+//! invariant before restarting and escalates the original failure if it ever
+//! does not hold. Restart attempts carry an increasing *epoch* into the
+//! reliable layer's wire tags, so retransmit streams from different attempts
+//! can never alias and seeded fault policies draw fresh decisions.
+//!
+//! [`ReliableComm`]: ptycho_cluster::ReliableComm
+
+use crate::convergence::CostHistory;
+use crate::stitch::stitch_tiles;
+use crate::tiling::TileGrid;
+use ptycho_array::Rect;
+use ptycho_cluster::{
+    CommBackend, CommError, MemoryTracker, RankComm, RankFailure, RankOutcome, ReliableComm,
+    ReliableConfig, ReliableStats, TimeBreakdown,
+};
+use ptycho_fft::CArray3;
+use std::sync::Mutex;
+
+/// The outcome of a parallel reconstruction.
+#[derive(Clone, Debug)]
+pub struct ReconstructionResult {
+    /// The stitched reconstruction volume (halos discarded).
+    pub volume: CArray3,
+    /// Global cost `F(V)` per iteration, summed over every probe location.
+    pub cost_history: CostHistory,
+    /// Per-rank time breakdowns.
+    pub time: Vec<TimeBreakdown>,
+    /// Per-rank memory accounting.
+    pub memory: Vec<MemoryTracker>,
+    /// The tile decomposition the reconstruction used.
+    pub grid: TileGrid,
+    /// What the engine's recovery machinery had to do (all zeros under
+    /// [`RecoveryPolicy::FailFast`] and on fault-free runs).
+    pub recovery: RecoveryReport,
+}
+
+impl ReconstructionResult {
+    /// Average peak memory per rank in bytes.
+    pub fn average_peak_memory_bytes(&self) -> f64 {
+        ptycho_cluster::average_peak_bytes(&self.memory)
+    }
+
+    /// Worst-case (critical-path) time breakdown across ranks.
+    pub fn critical_path(&self) -> TimeBreakdown {
+        self.time
+            .iter()
+            .fold(TimeBreakdown::default(), |acc, t| acc.max_per_component(t))
+    }
+}
+
+/// How the engine responds to a communication failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Abort on the first [`RankFailure`] (the historical behaviour, and the
+    /// zero-overhead fault-free path).
+    #[default]
+    FailFast,
+    /// Heal lost messages with the reliable-delivery layer; if a failure
+    /// still escalates, roll back to the last consistent iteration boundary
+    /// and re-run, at most `max_iteration_restarts` times.
+    RetransmitThenRestart {
+        /// Upper bound on checkpoint restarts before the failure is
+        /// surfaced to the caller.
+        max_iteration_restarts: usize,
+    },
+}
+
+/// What the recovery machinery did during one reconstruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Checkpoint restarts the engine performed.
+    pub iteration_restarts: usize,
+    /// Reliable-delivery counters summed over every rank (of the successful
+    /// attempt).
+    pub reliable: ReliableStats,
+}
+
+impl RecoveryReport {
+    /// True when the run needed no recovery work at all.
+    pub fn is_clean(&self) -> bool {
+        self.iteration_restarts == 0 && self.reliable == ReliableStats::default()
+    }
+}
+
+/// What one reconstruction method contributes to the shared engine loop: the
+/// per-rank tile state and the body of one iteration. Everything else —
+/// iteration driving, cost collection, checkpointing, recovery, stitching —
+/// lives in [`IterationEngine`].
+pub trait SolverKernel: Sync {
+    /// Rank-local state (tile worker, accumulation buffers, …). The lifetime
+    /// ties the state to the kernel that created it.
+    type State<'k>
+    where
+        Self: 'k;
+
+    /// A lightweight snapshot of the mutable part of [`Self::State`], taken
+    /// at iteration boundaries (for both methods: the tile volume).
+    type Checkpoint: Send;
+
+    /// The tile decomposition (one rank per tile).
+    fn grid(&self) -> &TileGrid;
+
+    /// Number of reconstruction iterations.
+    fn iterations(&self) -> usize;
+
+    /// Builds rank `ctx.rank()`'s state, registering its memory footprint
+    /// with `ctx`'s tracker. Must not communicate.
+    fn init<'k, C: RankComm<Vec<f64>>>(&'k self, ctx: &mut C) -> Self::State<'k>;
+
+    /// Runs one full iteration on this rank, returning the rank's share of
+    /// the iteration cost `F(V)`.
+    fn run_iteration<C: RankComm<Vec<f64>>>(
+        &self,
+        ctx: &mut C,
+        state: &mut Self::State<'_>,
+        iteration: usize,
+    ) -> Result<f64, CommError>;
+
+    /// Snapshots the mutable state at an iteration boundary.
+    fn checkpoint(&self, state: &Self::State<'_>) -> Self::Checkpoint;
+
+    /// Restores a snapshot taken by [`Self::checkpoint`], resetting any
+    /// intra-iteration scratch (accumulation buffers) to its boundary value.
+    fn restore(&self, state: &mut Self::State<'_>, checkpoint: &Self::Checkpoint);
+
+    /// Extracts the rank's core (non-halo) volume for stitching.
+    fn core_volume(&self, state: &Self::State<'_>) -> CArray3;
+}
+
+/// What one rank hands back to the engine.
+struct RankRun {
+    core: CArray3,
+    costs: Vec<f64>,
+    stats: ReliableStats,
+}
+
+/// A rank's saved state at a completed iteration boundary.
+struct CheckpointSlot<T> {
+    /// Number of completed iterations (the next attempt resumes here).
+    iteration: usize,
+    /// Per-iteration costs accumulated so far.
+    costs: Vec<f64>,
+    state: T,
+}
+
+/// The shared driver executing a [`SolverKernel`] on a communication
+/// backend under a [`RecoveryPolicy`].
+pub struct IterationEngine<'k, K> {
+    kernel: &'k K,
+    policy: RecoveryPolicy,
+}
+
+impl<'k, K: SolverKernel> IterationEngine<'k, K> {
+    /// An engine with the default [`RecoveryPolicy::FailFast`] policy.
+    pub fn new(kernel: &'k K) -> Self {
+        Self::with_policy(kernel, RecoveryPolicy::FailFast)
+    }
+
+    /// An engine with an explicit recovery policy.
+    pub fn with_policy(kernel: &'k K, policy: RecoveryPolicy) -> Self {
+        Self { kernel, policy }
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Runs the reconstruction, one rank per tile, surfacing unrecovered
+    /// communication failures as a [`RankFailure`].
+    pub fn run<B: CommBackend>(&self, backend: &B) -> Result<ReconstructionResult, RankFailure> {
+        match self.policy {
+            RecoveryPolicy::FailFast => self.run_fail_fast(backend),
+            RecoveryPolicy::RetransmitThenRestart {
+                max_iteration_restarts,
+            } => self.run_with_restart(backend, max_iteration_restarts),
+        }
+    }
+
+    fn run_fail_fast<B: CommBackend>(
+        &self,
+        backend: &B,
+    ) -> Result<ReconstructionResult, RankFailure> {
+        let kernel = self.kernel;
+        let iterations = kernel.iterations();
+        let outcomes = backend.run::<Vec<f64>, RankRun, _>(kernel.grid().num_tiles(), |ctx| {
+            let mut state = kernel.init(ctx);
+            let mut costs = Vec::with_capacity(iterations);
+            for iteration in 0..iterations {
+                costs.push(kernel.run_iteration(ctx, &mut state, iteration)?);
+            }
+            Ok(RankRun {
+                core: kernel.core_volume(&state),
+                costs,
+                stats: ReliableStats::default(),
+            })
+        })?;
+        Ok(assemble(
+            outcomes,
+            kernel.grid().clone(),
+            iterations,
+            RecoveryReport::default(),
+        ))
+    }
+
+    fn run_with_restart<B: CommBackend>(
+        &self,
+        backend: &B,
+        max_iteration_restarts: usize,
+    ) -> Result<ReconstructionResult, RankFailure> {
+        // Recovery acts on communication *errors*; a backend that hangs on a
+        // lost message (threaded without a receive timeout) never produces
+        // one, so the policy would silently be inert. Refuse loudly instead.
+        assert!(
+            backend.loss_detection_enabled(),
+            "RecoveryPolicy::RetransmitThenRestart requires a backend that turns lost messages \
+             into errors; enable it with `with_recv_timeout(..)` or `with_loss_detection()`"
+        );
+        let kernel = self.kernel;
+        let iterations = kernel.iterations();
+        let ranks = kernel.grid().num_tiles();
+        let slots: Vec<Mutex<Option<CheckpointSlot<K::Checkpoint>>>> =
+            (0..ranks).map(|_| Mutex::new(None)).collect();
+        let mut restarts = 0usize;
+        loop {
+            let config = ReliableConfig {
+                epoch: restarts as u8,
+                ..ReliableConfig::default()
+            };
+            let slots_ref = &slots;
+            let attempt = backend.run::<Vec<f64>, RankRun, _>(ranks, |ctx| {
+                let rank = ctx.rank();
+                let mut comm = ReliableComm::with_config(ctx, config);
+                let mut state = kernel.init(&mut comm);
+                let (mut costs, start) = {
+                    let slot = slots_ref[rank].lock().expect("checkpoint slot poisoned");
+                    match slot.as_ref() {
+                        Some(saved) => {
+                            kernel.restore(&mut state, &saved.state);
+                            (saved.costs.clone(), saved.iteration)
+                        }
+                        None => (Vec::with_capacity(iterations), 0),
+                    }
+                };
+                for iteration in start..iterations {
+                    costs.push(kernel.run_iteration(&mut comm, &mut state, iteration)?);
+                    // The consistency barrier: no rank can proceed past this
+                    // iteration until every rank has completed it, so every
+                    // stored checkpoint always refers to the same iteration.
+                    // It doubles as the quiesce point after which any of this
+                    // rank's sends a peer still needs have been delivered.
+                    comm.barrier()?;
+                    *slots_ref[rank].lock().expect("checkpoint slot poisoned") =
+                        Some(CheckpointSlot {
+                            iteration: iteration + 1,
+                            costs: costs.clone(),
+                            state: kernel.checkpoint(&state),
+                        });
+                }
+                Ok(RankRun {
+                    core: kernel.core_volume(&state),
+                    costs,
+                    stats: comm.stats(),
+                })
+            });
+            match attempt {
+                Ok(outcomes) => {
+                    let reliable = outcomes.iter().fold(ReliableStats::default(), |acc, o| {
+                        acc.merge(&o.result.stats)
+                    });
+                    return Ok(assemble(
+                        outcomes,
+                        kernel.grid().clone(),
+                        iterations,
+                        RecoveryReport {
+                            iteration_restarts: restarts,
+                            reliable,
+                        },
+                    ));
+                }
+                Err(failure) => {
+                    if restarts >= max_iteration_restarts {
+                        return Err(failure);
+                    }
+                    // Restart only from a provably consistent boundary: every
+                    // rank's latest checkpoint must agree on the iteration
+                    // (None counts as iteration 0).
+                    let boundary = |slot: &Mutex<Option<CheckpointSlot<K::Checkpoint>>>| {
+                        slot.lock()
+                            .expect("checkpoint slot poisoned")
+                            .as_ref()
+                            .map_or(0, |saved| saved.iteration)
+                    };
+                    let first = boundary(&slots[0]);
+                    if slots.iter().any(|slot| boundary(slot) != first) {
+                        return Err(failure);
+                    }
+                    restarts += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Gathers per-rank outcomes into a [`ReconstructionResult`] — the single
+/// assembly path shared by both solvers.
+fn assemble(
+    outcomes: Vec<RankOutcome<RankRun>>,
+    grid: TileGrid,
+    iterations: usize,
+    recovery: RecoveryReport,
+) -> ReconstructionResult {
+    let mut cores: Vec<(Rect, CArray3)> = Vec::with_capacity(outcomes.len());
+    let mut cost_per_iteration = vec![0.0; iterations];
+    let mut time = Vec::with_capacity(outcomes.len());
+    let mut memory = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        cores.push((grid.tile(outcome.rank).core, outcome.result.core));
+        for (i, c) in outcome.result.costs.iter().enumerate() {
+            cost_per_iteration[i] += c;
+        }
+        time.push(outcome.time);
+        memory.push(outcome.memory);
+    }
+    let volume = stitch_tiles(&grid, &cores);
+    ReconstructionResult {
+        volume,
+        cost_history: CostHistory::from_costs(cost_per_iteration),
+        time,
+        memory,
+        grid,
+        recovery,
+    }
+}

@@ -10,6 +10,11 @@
 //! and rows proceed concurrently and communication is non-blocking, which is
 //! the Asynchronous Pipelining for Parallel Passes technique of Sec. V.
 //!
+//! The iteration driving (and the recovery machinery) lives in the shared
+//! [`IterationEngine`](crate::engine::IterationEngine); this module
+//! contributes the [`SolverKernel`] describing what one Gradient
+//! Decomposition iteration does on one rank.
+//!
 //! The only deliberate deviation from the paper's pseudo-code: when local
 //! per-probe updates are enabled, step 15 applies the accumulated buffer
 //! *minus the gradients this tile already applied locally*, so that no probe's
@@ -19,46 +24,16 @@
 //! exploit to verify equivalence with a serial reference.
 
 use crate::config::SolverConfig;
-use crate::convergence::CostHistory;
+use crate::engine::{IterationEngine, RecoveryPolicy, SolverKernel};
 use crate::gradient_decomp::passes::run_accumulation_passes;
-use crate::stitch::stitch_tiles;
 use crate::tiling::TileGrid;
 use crate::worker::TileWorker;
-use ptycho_array::Rect;
-use ptycho_cluster::{
-    CommBackend, CommError, MemoryCategory, MemoryTracker, RankComm, RankFailure, TimeBreakdown,
-};
+use ptycho_cluster::{CommBackend, CommError, MemoryCategory, RankComm, RankFailure};
 use ptycho_fft::CArray3;
 use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX};
+use ptycho_sim::scan::ProbeLocation;
 
-/// The outcome of a parallel reconstruction.
-#[derive(Clone, Debug)]
-pub struct ReconstructionResult {
-    /// The stitched reconstruction volume (halos discarded).
-    pub volume: CArray3,
-    /// Global cost `F(V)` per iteration, summed over every probe location.
-    pub cost_history: CostHistory,
-    /// Per-rank time breakdowns.
-    pub time: Vec<TimeBreakdown>,
-    /// Per-rank memory accounting.
-    pub memory: Vec<MemoryTracker>,
-    /// The tile decomposition the reconstruction used.
-    pub grid: TileGrid,
-}
-
-impl ReconstructionResult {
-    /// Average peak memory per rank in bytes.
-    pub fn average_peak_memory_bytes(&self) -> f64 {
-        ptycho_cluster::average_peak_bytes(&self.memory)
-    }
-
-    /// Worst-case (critical-path) time breakdown across ranks.
-    pub fn critical_path(&self) -> TimeBreakdown {
-        self.time
-            .iter()
-            .fold(TimeBreakdown::default(), |acc, t| acc.max_per_component(t))
-    }
-}
+pub use crate::engine::ReconstructionResult;
 
 /// The Gradient Decomposition parallel solver (the paper's contribution).
 pub struct GradientDecompositionSolver<'a> {
@@ -132,130 +107,160 @@ impl<'a> GradientDecompositionSolver<'a> {
         &self,
         backend: &B,
     ) -> Result<ReconstructionResult, RankFailure> {
-        let ranks = self.grid.num_tiles();
-        let rounds = self.rounds_per_iteration();
+        self.run_with_recovery(backend, RecoveryPolicy::FailFast)
+    }
+
+    /// Runs the reconstruction under an explicit [`RecoveryPolicy`]: with
+    /// [`RecoveryPolicy::RetransmitThenRestart`], lost messages are healed
+    /// by acknowledge/retransmit and surviving failures roll back to the
+    /// last completed iteration instead of aborting.
+    pub fn run_with_recovery<B: CommBackend>(
+        &self,
+        backend: &B,
+        policy: RecoveryPolicy,
+    ) -> Result<ReconstructionResult, RankFailure> {
         let initial = self.dataset.initial_guess();
-        let grid = &self.grid;
-        let dataset = self.dataset;
-        let config = self.config;
-        let initial_ref = &initial;
-
-        let outcomes = backend.run::<Vec<f64>, (CArray3, Vec<f64>), _>(ranks, |ctx| {
-            run_rank(ctx, dataset, grid, &config, rounds, initial_ref)
-        })?;
-
-        Ok(assemble_result(
-            outcomes,
-            grid.clone(),
-            self.config.iterations,
-        ))
+        let kernel = GdKernel {
+            dataset: self.dataset,
+            grid: &self.grid,
+            config: self.config,
+            rounds: self.rounds_per_iteration(),
+            initial: &initial,
+        };
+        IterationEngine::with_policy(&kernel, policy).run(backend)
     }
 }
 
-/// The per-rank body of Algorithm 1, generic over the communication backend.
-fn run_rank<C: RankComm<Vec<f64>>>(
-    ctx: &mut C,
-    dataset: &Dataset,
-    grid: &TileGrid,
-    config: &SolverConfig,
+/// The Gradient Decomposition [`SolverKernel`]: Algorithm 1's per-rank,
+/// per-iteration body, plugged into the shared iteration engine.
+struct GdKernel<'a> {
+    dataset: &'a Dataset,
+    grid: &'a TileGrid,
+    config: SolverConfig,
     rounds: usize,
-    initial: &CArray3,
-) -> Result<(CArray3, Vec<f64>), CommError> {
-    let rank = ctx.rank();
-    let tile = grid.tile(rank).clone();
-    let owned = tile.owned_locations.clone();
-    let slices = dataset.object_shape().0;
+    initial: &'a CArray3,
+}
 
-    let mut memory = MemoryTracker::new();
-    let mut worker = TileWorker::new(
-        dataset,
-        &tile,
-        initial,
-        config.step_relaxation,
-        owned.len(),
-        &mut memory,
-    );
-    // The accumulation buffer (and, with local updates, the record of what was
-    // already applied locally) live on the GPU too.
-    let buffer_bytes = tile.extended.area() * slices * BYTES_PER_COMPLEX;
-    memory.allocate(MemoryCategory::AccumulationBuffer, buffer_bytes);
-    if config.local_updates {
-        memory.allocate(MemoryCategory::AccumulationBuffer, buffer_bytes);
+/// Rank-local Gradient Decomposition state.
+struct GdState<'a> {
+    worker: TileWorker<'a>,
+    owned: Vec<ProbeLocation>,
+    acc_buf: CArray3,
+    own_acc: CArray3,
+}
+
+impl SolverKernel for GdKernel<'_> {
+    type State<'k>
+        = GdState<'k>
+    where
+        Self: 'k;
+    type Checkpoint = CArray3;
+
+    fn grid(&self) -> &TileGrid {
+        self.grid
     }
 
-    let mut acc_buf = worker.zero_buffer();
-    let mut own_acc = worker.zero_buffer();
-    let mut local_costs = Vec::with_capacity(config.iterations);
+    fn iterations(&self) -> usize {
+        self.config.iterations
+    }
 
-    for _iteration in 0..config.iterations {
+    fn init<'k, C: RankComm<Vec<f64>>>(&'k self, ctx: &mut C) -> GdState<'k> {
+        let tile = self.grid.tile(ctx.rank()).clone();
+        let owned = tile.owned_locations.clone();
+        let slices = self.dataset.object_shape().0;
+
+        let worker = TileWorker::new(
+            self.dataset,
+            &tile,
+            self.initial,
+            self.config.step_relaxation,
+            owned.len(),
+            ctx.memory_mut(),
+        );
+        // The accumulation buffer (and, with local updates, the record of
+        // what was already applied locally) live on the GPU too.
+        let buffer_bytes = tile.extended.area() * slices * BYTES_PER_COMPLEX;
+        ctx.memory_mut()
+            .allocate(MemoryCategory::AccumulationBuffer, buffer_bytes);
+        if self.config.local_updates {
+            ctx.memory_mut()
+                .allocate(MemoryCategory::AccumulationBuffer, buffer_bytes);
+        }
+
+        let acc_buf = worker.zero_buffer();
+        let own_acc = worker.zero_buffer();
+        GdState {
+            worker,
+            owned,
+            acc_buf,
+            own_acc,
+        }
+    }
+
+    fn run_iteration<C: RankComm<Vec<f64>>>(
+        &self,
+        ctx: &mut C,
+        state: &mut GdState<'_>,
+        _iteration: usize,
+    ) -> Result<f64, CommError> {
+        let GdState {
+            worker,
+            owned,
+            acc_buf,
+            own_acc,
+        } = state;
         let mut iteration_cost = 0.0;
-        for round in 0..rounds {
+        for round in 0..self.rounds {
             // This round's share of the owned probe locations.
-            let start = round * owned.len() / rounds;
-            let end = (round + 1) * owned.len() / rounds;
+            let start = round * owned.len() / self.rounds;
+            let end = (round + 1) * owned.len() / self.rounds;
             for loc in &owned[start..end] {
                 let (loss, gradient) = ctx.clock_mut().compute(|| worker.compute_gradient(loc));
                 iteration_cost += loss;
                 ctx.clock_mut().compute(|| {
-                    worker.accumulate_patch(&mut acc_buf, loc, &gradient);
-                    if config.local_updates {
-                        worker.accumulate_patch(&mut own_acc, loc, &gradient);
+                    worker.accumulate_patch(acc_buf, loc, &gradient);
+                    if self.config.local_updates {
+                        worker.accumulate_patch(own_acc, loc, &gradient);
                         worker.apply_patch(loc, &gradient);
                     }
                 });
             }
 
             // Steps 10-13: accumulate gradients across tiles.
-            run_accumulation_passes(ctx, grid, &mut acc_buf)?;
+            run_accumulation_passes(ctx, self.grid, acc_buf)?;
 
             // Steps 14-15: update the tile from the accumulated gradients.
             ctx.clock_mut().compute(|| {
-                if config.local_updates {
+                if self.config.local_updates {
                     // Apply only what this tile has not already applied.
-                    let remote = acc_buf.zip_map(&own_acc, |total, own| *total - *own);
+                    let remote = acc_buf.zip_map(own_acc, |total, own| *total - *own);
                     worker.apply_buffer(&remote);
                 } else {
-                    worker.apply_buffer(&acc_buf);
+                    worker.apply_buffer(acc_buf);
                 }
             });
 
             // Step 16: reset the buffers.
-            acc_buf = worker.zero_buffer();
-            own_acc = worker.zero_buffer();
+            *acc_buf = worker.zero_buffer();
+            *own_acc = worker.zero_buffer();
         }
-        local_costs.push(iteration_cost);
+        Ok(iteration_cost)
     }
 
-    ctx.memory_mut().max_merge(&memory);
-    Ok((worker.core_volume(), local_costs))
-}
-
-/// Gathers per-rank outcomes into a [`ReconstructionResult`].
-fn assemble_result(
-    outcomes: Vec<ptycho_cluster::RankOutcome<(CArray3, Vec<f64>)>>,
-    grid: TileGrid,
-    iterations: usize,
-) -> ReconstructionResult {
-    let mut cores: Vec<(Rect, CArray3)> = Vec::with_capacity(outcomes.len());
-    let mut cost_per_iteration = vec![0.0; iterations];
-    let mut time = Vec::with_capacity(outcomes.len());
-    let mut memory = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        let (core, costs) = outcome.result;
-        cores.push((grid.tile(outcome.rank).core, core));
-        for (i, c) in costs.iter().enumerate() {
-            cost_per_iteration[i] += c;
-        }
-        time.push(outcome.time);
-        memory.push(outcome.memory);
+    fn checkpoint(&self, state: &GdState<'_>) -> CArray3 {
+        state.worker.volume().clone()
     }
-    let volume = stitch_tiles(&grid, &cores);
-    ReconstructionResult {
-        volume,
-        cost_history: CostHistory::from_costs(cost_per_iteration),
-        time,
-        memory,
-        grid,
+
+    fn restore(&self, state: &mut GdState<'_>, checkpoint: &CArray3) {
+        *state.worker.volume_mut() = checkpoint.clone();
+        // The buffers are zero at every iteration boundary; discard whatever
+        // the failed attempt left in them.
+        state.acc_buf = state.worker.zero_buffer();
+        state.own_acc = state.worker.zero_buffer();
+    }
+
+    fn core_volume(&self, state: &GdState<'_>) -> CArray3 {
+        state.worker.core_volume()
     }
 }
 
@@ -286,6 +291,7 @@ mod tests {
         assert_eq!(result.volume.shape(), dataset.object_shape());
         assert!(result.cost_history.is_monotonically_decreasing());
         assert!(result.cost_history.final_cost() < result.cost_history.initial_cost());
+        assert!(result.recovery.is_clean());
     }
 
     #[test]
@@ -374,5 +380,29 @@ mod tests {
         let dataset = tiny_dataset();
         let solver = GradientDecompositionSolver::for_workers(&dataset, quick_config(1), 6);
         assert_eq!(solver.grid().grid_shape(), (2, 3));
+    }
+
+    #[test]
+    fn recovery_mode_matches_fail_fast_on_a_clean_run() {
+        // The reliable layer and the per-iteration checkpoints must not
+        // change the numerics: a fault-free recovery-mode run is
+        // bit-identical to the fail-fast run.
+        let dataset = tiny_dataset();
+        let solver = GradientDecompositionSolver::new(&dataset, quick_config(2), (2, 2));
+        let backend = ptycho_cluster::LockstepBackend::new(ClusterTopology::summit());
+        let plain = solver.run(&backend);
+        let recovered = solver
+            .run_with_recovery(
+                &backend,
+                RecoveryPolicy::RetransmitThenRestart {
+                    max_iteration_restarts: 2,
+                },
+            )
+            .expect("fault-free run cannot fail");
+        assert_eq!(recovered.recovery.iteration_restarts, 0);
+        for (a, b) in plain.volume.iter().zip(recovered.volume.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 }

@@ -1,13 +1,18 @@
 //! The Halo Voxel Exchange parallel solver.
+//!
+//! The iteration driving (and the recovery machinery) lives in the shared
+//! [`IterationEngine`](crate::engine::IterationEngine); this module
+//! contributes the [`SolverKernel`] describing what one baseline iteration
+//! does on one rank: embarrassingly parallel tile reconstruction with
+//! redundant probe locations, followed every `hve_exchange_period`
+//! iterations by the synchronous voxel copy-paste exchange of Fig. 2(g).
 
 use crate::config::SolverConfig;
-use crate::convergence::CostHistory;
+use crate::engine::{IterationEngine, RecoveryPolicy, SolverKernel};
 use crate::gradient_decomp::solver::ReconstructionResult;
-use crate::stitch::stitch_tiles;
-use crate::tiling::TileGrid;
+use crate::tiling::{TileGrid, TileInfo};
 use crate::worker::{extract_region_flat, set_region_flat, TileWorker};
-use ptycho_array::Rect;
-use ptycho_cluster::{CommBackend, CommError, MemoryTracker, RankComm, RankFailure};
+use ptycho_cluster::{CommBackend, CommError, RankComm, RankFailure};
 use ptycho_fft::CArray3;
 use ptycho_sim::dataset::Dataset;
 use ptycho_sim::scan::ProbeLocation;
@@ -152,54 +157,103 @@ impl<'a> HaloVoxelExchangeSolver<'a> {
         &self,
         backend: &B,
     ) -> Result<ReconstructionResult, RankFailure> {
-        let ranks = self.grid.num_tiles();
+        self.run_with_recovery(backend, RecoveryPolicy::FailFast)
+    }
+
+    /// Runs the baseline under an explicit [`RecoveryPolicy`] (see
+    /// [`GradientDecompositionSolver::run_with_recovery`]).
+    ///
+    /// [`GradientDecompositionSolver::run_with_recovery`]:
+    ///     crate::GradientDecompositionSolver::run_with_recovery
+    pub fn run_with_recovery<B: CommBackend>(
+        &self,
+        backend: &B,
+        policy: RecoveryPolicy,
+    ) -> Result<ReconstructionResult, RankFailure> {
         let initial = self.dataset.initial_guess();
-        let grid = &self.grid;
-        let dataset = self.dataset;
-        let config = self.config;
-        let assigned = &self.assigned;
-        let initial_ref = &initial;
-
-        let outcomes = backend.run::<Vec<f64>, (CArray3, Vec<f64>), _>(ranks, |ctx| {
-            run_rank(ctx, dataset, grid, &config, assigned, initial_ref)
-        })?;
-
-        Ok(assemble(outcomes, grid.clone(), config.iterations))
+        let kernel = HveKernel {
+            dataset: self.dataset,
+            grid: &self.grid,
+            config: self.config,
+            assigned: &self.assigned,
+            initial: &initial,
+        };
+        IterationEngine::with_policy(&kernel, policy).run(backend)
     }
 }
 
-fn run_rank<C: RankComm<Vec<f64>>>(
-    ctx: &mut C,
-    dataset: &Dataset,
-    grid: &TileGrid,
-    config: &SolverConfig,
-    assigned: &[Vec<ProbeLocation>],
-    initial: &CArray3,
-) -> Result<(CArray3, Vec<f64>), CommError> {
-    let rank = ctx.rank();
-    let tile = grid.tile(rank).clone();
-    let my_probes = &assigned[rank];
+/// The Halo Voxel Exchange [`SolverKernel`], plugged into the shared
+/// iteration engine.
+struct HveKernel<'a> {
+    dataset: &'a Dataset,
+    grid: &'a TileGrid,
+    config: SolverConfig,
+    assigned: &'a [Vec<ProbeLocation>],
+    initial: &'a CArray3,
+}
 
-    let mut memory = MemoryTracker::new();
-    let mut worker = TileWorker::new(
-        dataset,
-        &tile,
-        initial,
-        config.step_relaxation,
-        my_probes.len(),
-        &mut memory,
-    );
+/// Rank-local Halo Voxel Exchange state.
+struct HveState<'a> {
+    worker: TileWorker<'a>,
+    tile: TileInfo,
+    probes: &'a [ProbeLocation],
+    neighbors: Vec<usize>,
+}
 
-    let neighbors = grid.neighbors(rank);
-    let exchange_period = config.hve_exchange_period.max(1);
-    let mut local_costs = Vec::with_capacity(config.iterations);
+impl SolverKernel for HveKernel<'_> {
+    type State<'k>
+        = HveState<'k>
+    where
+        Self: 'k;
+    type Checkpoint = CArray3;
 
-    for iteration in 0..config.iterations {
+    fn grid(&self) -> &TileGrid {
+        self.grid
+    }
+
+    fn iterations(&self) -> usize {
+        self.config.iterations
+    }
+
+    fn init<'k, C: RankComm<Vec<f64>>>(&'k self, ctx: &mut C) -> HveState<'k> {
+        let rank = ctx.rank();
+        let tile = self.grid.tile(rank).clone();
+        let probes = self.assigned[rank].as_slice();
+        let worker = TileWorker::new(
+            self.dataset,
+            &tile,
+            self.initial,
+            self.config.step_relaxation,
+            probes.len(),
+            ctx.memory_mut(),
+        );
+        let neighbors = self.grid.neighbors(rank);
+        HveState {
+            worker,
+            tile,
+            probes,
+            neighbors,
+        }
+    }
+
+    fn run_iteration<C: RankComm<Vec<f64>>>(
+        &self,
+        ctx: &mut C,
+        state: &mut HveState<'_>,
+        iteration: usize,
+    ) -> Result<f64, CommError> {
+        let HveState {
+            worker,
+            tile,
+            probes,
+            neighbors,
+        } = state;
+
         // Embarrassingly parallel tile reconstruction with the redundant probe
         // locations (Figs. 2(d)-(e)): every assigned probe's gradient is
         // applied locally, immediately.
         let mut iteration_cost = 0.0;
-        for loc in my_probes {
+        for loc in probes.iter() {
             let (loss, gradient) = ctx.clock_mut().compute(|| worker.compute_gradient(loc));
             // Only count owned probes towards the global cost so that the
             // reported F(V) is comparable with the Gradient Decomposition
@@ -213,17 +267,19 @@ fn run_rank<C: RankComm<Vec<f64>>>(
             ctx.clock_mut()
                 .compute(|| worker.apply_patch(loc, &gradient));
         }
-        local_costs.push(iteration_cost);
 
         // Voxel copy-paste: send my core voxels into every neighbour's halo,
         // receive their core voxels into mine (synchronous point-to-point
         // exchange, Fig. 2(g)). The baseline reconstructs tiles independently
         // for `hve_exchange_period` iterations between exchanges.
-        if (iteration + 1) % exchange_period != 0 && iteration + 1 != config.iterations {
-            continue;
+        let exchange_period = self.config.hve_exchange_period.max(1);
+        if !(iteration + 1).is_multiple_of(exchange_period)
+            && iteration + 1 != self.config.iterations
+        {
+            return Ok(iteration_cost);
         }
-        for &peer in &neighbors {
-            let send_region_global = tile.core.intersect(&grid.tile(peer).extended);
+        for &peer in neighbors.iter() {
+            let send_region_global = tile.core.intersect(&self.grid.tile(peer).extended);
             if send_region_global.is_empty() {
                 continue;
             }
@@ -231,8 +287,8 @@ fn run_rank<C: RankComm<Vec<f64>>>(
             let payload = extract_region_flat(worker.volume(), send_local);
             ctx.isend(peer, TAG_VOXEL_PASTE, payload);
         }
-        for &peer in &neighbors {
-            let recv_region_global = grid.tile(peer).core.intersect(&tile.extended);
+        for &peer in neighbors.iter() {
+            let recv_region_global = self.grid.tile(peer).core.intersect(&tile.extended);
             if recv_region_global.is_empty() {
                 continue;
             }
@@ -240,37 +296,19 @@ fn run_rank<C: RankComm<Vec<f64>>>(
             let payload = ctx.recv(peer, TAG_VOXEL_PASTE)?;
             set_region_flat(worker.volume_mut(), recv_local, &payload);
         }
+        Ok(iteration_cost)
     }
 
-    ctx.memory_mut().max_merge(&memory);
-    Ok((worker.core_volume(), local_costs))
-}
-
-fn assemble(
-    outcomes: Vec<ptycho_cluster::RankOutcome<(CArray3, Vec<f64>)>>,
-    grid: TileGrid,
-    iterations: usize,
-) -> ReconstructionResult {
-    let mut cores: Vec<(Rect, CArray3)> = Vec::with_capacity(outcomes.len());
-    let mut cost_per_iteration = vec![0.0; iterations];
-    let mut time = Vec::with_capacity(outcomes.len());
-    let mut memory = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        let (core, costs) = outcome.result;
-        cores.push((grid.tile(outcome.rank).core, core));
-        for (i, c) in costs.iter().enumerate() {
-            cost_per_iteration[i] += c;
-        }
-        time.push(outcome.time);
-        memory.push(outcome.memory);
+    fn checkpoint(&self, state: &HveState<'_>) -> CArray3 {
+        state.worker.volume().clone()
     }
-    let volume = stitch_tiles(&grid, &cores);
-    ReconstructionResult {
-        volume,
-        cost_history: CostHistory::from_costs(cost_per_iteration),
-        time,
-        memory,
-        grid,
+
+    fn restore(&self, state: &mut HveState<'_>, checkpoint: &CArray3) {
+        *state.worker.volume_mut() = checkpoint.clone();
+    }
+
+    fn core_volume(&self, state: &HveState<'_>) -> CArray3 {
+        state.worker.core_volume()
     }
 }
 

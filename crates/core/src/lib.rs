@@ -57,6 +57,7 @@
 
 pub mod config;
 pub mod convergence;
+pub mod engine;
 pub mod gradient_decomp;
 pub mod halo_exchange;
 pub mod memory_model;
@@ -68,7 +69,10 @@ mod worker;
 
 pub use config::SolverConfig;
 pub use convergence::CostHistory;
-pub use gradient_decomp::solver::{GradientDecompositionSolver, ReconstructionResult};
+pub use engine::{
+    IterationEngine, ReconstructionResult, RecoveryPolicy, RecoveryReport, SolverKernel,
+};
+pub use gradient_decomp::solver::GradientDecompositionSolver;
 pub use halo_exchange::solver::HaloVoxelExchangeSolver;
 pub use memory_model::{gd_memory_per_gpu, hve_memory_per_gpu, MemoryBreakdown};
 pub use metrics::{strong_scaling_efficiency, RuntimeReport};

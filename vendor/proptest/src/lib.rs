@@ -15,11 +15,16 @@
 //!
 //! Each test function runs its body over `cases` deterministically generated
 //! inputs (seeded per-test from the test's module path, overridable via the
-//! `PROPTEST_STUB_SEED` environment variable). Failures report the generated
-//! inputs. Unlike the real crate there is **no shrinking** and no persisted
-//! regression corpus — a failing case is reported as generated. The call
-//! surface is compatible, so replacing this stub with the real crate is a
-//! one-line manifest change and restores shrinking for free.
+//! `PROPTEST_STUB_SEED` environment variable). On a failure the runner
+//! **shrinks** the inputs before reporting: numeric range strategies propose
+//! halving steps toward their low endpoint (tuples component-wise, `vec`s by
+//! length), and the first candidate that still fails is adopted greedily
+//! until no candidate fails — so the panic message leads with a minimal
+//! counterexample, not the raw generated inputs (which are included too).
+//! Unlike the real crate there are no value trees (mapped strategies do not
+//! shrink) and no persisted regression corpus. The call surface is
+//! compatible, so replacing this stub with the real crate is a one-line
+//! manifest change.
 //!
 //! ```
 //! use proptest::prelude::*;
@@ -128,6 +133,62 @@ pub mod test_runner {
             (self.next_u64() % bound as u64) as usize
         }
     }
+
+    /// Upper bound on shrink attempts per failing case.
+    const MAX_SHRINK_STEPS: u32 = 1024;
+
+    /// The engine behind the [`proptest!`](crate::proptest) macro: runs
+    /// `run_case` over `config.cases` generated inputs and, on a failure,
+    /// greedily shrinks the input (adopting the first candidate
+    /// simplification that still fails, repeatedly) before panicking with
+    /// the minimal counterexample.
+    pub fn run_property<S: crate::strategy::Strategy>(
+        config: &Config,
+        name: &str,
+        test_id: &str,
+        strategy: &S,
+        run_case: impl Fn(&S::Value) -> TestCaseResult,
+        render: impl Fn(&S::Value) -> String,
+    ) {
+        let mut rng = TestRng::deterministic(test_id);
+        for case in 0..config.cases {
+            let current = strategy.new_value(&mut rng);
+            if run_case(&current).is_ok() {
+                continue;
+            }
+            let original = render(&current);
+            let mut minimal = current;
+            let mut steps = 0u32;
+            'shrinking: loop {
+                let mut advanced = false;
+                for candidate in strategy.shrink(&minimal) {
+                    if steps >= MAX_SHRINK_STEPS {
+                        break 'shrinking;
+                    }
+                    steps += 1;
+                    if run_case(&candidate).is_err() {
+                        minimal = candidate;
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+            let error = run_case(&minimal).expect_err("the minimal counterexample still fails");
+            panic!(
+                "property `{}` failed on case {}/{}: {}\n  minimal input ({} shrink steps): {}\n  original input: {}",
+                name,
+                case + 1,
+                config.cases,
+                error,
+                steps,
+                render(&minimal),
+                original,
+            );
+        }
+    }
 }
 
 /// Value-generation strategies.
@@ -135,13 +196,26 @@ pub mod strategy {
     use crate::test_runner::TestRng;
 
     /// Generates values of an output type from random bits (mirrors
-    /// `proptest::strategy::Strategy`, without value trees / shrinking).
+    /// `proptest::strategy::Strategy`; shrinking is a flat candidate list
+    /// instead of the real crate's value trees).
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
         /// Draws one value.
         fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of `value`, *simplest first*. The test
+        /// runner greedily re-runs a failing property on each candidate and
+        /// adopts any that still fails, so repeated application converges on
+        /// a minimal counterexample. Numeric ranges halve toward their low
+        /// endpoint; tuples shrink component-wise; strategies without a
+        /// meaningful simplification (e.g. [`Just`], mapped strategies whose
+        /// transformation cannot be inverted) return no candidates.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Maps generated values through `map`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
@@ -240,6 +314,18 @@ pub mod strategy {
         }
     }
 
+    /// Halving candidates for an integer value shrinking toward `lo`
+    /// (computed in `i128` so every vendored integer type fits).
+    fn halve_toward(lo: i128, value: i128) -> Vec<i128> {
+        if value <= lo {
+            return Vec::new();
+        }
+        let mut candidates = vec![lo, lo + (value - lo) / 2, value - 1];
+        candidates.dedup();
+        candidates.retain(|&c| c < value);
+        candidates
+    }
+
     macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for std::ops::Range<$t> {
@@ -249,6 +335,12 @@ pub mod strategy {
                     assert!(span > 0, "cannot sample from empty range");
                     (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    halve_toward(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
 
             impl Strategy for std::ops::RangeInclusive<$t> {
@@ -257,6 +349,12 @@ pub mod strategy {
                     let span = (*self.end() as i128) - (*self.start() as i128) + 1;
                     assert!(span > 0, "cannot sample from empty range");
                     (*self.start() as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    halve_toward(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
         )*};
@@ -269,6 +367,18 @@ pub mod strategy {
         fn new_value(&self, rng: &mut TestRng) -> f64 {
             self.start + rng.next_f64() * (self.end - self.start)
         }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let lo = self.start;
+            if *value <= lo {
+                return Vec::new();
+            }
+            let mid = lo + (*value - lo) / 2.0;
+            let mut candidates = vec![lo];
+            if mid > lo && mid < *value {
+                candidates.push(mid);
+            }
+            candidates
+        }
     }
 
     impl Strategy for std::ops::Range<f32> {
@@ -276,29 +386,57 @@ pub mod strategy {
         fn new_value(&self, rng: &mut TestRng) -> f32 {
             self.start + rng.next_f64() as f32 * (self.end - self.start)
         }
+        fn shrink(&self, value: &f32) -> Vec<f32> {
+            let lo = self.start;
+            if *value <= lo {
+                return Vec::new();
+            }
+            let mid = lo + (*value - lo) / 2.0;
+            let mut candidates = vec![lo];
+            if mid > lo && mid < *value {
+                candidates.push(mid);
+            }
+            candidates
+        }
     }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($($name:ident $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
                 #[allow(non_snake_case)]
                 fn new_value(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($name,)+) = self;
                     ($($name.new_value(rng),)+)
                 }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // Component-wise: shrink one coordinate at a time with
+                    // the others held fixed.
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut shrunk = value.clone();
+                            shrunk.$idx = candidate;
+                            out.push(shrunk);
+                        }
+                    )+
+                    out
+                }
             }
         };
     }
 
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, F);
-    impl_tuple_strategy!(A, B, C, D, E, F, G);
-    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A 0);
+    impl_tuple_strategy!(A 0, B 1);
+    impl_tuple_strategy!(A 0, B 1, C 2);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
 }
 
 /// Collection strategies.
@@ -355,7 +493,10 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn new_value(&self, rng: &mut TestRng) -> Self::Value {
             let span = self.size.max_exclusive - self.size.min;
@@ -365,6 +506,19 @@ pub mod collection {
                 self.size.min + rng.next_index(span)
             };
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            // Shrink the length by halving toward the minimum; element-wise
+            // shrinking is left to the real crate.
+            let len = value.len();
+            if len <= self.size.min {
+                return Vec::new();
+            }
+            let mut lengths = vec![self.size.min, self.size.min + (len - self.size.min) / 2];
+            lengths.push(len - 1);
+            lengths.dedup();
+            lengths.retain(|&l| l < len);
+            lengths.into_iter().map(|l| value[..l].to_vec()).collect()
         }
     }
 }
@@ -465,32 +619,27 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $config;
-            let mut rng = $crate::test_runner::TestRng::deterministic(
+            // All argument strategies combined into one tuple strategy, so
+            // the runner can draw and shrink the inputs as a unit.
+            let strategy = ($(($strategy),)+);
+            $crate::test_runner::run_property(
+                &config,
+                stringify!($name),
                 concat!(module_path!(), "::", stringify!($name)),
-            );
-            for case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
-                // Rendered before the body runs: the body takes the inputs
-                // by value and may consume them.
-                let inputs = format!(
-                    concat!($(stringify!($arg), " = {:?}; ",)+),
-                    $(&$arg),+
-                );
-                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                &strategy,
+                |__case| {
+                    let ($($arg,)+) = ::core::clone::Clone::clone(__case);
                     $body
                     ::core::result::Result::Ok(())
-                })();
-                if let ::core::result::Result::Err(err) = outcome {
-                    panic!(
-                        "property `{}` failed on case {}/{}: {}\n  inputs: {}",
-                        stringify!($name),
-                        case + 1,
-                        config.cases,
-                        err,
-                        inputs,
-                    );
-                }
-            }
+                },
+                |__case| {
+                    let ($($arg,)+) = __case;
+                    format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    )
+                },
+            );
         }
         $crate::__proptest_items! { config = ($config); $($rest)* }
     };
@@ -546,6 +695,74 @@ mod tests {
         assert_eq!(
             crate::strategy::Strategy::new_value(&s, &mut rng),
             [1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_the_low_endpoint() {
+        let strategy = 5i64..100;
+        let candidates = Strategy::shrink(&strategy, &80);
+        assert!(candidates.contains(&5), "the low endpoint is a candidate");
+        assert!(candidates.iter().all(|&c| (5..80).contains(&c)));
+        assert!(
+            Strategy::shrink(&strategy, &5).is_empty(),
+            "the low endpoint itself cannot shrink"
+        );
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let strategy = (0u32..10, 0u32..10);
+        let candidates = Strategy::shrink(&strategy, &(4, 6));
+        assert!(!candidates.is_empty());
+        for (a, b) in candidates {
+            let first_changed = a != 4;
+            let second_changed = b != 6;
+            assert!(
+                first_changed != second_changed,
+                "exactly one component changes per candidate: ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn vec_shrinks_by_length_toward_the_minimum() {
+        let strategy = crate::collection::vec(0i32..5, 2usize..9);
+        let value = vec![1, 2, 3, 4, 0, 1];
+        let candidates = Strategy::shrink(&strategy, &value);
+        assert!(candidates.iter().any(|c| c.len() == 2));
+        for candidate in &candidates {
+            assert!(candidate.len() < value.len());
+            assert_eq!(candidate[..], value[..candidate.len()]);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_a_minimal_counterexample() {
+        // Fails for every x >= 10: greedy halving must land exactly on 10,
+        // the boundary, whatever the original failing draw was.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn boundary_at_ten(x in 0u64..1000) {
+                prop_assert!(x < 10, "x was {}", x);
+            }
+        }
+        let panic = std::panic::catch_unwind(boundary_at_ten)
+            .expect_err("the property must fail within 8 cases");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted string");
+        assert!(
+            message.contains("minimal input"),
+            "shrunk report missing: {message}"
+        );
+        assert!(
+            message.contains("x = 10;"),
+            "expected the minimal counterexample x = 10, got: {message}"
+        );
+        assert!(
+            message.contains("original input"),
+            "the raw generated input is still reported: {message}"
         );
     }
 }

@@ -10,12 +10,20 @@
 //! concurrently. Work below a small threshold stays on the calling thread,
 //! so tiny inputs pay no spawn overhead.
 //!
-//! The generic iterator adapters (`par_iter`, `into_par_iter`) remain
-//! sequential std iterators: they accept arbitrary `IntoIterator` sources,
-//! which a safe, dependency-free stub cannot fan out without the real
-//! crate's machinery. Every `par_*` call site compiles unmodified against
-//! real `rayon`, so restoring registry access upgrades those too with a
-//! one-line manifest change.
+//! The generic iterator adapters (`par_iter`, `par_iter_mut`,
+//! `into_par_iter`) are parallel too, for slices and `Vec`: the [`iter`]
+//! module implements indexed splitting (recursive `split_at` halving fanned
+//! out over [`join`], the real crate's plumbing shape) with `map` /
+//! `enumerate` / `for_each` / `collect` combinators whose results are
+//! reassembled in index order — bit-identical to the sequential path. The
+//! exception is `sum`, which combines partial sums in a tree whose shape
+//! depends on the worker count: exact for integers, but floating-point
+//! sums can differ in the last bits from the sequential fold (and between
+//! machines) — same as real `rayon`.
+//! Arbitrary `IntoIterator` sources are not supported (a dependency-free
+//! stub cannot fan them out), but every `par_*` call site that compiles
+//! here compiles unmodified against real `rayon`, so restoring registry
+//! access upgrades the whole surface with a one-line manifest change.
 //!
 //! Chunk processing is order-independent (each chunk is touched exactly
 //! once, by one worker), so results are deterministic and identical to the
@@ -69,65 +77,412 @@ where
     })
 }
 
-/// Sequential analogue of `rayon::iter`: re-uses the standard iterators.
+/// Indexed parallel iterators for slices and `Vec`, mirroring the subset of
+/// `rayon::iter` this workspace can use.
+///
+/// Unlike the first iteration of this stub (plain std iterators), the
+/// adapters here are **genuinely parallel**: every source knows its length
+/// and can [`ParallelIterator::split_at`] itself, so the provided
+/// combinators recursively halve the work and fan the halves out over
+/// [`join`](crate::join) — the same indexed-splitting shape as the real
+/// crate's plumbing. Results are reassembled in index order, so `map` +
+/// `collect`, `sum` and `for_each` produce exactly the sequential answer.
+///
+/// The conversion traits are implemented for slices and `Vec` only (the
+/// real crate's blanket `IntoIterator` sources need unindexed plumbing a
+/// dependency-free stub cannot provide); every call site that compiles here
+/// compiles unmodified against real `rayon`.
 pub mod iter {
-    /// Conversion into a "parallel" iterator (sequential here).
-    pub trait IntoParallelIterator {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
+    use super::{current_num_threads, PARALLEL_THRESHOLD_ELEMS};
+
+    /// An iterator whose work can be split at an index and distributed over
+    /// the fork-join pool.
+    pub trait ParallelIterator: Sized + Send {
         /// The element type.
-        type Item;
-        /// Converts `self` into an iterator.
+        type Item: Send;
+        /// The sequential fallback iterator.
+        type Seq: Iterator<Item = Self::Item>;
+
+        /// Number of elements remaining.
+        fn len(&self) -> usize;
+
+        /// True when no elements remain.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Splits into the first `index` elements and the rest.
+        fn split_at(self, index: usize) -> (Self, Self);
+
+        /// Degrades into a sequential iterator (leaf execution).
+        fn into_seq(self) -> Self::Seq;
+
+        /// Maps every element through `map` (applied on the worker that owns
+        /// the element's section).
+        fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send + Clone>(
+            self,
+            map: F,
+        ) -> Map<Self, F> {
+            Map { source: self, map }
+        }
+
+        /// Pairs every element with its global index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate {
+                source: self,
+                base: 0,
+            }
+        }
+
+        /// Applies `f` to every element, splitting the index space over the
+        /// worker pool.
+        fn for_each<F: Fn(Self::Item) + Sync + Send + Clone>(self, f: F) {
+            let sections = workers_for(self.len());
+            drive(self, sections, &|seq| seq.for_each(f.clone()));
+        }
+
+        /// Sums the elements. Every element is visited exactly once and
+        /// partial sums combine in index order, but the combination *tree*
+        /// depends on the worker count: integer sums are exact everywhere,
+        /// while floating-point sums may differ in the last bits from the
+        /// sequential fold and across machines (float addition is not
+        /// associative — the same caveat as real `rayon`). Don't feed a
+        /// float `par_iter().sum()` into anything pinned bit-for-bit.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+        {
+            let sections = workers_for(self.len());
+            reduce(self, sections, &|seq| seq.sum::<S>(), &|a, b| {
+                [a, b].into_iter().sum()
+            })
+        }
+
+        /// Collects into a collection; parallel sections are concatenated in
+        /// index order, so the result equals the sequential collect.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_iter(self)
+        }
+    }
+
+    /// Collections constructible from a parallel iterator (mirrors
+    /// `rayon::iter::FromParallelIterator`; implemented for `Vec`).
+    pub trait FromParallelIterator<T: Send>: Sized {
+        /// Builds the collection, preserving index order.
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+            let sections = workers_for(iter.len());
+            reduce(
+                iter,
+                sections,
+                &|seq| seq.collect::<Vec<T>>(),
+                &|mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+        }
+    }
+
+    /// How many leaf sections to aim for. Small inputs stay sequential so
+    /// the spawn overhead never dwarfs the work.
+    fn workers_for(len: usize) -> usize {
+        if len < PARALLEL_THRESHOLD_ELEMS {
+            1
+        } else {
+            current_num_threads().max(1)
+        }
+    }
+
+    /// Recursively halves `iter` into ~`sections` leaves, running each leaf
+    /// sequentially; the two halves of every split run via [`crate::join`].
+    pub(crate) fn drive<I, F>(iter: I, sections: usize, leaf: &F)
+    where
+        I: ParallelIterator,
+        F: Fn(I::Seq) + Sync,
+    {
+        if sections <= 1 || iter.len() <= 1 {
+            leaf(iter.into_seq());
+            return;
+        }
+        let mid = iter.len() / 2;
+        let (left, right) = iter.split_at(mid);
+        let (left_sections, right_sections) = (sections / 2, sections - sections / 2);
+        crate::join(
+            || drive(left, left_sections, leaf),
+            || drive(right, right_sections, leaf),
+        );
+    }
+
+    /// Like [`drive`], but every leaf produces a value and adjacent results
+    /// combine in index order.
+    pub(crate) fn reduce<I, R, F, C>(iter: I, sections: usize, leaf: &F, combine: &C) -> R
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Seq) -> R + Sync,
+        C: Fn(R, R) -> R + Sync,
+    {
+        if sections <= 1 || iter.len() <= 1 {
+            return leaf(iter.into_seq());
+        }
+        let mid = iter.len() / 2;
+        let (left, right) = iter.split_at(mid);
+        let (left_sections, right_sections) = (sections / 2, sections - sections / 2);
+        let (a, b) = crate::join(
+            || reduce(left, left_sections, leaf, combine),
+            || reduce(right, right_sections, leaf, combine),
+        );
+        combine(a, b)
+    }
+
+    /// Parallel iterator over `&[T]`.
+    pub struct SliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+        type Seq = std::slice::Iter<'a, T>;
+
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (a, b) = self.slice.split_at(index);
+            (SliceIter { slice: a }, SliceIter { slice: b })
+        }
+
+        fn into_seq(self) -> Self::Seq {
+            self.slice.iter()
+        }
+    }
+
+    /// Parallel iterator over `&mut [T]`.
+    pub struct SliceIterMut<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+        type Item = &'a mut T;
+        type Seq = std::slice::IterMut<'a, T>;
+
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (a, b) = self.slice.split_at_mut(index);
+            (SliceIterMut { slice: a }, SliceIterMut { slice: b })
+        }
+
+        fn into_seq(self) -> Self::Seq {
+            self.slice.iter_mut()
+        }
+    }
+
+    /// Parallel iterator consuming a `Vec<T>`.
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        type Seq = std::vec::IntoIter<T>;
+
+        fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        fn split_at(mut self, index: usize) -> (Self, Self) {
+            let tail = self.items.split_off(index);
+            (self, VecIter { items: tail })
+        }
+
+        fn into_seq(self) -> Self::Seq {
+            self.items.into_iter()
+        }
+    }
+
+    /// The mapping adapter produced by [`ParallelIterator::map`].
+    pub struct Map<I, F> {
+        source: I,
+        map: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync + Send + Clone,
+    {
+        type Item = R;
+        type Seq = std::iter::Map<I::Seq, F>;
+
+        fn len(&self) -> usize {
+            self.source.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (a, b) = self.source.split_at(index);
+            (
+                Map {
+                    source: a,
+                    map: self.map.clone(),
+                },
+                Map {
+                    source: b,
+                    map: self.map,
+                },
+            )
+        }
+
+        fn into_seq(self) -> Self::Seq {
+            self.source.into_seq().map(self.map)
+        }
+    }
+
+    /// The enumerating adapter produced by [`ParallelIterator::enumerate`].
+    pub struct Enumerate<I> {
+        source: I,
+        base: usize,
+    }
+
+    /// Sequential tail of an [`Enumerate`] leaf: indices continue from the
+    /// section's global base.
+    pub struct EnumerateSeq<S> {
+        inner: S,
+        next: usize,
+    }
+
+    impl<S: Iterator> Iterator for EnumerateSeq<S> {
+        type Item = (usize, S::Item);
+
+        fn next(&mut self) -> Option<Self::Item> {
+            let item = self.inner.next()?;
+            let index = self.next;
+            self.next += 1;
+            Some((index, item))
+        }
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+        type Item = (usize, I::Item);
+        type Seq = EnumerateSeq<I::Seq>;
+
+        fn len(&self) -> usize {
+            self.source.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (a, b) = self.source.split_at(index);
+            (
+                Enumerate {
+                    source: a,
+                    base: self.base,
+                },
+                Enumerate {
+                    source: b,
+                    base: self.base + index,
+                },
+            )
+        }
+
+        fn into_seq(self) -> Self::Seq {
+            EnumerateSeq {
+                inner: self.source.into_seq(),
+                next: self.base,
+            }
+        }
+    }
+
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// The parallel iterator type produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// The element type.
+        type Item: Send;
+        /// Converts `self` into a parallel iterator.
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = VecIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Iter = SliceIter<'a, T>;
+        type Item = &'a T;
+        fn into_par_iter(self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+        type Iter = SliceIterMut<'a, T>;
+        type Item = &'a mut T;
+        fn into_par_iter(self) -> SliceIterMut<'a, T> {
+            SliceIterMut { slice: self }
         }
     }
 
     /// `par_iter()` for collections viewed by shared reference.
     pub trait IntoParallelRefIterator<'a> {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel iterator type produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
         /// The element type (a shared reference).
-        type Item: 'a;
-        /// Iterates over `&self`.
+        type Item: Send + 'a;
+        /// Iterates over `&self` in parallel.
         fn par_iter(&'a self) -> Self::Iter;
     }
 
-    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
-    where
-        &'a C: IntoIterator,
-    {
-        type Iter = <&'a C as IntoIterator>::IntoIter;
-        type Item = <&'a C as IntoIterator>::Item;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = SliceIter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = SliceIter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
         }
     }
 
     /// `par_iter_mut()` for collections viewed by exclusive reference.
     pub trait IntoParallelRefMutIterator<'a> {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel iterator type produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
         /// The element type (an exclusive reference).
-        type Item: 'a;
-        /// Iterates over `&mut self`.
+        type Item: Send + 'a;
+        /// Iterates over `&mut self` in parallel.
         fn par_iter_mut(&'a mut self) -> Self::Iter;
     }
 
-    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
-    where
-        &'a mut C: IntoIterator,
-    {
-        type Iter = <&'a mut C as IntoIterator>::IntoIter;
-        type Item = <&'a mut C as IntoIterator>::Item;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.into_iter()
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = SliceIterMut<'a, T>;
+        type Item = &'a mut T;
+        fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+            SliceIterMut { slice: self }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = SliceIterMut<'a, T>;
+        type Item = &'a mut T;
+        fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+            SliceIterMut { slice: self }
         }
     }
 }
@@ -349,7 +704,8 @@ pub mod slice {
 /// Mirrors `rayon::prelude` for glob imports.
 pub mod prelude {
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
@@ -426,6 +782,66 @@ mod tests {
         assert_eq!(a, 10);
         let b: Vec<i32> = data.into_par_iter().map(|v| v * 2).collect();
         assert_eq!(b, [2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_map_collect_equals_sequential_above_threshold() {
+        // Large enough to fan out on a multi-core machine; the collected
+        // order must equal the sequential map exactly.
+        let data: Vec<u64> = (0..100_000).collect();
+        let par: Vec<u64> = data.par_iter().map(|&v| v * 3 + 1).collect();
+        let seq: Vec<u64> = data.iter().map(|&v| v * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn into_par_iter_sum_equals_sequential() {
+        let data: Vec<u64> = (0..100_000).collect();
+        let expected: u64 = data.iter().sum();
+        let got: u64 = data.into_par_iter().sum();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_equals_sequential() {
+        let mut par: Vec<usize> = vec![0; 50_000];
+        par.par_iter_mut().enumerate().for_each(|(i, v)| *v = i * 7);
+        let seq: Vec<usize> = (0..50_000).map(|i| i * 7).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn indexed_splitting_is_exact_even_when_forced() {
+        // The 1-CPU fallback would mask splitting bugs, so drive the
+        // executor with an explicit section count: every element must be
+        // visited exactly once, with its global index intact.
+        use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+        let data: Vec<u32> = (0..10_001).collect();
+        let visited = Mutex::new(vec![0u8; data.len()]);
+        crate::iter::drive(data.par_iter().enumerate(), 8, &|section| {
+            for (i, &v) in section {
+                assert_eq!(i as u32, v, "index/value pairing must survive splits");
+                visited.lock().unwrap()[i] += 1;
+            }
+        });
+        assert!(visited.lock().unwrap().iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn forced_reduce_concatenates_in_index_order() {
+        use crate::iter::{IntoParallelIterator, ParallelIterator};
+        let data: Vec<i64> = (0..9_999).collect();
+        let collected = crate::iter::reduce(
+            data.clone().into_par_iter().map(|v| v * 2),
+            7,
+            &|seq| seq.collect::<Vec<i64>>(),
+            &|mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        let seq: Vec<i64> = data.iter().map(|v| v * 2).collect();
+        assert_eq!(collected, seq);
     }
 
     #[test]
