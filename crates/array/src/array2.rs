@@ -143,6 +143,27 @@ impl<T: Clone> Array2<T> {
         }
     }
 
+    /// Overwrites every element with `value` (an allocation-free reset; the
+    /// accumulation buffers of Algorithm 1 are cleared this way every round).
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+
+    /// Copies `src` into `self` without allocating.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Array2<T>) {
+        assert_eq!(
+            self.shape(),
+            src.shape(),
+            "copy_from: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            src.shape()
+        );
+        self.data.clone_from_slice(&src.data);
+    }
+
     /// Returns a transposed copy of the array.
     pub fn transposed(&self) -> Array2<T> {
         let mut data = Vec::with_capacity(self.data.len());
@@ -259,6 +280,24 @@ impl<T> Array2<T> {
     pub fn map_inplace(&mut self, mut f: impl FnMut(&mut T)) {
         for v in &mut self.data {
             f(v);
+        }
+    }
+
+    /// Combines `other` into `self` elementwise, in place (the allocation-free
+    /// sibling of [`Self::zip_map`]).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn zip_apply<U>(&mut self, other: &Array2<U>, mut f: impl FnMut(&mut T, &U)) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip_apply: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            f(a, b);
         }
     }
 
@@ -543,6 +582,32 @@ mod tests {
         assert_eq!(total, 36);
         let indexed: Vec<_> = a.indexed_iter().filter(|&(r, c, _)| r == c).collect();
         assert_eq!(indexed.len(), 3);
+    }
+
+    #[test]
+    fn fill_and_copy_from_reuse_storage() {
+        let mut a = Array2::full(2, 3, 1.0f64);
+        a.fill(4.0);
+        assert!(a.iter().all(|&v| v == 4.0));
+        let b = Array2::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        a.copy_from(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from: shape mismatch")]
+    fn copy_from_shape_mismatch_panics() {
+        let mut a = Array2::<f64>::zeros(2, 2);
+        a.copy_from(&Array2::zeros(3, 3));
+    }
+
+    #[test]
+    fn zip_apply_matches_zip_map() {
+        let mut a = Array2::from_fn(3, 3, |r, c| (r + c) as f64);
+        let b = Array2::full(3, 3, 2.0);
+        let expected = a.zip_map(&b, |x, y| *x * *y);
+        a.zip_apply(&b, |x, y| *x *= *y);
+        assert_eq!(a, expected);
     }
 
     #[test]

@@ -108,11 +108,48 @@ impl<T: Clone> Array3<T> {
     /// smaller volume of shape `(depth, region.rows(), region.cols())`.
     /// Out-of-bounds cells are filled with `fill`.
     pub fn extract_region_with_fill(&self, region: Rect, fill: T) -> Array3<T> {
-        let mut slices = Vec::with_capacity(self.depth);
-        for s in 0..self.depth {
-            slices.push(self.slice(s).extract_with_fill(region, fill.clone()));
+        let mut out = Array3::full(self.depth, region.rows(), region.cols(), fill.clone());
+        self.extract_region_into(region, fill, &mut out);
+        out
+    }
+
+    /// Overwrites every voxel with `value` (an allocation-free reset).
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+
+    /// The allocation-free sibling of [`Self::extract_region_with_fill`]:
+    /// writes the extracted region into a caller-owned volume of shape
+    /// `(depth, region.rows(), region.cols())`, so repeated probe-window
+    /// extractions reuse one buffer.
+    ///
+    /// # Panics
+    /// Panics if `out` does not have the expected shape.
+    pub fn extract_region_into(&self, region: Rect, fill: T, out: &mut Array3<T>) {
+        let (rrows, rcols) = region.shape();
+        assert_eq!(
+            out.shape(),
+            (self.depth, rrows, rcols),
+            "extract_region_into: output shape {:?} does not match (depth, region) {:?}",
+            out.shape(),
+            (self.depth, rrows, rcols)
+        );
+        out.data.fill(fill);
+        let clipped = region.intersect(&self.plane_bounds());
+        let width = (clipped.col1 - clipped.col0).max(0) as usize;
+        if width == 0 {
+            return;
         }
-        Array3::from_slices(slices)
+        for s in 0..self.depth {
+            let src = self.slice_data(s);
+            let dst = out.slice_data_mut(s);
+            for gr in clipped.row0..clipped.row1 {
+                let lr = (gr - region.row0) as usize;
+                let src_off = gr as usize * self.cols + clipped.col0 as usize;
+                let dst_off = lr * rcols + (clipped.col0 - region.col0) as usize;
+                dst[dst_off..dst_off + width].clone_from_slice(&src[src_off..src_off + width]);
+            }
+        }
     }
 
     /// Writes `block` (one sub-plane per slice) into `region` of every slice.
@@ -369,6 +406,37 @@ mod tests {
         assert_eq!(sub.shape(), (1, 3, 3));
         assert_eq!(sub[(0, 0, 0)], 0.0);
         assert_eq!(sub[(0, 1, 1)], 3.0);
+    }
+
+    #[test]
+    fn extract_region_into_matches_allocating_extract() {
+        let v = Array3::from_fn(3, 5, 6, |s, r, c| (s * 100 + r * 10 + c) as f64);
+        for &region in &[
+            Rect::new(1, 2, 3, 3),
+            Rect::new(-2, -1, 4, 4),
+            Rect::new(3, 4, 4, 4),
+            Rect::new(10, 10, 2, 2),
+        ] {
+            let expected = v.extract_region_with_fill(region, -1.0);
+            let mut out = Array3::full(3, region.rows(), region.cols(), 0.0);
+            v.extract_region_into(region, -1.0, &mut out);
+            assert_eq!(out, expected, "region {region:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "extract_region_into")]
+    fn extract_region_into_wrong_shape_panics() {
+        let v = Array3::full(1, 4, 4, 0.0f64);
+        let mut out = Array3::full(1, 2, 3, 0.0);
+        v.extract_region_into(Rect::new(0, 0, 2, 2), 0.0, &mut out);
+    }
+
+    #[test]
+    fn fill_resets_every_voxel() {
+        let mut v = Array3::from_fn(2, 2, 2, |s, r, c| (s + r + c) as f64);
+        v.fill(0.0);
+        assert!(v.iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -9,10 +9,39 @@
 //! which is exactly the overhead a cautious production deployment would pay.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ptycho_cluster::{ClusterTopology, LockstepBackend};
+use ptycho_cluster::{ClusterTopology, LockstepBackend, SharedTile};
+use ptycho_core::tiling::TileGrid;
 use ptycho_core::{GradientDecompositionSolver, RecoveryPolicy, SolverConfig};
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
 use std::time::Duration;
+
+/// Wire payload bytes one GD iteration moves between tiles (one round of the
+/// four directional passes: every rank with a successor sends its overlap
+/// forward, every rank with a predecessor sends it backward, per axis).
+/// Before ISSUE 4 each of these buffers was additionally *deep-copied* per
+/// hop by the reliable layer's retransmit outbox and by fault-injection
+/// duplication; with `SharedTile` payloads those copies are Arc clones, so
+/// the copy traffic per iteration drops from this figure to ~16 bytes/hop.
+fn payload_bytes_per_iteration(grid: &TileGrid, slices: usize) -> usize {
+    let (grid_rows, grid_cols) = grid.grid_shape();
+    let mut bytes = 0usize;
+    for gr in 0..grid_rows {
+        for gc in 0..grid_cols {
+            let rank = grid.rank_at(gr, gc);
+            // Forward + backward sweeps exchange the same overlap region, so
+            // each in-grid neighbour pair moves it twice per axis.
+            if gr + 1 < grid_rows {
+                let overlap = grid.overlap(rank, grid.rank_at(gr + 1, gc));
+                bytes += 2 * overlap.area() * slices * 2 * std::mem::size_of::<f64>();
+            }
+            if gc + 1 < grid_cols {
+                let overlap = grid.overlap(rank, grid.rank_at(gr, gc + 1));
+                bytes += 2 * overlap.area() * slices * 2 * std::mem::size_of::<f64>();
+            }
+        }
+    }
+    bytes
+}
 
 fn bench_engine(c: &mut Criterion) {
     let dataset = Dataset::synthesize(SyntheticConfig::tiny());
@@ -23,6 +52,13 @@ fn bench_engine(c: &mut Criterion) {
     };
     let solver = GradientDecompositionSolver::new(&dataset, config, (2, 2));
     let backend = LockstepBackend::new(ClusterTopology::summit());
+
+    let slices = dataset.object_shape().0;
+    eprintln!(
+        "engine bench: GD 2x2 moves {} payload bytes per iteration; \
+         SharedTile makes every comm-layer copy of them an Arc clone",
+        payload_bytes_per_iteration(solver.grid(), slices)
+    );
 
     let mut group = c.benchmark_group("engine_recovery");
     group
@@ -46,5 +82,25 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Pins the zero-copy payload property in time units: cloning a tile-sized
+/// `Vec<f64>` (what every retransmit-buffer insert and fault-injection
+/// duplicate cost before ISSUE 4) against cloning a [`SharedTile`] (an `Arc`
+/// pointer bump). A regression back to deep-copy payloads shows up as this
+/// ratio collapsing.
+fn bench_payload_clone(c: &mut Criterion) {
+    // A realistic tile payload: 64 px halo-overlap row of a 2-slice volume
+    // (~1 MiB), interleaved re/im.
+    let values = vec![0.5f64; 128 * 1024];
+    let shared = SharedTile::new(values.clone());
+
+    let mut group = c.benchmark_group("payload_clone");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    group.bench_function("deep_vec_1mib", |b| b.iter(|| values.clone()));
+    group.bench_function("shared_tile_1mib", |b| b.iter(|| shared.clone()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_payload_clone);
 criterion_main!(benches);

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ptycho_array::Array3;
-use ptycho_cluster::{Cluster, ClusterTopology, CommBackend, LockstepBackend, RankComm};
+use ptycho_cluster::{
+    Cluster, ClusterTopology, CommBackend, LockstepBackend, RankComm, SharedTile,
+};
 use ptycho_core::gradient_decomp::passes::run_accumulation_passes;
 use ptycho_core::tiling::TileGrid;
 use ptycho_fft::{CArray3, Complex64};
@@ -35,7 +37,7 @@ fn buffers_for(grid: &TileGrid, slices: usize) -> Vec<CArray3> {
 
 fn run_once<B: CommBackend>(backend: &B, grid: &TileGrid, initial: &[CArray3]) {
     backend
-        .run::<Vec<f64>, (), _>(grid.num_tiles(), |ctx| {
+        .run::<SharedTile, (), _>(grid.num_tiles(), |ctx| {
             let mut buffer = initial[ctx.rank()].clone();
             run_accumulation_passes(ctx, grid, &mut buffer)?;
             Ok(())

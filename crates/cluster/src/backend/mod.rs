@@ -67,6 +67,62 @@ impl Payload for String {
     }
 }
 
+/// `Arc`-backed payloads are the zero-copy path: `clone()` (used by the
+/// fault-injection duplicator and by [`ReliableComm`]'s retransmit outbox)
+/// copies one pointer instead of the buffer, while `payload_bytes` still
+/// charges the analytic wire model for the full contents.
+///
+/// [`ReliableComm`]: reliable::ReliableComm
+impl<T: Payload + Sync> Payload for std::sync::Arc<T> {
+    fn payload_bytes(&self) -> usize {
+        (**self).payload_bytes()
+    }
+}
+
+/// A tile-sized wire payload (the flat `re, im`-interleaved f64 buffer the
+/// solvers exchange) behind an [`Arc`](std::sync::Arc): sending, duplicating
+/// or buffering it for retransmission aliases the one allocation instead of
+/// deep-copying volume-sized data.
+///
+/// The contents are immutable by construction (no `&mut` accessor), so every
+/// alias observes the same bytes — which is what makes the aliasing sound.
+#[derive(Clone, Debug, Default)]
+pub struct SharedTile(std::sync::Arc<Vec<f64>>);
+
+impl SharedTile {
+    /// Wraps a flat payload buffer (the only allocation in a send path).
+    pub fn new(values: Vec<f64>) -> Self {
+        Self(std::sync::Arc::new(values))
+    }
+
+    /// The payload values.
+    pub fn values(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Number of `f64` values in the payload.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the payload holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<f64>> for SharedTile {
+    fn from(values: Vec<f64>) -> Self {
+        Self::new(values)
+    }
+}
+
+impl Payload for SharedTile {
+    fn payload_bytes(&self) -> usize {
+        self.0.len() * std::mem::size_of::<f64>()
+    }
+}
+
 /// A communication failure observed by one rank.
 ///
 /// The simulated runtimes turn conditions that would hang an MPI job into
@@ -322,4 +378,33 @@ pub(crate) fn collect_outcomes<R>(
         }
     }
     Ok(collected)
+}
+
+#[cfg(test)]
+mod payload_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_tile_clone_aliases_the_buffer() {
+        let tile = SharedTile::new(vec![1.5; 1024]);
+        let copy = tile.clone();
+        assert_eq!(
+            tile.values().as_ptr(),
+            copy.values().as_ptr(),
+            "cloning a SharedTile must alias, not deep-copy"
+        );
+        assert_eq!(tile.payload_bytes(), 1024 * 8);
+        assert_eq!(copy.len(), 1024);
+        assert!(!copy.is_empty());
+        assert!(SharedTile::default().is_empty());
+    }
+
+    #[test]
+    fn arc_payload_reports_inner_wire_size() {
+        let payload = Arc::new(vec![0u8; 37]);
+        assert_eq!(payload.payload_bytes(), 37);
+        let tile: SharedTile = vec![0.0f64; 4].into();
+        assert_eq!(tile.payload_bytes(), 32);
+    }
 }

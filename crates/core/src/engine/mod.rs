@@ -41,7 +41,7 @@ use crate::tiling::TileGrid;
 use ptycho_array::Rect;
 use ptycho_cluster::{
     CommBackend, CommError, MemoryTracker, RankComm, RankFailure, RankOutcome, ReliableComm,
-    ReliableConfig, ReliableStats, TimeBreakdown,
+    ReliableConfig, ReliableStats, SharedTile, TimeBreakdown,
 };
 use ptycho_fft::CArray3;
 use std::sync::Mutex;
@@ -135,11 +135,11 @@ pub trait SolverKernel: Sync {
 
     /// Builds rank `ctx.rank()`'s state, registering its memory footprint
     /// with `ctx`'s tracker. Must not communicate.
-    fn init<'k, C: RankComm<Vec<f64>>>(&'k self, ctx: &mut C) -> Self::State<'k>;
+    fn init<'k, C: RankComm<SharedTile>>(&'k self, ctx: &mut C) -> Self::State<'k>;
 
     /// Runs one full iteration on this rank, returning the rank's share of
     /// the iteration cost `F(V)`.
-    fn run_iteration<C: RankComm<Vec<f64>>>(
+    fn run_iteration<C: RankComm<SharedTile>>(
         &self,
         ctx: &mut C,
         state: &mut Self::State<'_>,
@@ -213,7 +213,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
     ) -> Result<ReconstructionResult, RankFailure> {
         let kernel = self.kernel;
         let iterations = kernel.iterations();
-        let outcomes = backend.run::<Vec<f64>, RankRun, _>(kernel.grid().num_tiles(), |ctx| {
+        let outcomes = backend.run::<SharedTile, RankRun, _>(kernel.grid().num_tiles(), |ctx| {
             let mut state = kernel.init(ctx);
             let mut costs = Vec::with_capacity(iterations);
             for iteration in 0..iterations {
@@ -258,7 +258,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                 ..ReliableConfig::default()
             };
             let slots_ref = &slots;
-            let attempt = backend.run::<Vec<f64>, RankRun, _>(ranks, |ctx| {
+            let attempt = backend.run::<SharedTile, RankRun, _>(ranks, |ctx| {
                 let rank = ctx.rank();
                 let mut comm = ReliableComm::with_config(ctx, config);
                 let mut state = kernel.init(&mut comm);

@@ -19,7 +19,7 @@
 
 use crate::tiling::TileGrid;
 use crate::worker::{add_region_flat, extract_region_flat, set_region_flat};
-use ptycho_cluster::{CommError, RankComm};
+use ptycho_cluster::{CommError, RankComm, SharedTile};
 use ptycho_fft::CArray3;
 
 /// Message tags for the four directional passes; combined with the sending
@@ -51,8 +51,11 @@ enum Axis {
 /// backend the deadlock is detected and reported as a [`CommError`]).
 ///
 /// Generic over the communication backend: any [`RankComm`] carrying the
-/// flat `re, im`-interleaved wire format works.
-pub fn run_accumulation_passes<C: RankComm<Vec<f64>>>(
+/// flat `re, im`-interleaved wire format works. Payloads travel as
+/// [`SharedTile`]s, so the fault-injection and reliable-delivery layers
+/// duplicate/buffer them by aliasing an `Arc` instead of deep-copying
+/// tile-sized buffers.
+pub fn run_accumulation_passes<C: RankComm<SharedTile>>(
     ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
@@ -106,7 +109,7 @@ fn backward_tag(axis: Axis) -> u64 {
 
 /// Forward sweep: receive-and-add from the predecessor (if any), then send the
 /// now-augmented overlap region to the successor (if any).
-fn forward_pass<C: RankComm<Vec<f64>>>(
+fn forward_pass<C: RankComm<SharedTile>>(
     ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
@@ -118,13 +121,13 @@ fn forward_pass<C: RankComm<Vec<f64>>>(
         let region = local_overlap(grid, rank, prev);
         if !region.is_empty() {
             let payload = ctx.recv(prev, tag)?;
-            add_region_flat(buffer, region, &payload);
+            add_region_flat(buffer, region, payload.values());
         }
     }
     if let Some(next) = successor(grid, rank, axis) {
         let region = local_overlap(grid, rank, next);
         if !region.is_empty() {
-            let payload = extract_region_flat(buffer, region);
+            let payload = SharedTile::new(extract_region_flat(buffer, region));
             ctx.isend(next, tag, payload);
         }
     }
@@ -133,7 +136,7 @@ fn forward_pass<C: RankComm<Vec<f64>>>(
 
 /// Backward sweep: receive-and-replace from the successor (if any), then send
 /// the overlap region back to the predecessor (if any).
-fn backward_pass<C: RankComm<Vec<f64>>>(
+fn backward_pass<C: RankComm<SharedTile>>(
     ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
@@ -145,13 +148,13 @@ fn backward_pass<C: RankComm<Vec<f64>>>(
         let region = local_overlap(grid, rank, next);
         if !region.is_empty() {
             let payload = ctx.recv(next, tag)?;
-            set_region_flat(buffer, region, &payload);
+            set_region_flat(buffer, region, payload.values());
         }
     }
     if let Some(prev) = predecessor(grid, rank, axis) {
         let region = local_overlap(grid, rank, prev);
         if !region.is_empty() {
-            let payload = extract_region_flat(buffer, region);
+            let payload = SharedTile::new(extract_region_flat(buffer, region));
             ctx.isend(prev, tag, payload);
         }
     }
@@ -219,7 +222,7 @@ mod tests {
         let grid_ref = &grid;
         let initial_ref = &initial;
         let outcomes = cluster
-            .run::<Vec<f64>, CArray3, _>(ranks, |ctx| {
+            .run::<SharedTile, CArray3, _>(ranks, |ctx| {
                 let mut buffer = initial_ref[ctx.rank()].clone();
                 run_accumulation_passes(ctx, grid_ref, &mut buffer)?;
                 Ok(buffer)

@@ -28,8 +28,9 @@ use crate::engine::{IterationEngine, RecoveryPolicy, SolverKernel};
 use crate::gradient_decomp::passes::run_accumulation_passes;
 use crate::tiling::TileGrid;
 use crate::worker::TileWorker;
-use ptycho_cluster::{CommBackend, CommError, MemoryCategory, RankComm, RankFailure};
-use ptycho_fft::CArray3;
+use ptycho_array::Array3;
+use ptycho_cluster::{CommBackend, CommError, MemoryCategory, RankComm, RankFailure, SharedTile};
+use ptycho_fft::{CArray3, Complex64};
 use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX};
 use ptycho_sim::scan::ProbeLocation;
 
@@ -141,12 +142,16 @@ struct GdKernel<'a> {
     initial: &'a CArray3,
 }
 
-/// Rank-local Gradient Decomposition state.
+/// Rank-local Gradient Decomposition state. Every buffer is allocated once
+/// here and reused across iterations — the steady-state loop is
+/// allocation-free (pinned by `tests/alloc_regression.rs`).
 struct GdState<'a> {
     worker: TileWorker<'a>,
     owned: Vec<ProbeLocation>,
     acc_buf: CArray3,
     own_acc: CArray3,
+    /// Probe-window-shaped gradient scratch, refilled per probe location.
+    gradient: CArray3,
 }
 
 impl SolverKernel for GdKernel<'_> {
@@ -164,10 +169,11 @@ impl SolverKernel for GdKernel<'_> {
         self.config.iterations
     }
 
-    fn init<'k, C: RankComm<Vec<f64>>>(&'k self, ctx: &mut C) -> GdState<'k> {
+    fn init<'k, C: RankComm<SharedTile>>(&'k self, ctx: &mut C) -> GdState<'k> {
         let tile = self.grid.tile(ctx.rank()).clone();
         let owned = tile.owned_locations.clone();
         let slices = self.dataset.object_shape().0;
+        let window = self.dataset.model().window_px();
 
         let worker = TileWorker::new(
             self.dataset,
@@ -189,15 +195,17 @@ impl SolverKernel for GdKernel<'_> {
 
         let acc_buf = worker.zero_buffer();
         let own_acc = worker.zero_buffer();
+        let gradient = Array3::full(slices, window, window, Complex64::ZERO);
         GdState {
             worker,
             owned,
             acc_buf,
             own_acc,
+            gradient,
         }
     }
 
-    fn run_iteration<C: RankComm<Vec<f64>>>(
+    fn run_iteration<C: RankComm<SharedTile>>(
         &self,
         ctx: &mut C,
         state: &mut GdState<'_>,
@@ -208,6 +216,7 @@ impl SolverKernel for GdKernel<'_> {
             owned,
             acc_buf,
             own_acc,
+            gradient,
         } = state;
         let mut iteration_cost = 0.0;
         for round in 0..self.rounds {
@@ -215,13 +224,15 @@ impl SolverKernel for GdKernel<'_> {
             let start = round * owned.len() / self.rounds;
             let end = (round + 1) * owned.len() / self.rounds;
             for loc in &owned[start..end] {
-                let (loss, gradient) = ctx.clock_mut().compute(|| worker.compute_gradient(loc));
+                let loss = ctx
+                    .clock_mut()
+                    .compute(|| worker.compute_gradient_into(loc, gradient));
                 iteration_cost += loss;
                 ctx.clock_mut().compute(|| {
-                    worker.accumulate_patch(acc_buf, loc, &gradient);
+                    worker.accumulate_patch(acc_buf, loc, gradient);
                     if self.config.local_updates {
-                        worker.accumulate_patch(own_acc, loc, &gradient);
-                        worker.apply_patch(loc, &gradient);
+                        worker.accumulate_patch(own_acc, loc, gradient);
+                        worker.apply_patch(loc, gradient);
                     }
                 });
             }
@@ -233,16 +244,15 @@ impl SolverKernel for GdKernel<'_> {
             ctx.clock_mut().compute(|| {
                 if self.config.local_updates {
                     // Apply only what this tile has not already applied.
-                    let remote = acc_buf.zip_map(own_acc, |total, own| *total - *own);
-                    worker.apply_buffer(&remote);
+                    worker.apply_buffer_remote(acc_buf, own_acc);
                 } else {
                     worker.apply_buffer(acc_buf);
                 }
             });
 
-            // Step 16: reset the buffers.
-            *acc_buf = worker.zero_buffer();
-            *own_acc = worker.zero_buffer();
+            // Step 16: reset the buffers (in place, reusing their storage).
+            acc_buf.fill(Complex64::ZERO);
+            own_acc.fill(Complex64::ZERO);
         }
         Ok(iteration_cost)
     }
@@ -255,8 +265,8 @@ impl SolverKernel for GdKernel<'_> {
         *state.worker.volume_mut() = checkpoint.clone();
         // The buffers are zero at every iteration boundary; discard whatever
         // the failed attempt left in them.
-        state.acc_buf = state.worker.zero_buffer();
-        state.own_acc = state.worker.zero_buffer();
+        state.acc_buf.fill(Complex64::ZERO);
+        state.own_acc.fill(Complex64::ZERO);
     }
 
     fn core_volume(&self, state: &GdState<'_>) -> CArray3 {

@@ -12,8 +12,9 @@ use crate::engine::{IterationEngine, RecoveryPolicy, SolverKernel};
 use crate::gradient_decomp::solver::ReconstructionResult;
 use crate::tiling::{TileGrid, TileInfo};
 use crate::worker::{extract_region_flat, set_region_flat, TileWorker};
-use ptycho_cluster::{CommBackend, CommError, RankComm, RankFailure};
-use ptycho_fft::CArray3;
+use ptycho_array::Array3;
+use ptycho_cluster::{CommBackend, CommError, RankComm, RankFailure, SharedTile};
+use ptycho_fft::{CArray3, Complex64};
 use ptycho_sim::dataset::Dataset;
 use ptycho_sim::scan::ProbeLocation;
 
@@ -192,12 +193,15 @@ struct HveKernel<'a> {
     initial: &'a CArray3,
 }
 
-/// Rank-local Halo Voxel Exchange state.
+/// Rank-local Halo Voxel Exchange state. The gradient scratch is allocated
+/// once and reused across probes and iterations.
 struct HveState<'a> {
     worker: TileWorker<'a>,
     tile: TileInfo,
     probes: &'a [ProbeLocation],
     neighbors: Vec<usize>,
+    /// Probe-window-shaped gradient scratch, refilled per probe location.
+    gradient: CArray3,
 }
 
 impl SolverKernel for HveKernel<'_> {
@@ -215,7 +219,7 @@ impl SolverKernel for HveKernel<'_> {
         self.config.iterations
     }
 
-    fn init<'k, C: RankComm<Vec<f64>>>(&'k self, ctx: &mut C) -> HveState<'k> {
+    fn init<'k, C: RankComm<SharedTile>>(&'k self, ctx: &mut C) -> HveState<'k> {
         let rank = ctx.rank();
         let tile = self.grid.tile(rank).clone();
         let probes = self.assigned[rank].as_slice();
@@ -228,15 +232,19 @@ impl SolverKernel for HveKernel<'_> {
             ctx.memory_mut(),
         );
         let neighbors = self.grid.neighbors(rank);
+        let slices = self.dataset.object_shape().0;
+        let window = self.dataset.model().window_px();
+        let gradient = Array3::full(slices, window, window, Complex64::ZERO);
         HveState {
             worker,
             tile,
             probes,
             neighbors,
+            gradient,
         }
     }
 
-    fn run_iteration<C: RankComm<Vec<f64>>>(
+    fn run_iteration<C: RankComm<SharedTile>>(
         &self,
         ctx: &mut C,
         state: &mut HveState<'_>,
@@ -247,6 +255,7 @@ impl SolverKernel for HveKernel<'_> {
             tile,
             probes,
             neighbors,
+            gradient,
         } = state;
 
         // Embarrassingly parallel tile reconstruction with the redundant probe
@@ -254,7 +263,9 @@ impl SolverKernel for HveKernel<'_> {
         // applied locally, immediately.
         let mut iteration_cost = 0.0;
         for loc in probes.iter() {
-            let (loss, gradient) = ctx.clock_mut().compute(|| worker.compute_gradient(loc));
+            let loss = ctx
+                .clock_mut()
+                .compute(|| worker.compute_gradient_into(loc, gradient));
             // Only count owned probes towards the global cost so that the
             // reported F(V) is comparable with the Gradient Decomposition
             // method (redundant evaluations would double-count).
@@ -265,7 +276,7 @@ impl SolverKernel for HveKernel<'_> {
                 iteration_cost += loss;
             }
             ctx.clock_mut()
-                .compute(|| worker.apply_patch(loc, &gradient));
+                .compute(|| worker.apply_patch(loc, gradient));
         }
 
         // Voxel copy-paste: send my core voxels into every neighbour's halo,
@@ -284,7 +295,7 @@ impl SolverKernel for HveKernel<'_> {
                 continue;
             }
             let send_local = send_region_global.to_local(&tile.extended);
-            let payload = extract_region_flat(worker.volume(), send_local);
+            let payload = SharedTile::new(extract_region_flat(worker.volume(), send_local));
             ctx.isend(peer, TAG_VOXEL_PASTE, payload);
         }
         for &peer in neighbors.iter() {
@@ -294,7 +305,7 @@ impl SolverKernel for HveKernel<'_> {
             }
             let recv_local = recv_region_global.to_local(&tile.extended);
             let payload = ctx.recv(peer, TAG_VOXEL_PASTE)?;
-            set_region_flat(worker.volume_mut(), recv_local, &payload);
+            set_region_flat(worker.volume_mut(), recv_local, payload.values());
         }
         Ok(iteration_cost)
     }

@@ -5,11 +5,14 @@ use ptycho_array::{Array3, Rect};
 use ptycho_cluster::{MemoryCategory, MemoryTracker};
 use ptycho_fft::{CArray3, Complex64};
 use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX, BYTES_PER_MEASUREMENT};
-use ptycho_sim::gradient::{probe_gradient, suggested_step};
+use ptycho_sim::gradient::{probe_gradient_into, suggested_step};
 use ptycho_sim::scan::ProbeLocation;
+use ptycho_sim::SimWorkspace;
 
 /// The state one worker (simulated GPU) keeps for its tile: the halo-extended
-/// sub-volume it reconstructs, the bound forward model, and the gradient step.
+/// sub-volume it reconstructs, the bound forward model, the gradient step,
+/// and the pooled per-probe buffers (model workspace + patch scratch) that
+/// make the steady-state gradient evaluation allocation-free.
 pub(crate) struct TileWorker<'a> {
     dataset: &'a Dataset,
     tile: TileInfo,
@@ -17,6 +20,11 @@ pub(crate) struct TileWorker<'a> {
     volume: CArray3,
     step: f64,
     slices: usize,
+    /// Reusable forward/adjoint model buffers (incident stack, far field,
+    /// back-propagation wave, FFT scratch).
+    workspace: SimWorkspace,
+    /// Reusable probe-window object patch, refilled per probe location.
+    patch: CArray3,
 }
 
 impl<'a> TileWorker<'a> {
@@ -53,10 +61,17 @@ impl<'a> TileWorker<'a> {
             MemoryCategory::GradientBuffer,
             window * window * slices * BYTES_PER_COMPLEX,
         );
+        // The pooled buffers this worker holds resident for its whole life:
+        // the SimWorkspace — incident stack (slices + 1), far field, back
+        // wave and FFT scratch, all window² complex fields — plus the
+        // probe-window object patch (slices planes).
         memory.allocate(
             MemoryCategory::ModelWorkspace,
-            3 * window * window * BYTES_PER_COMPLEX,
+            ((slices + 4) + slices) * window * window * BYTES_PER_COMPLEX,
         );
+
+        let workspace = SimWorkspace::for_model(dataset.model());
+        let patch = Array3::full(slices, window, window, Complex64::ONE);
 
         Self {
             dataset,
@@ -64,6 +79,8 @@ impl<'a> TileWorker<'a> {
             volume,
             step,
             slices,
+            workspace,
+            patch,
         }
     }
 
@@ -84,23 +101,28 @@ impl<'a> TileWorker<'a> {
     }
 
     /// Computes the individual image gradient `∂f_i/∂V_k` for one owned probe
-    /// location against the current tile state. Returns the probe loss and the
-    /// gradient patch (probe-window shaped).
-    pub fn compute_gradient(&self, loc: &ProbeLocation) -> (f64, CArray3) {
+    /// location against the current tile state, writing it into the
+    /// caller-owned probe-window-shaped `gradient` buffer. Returns the probe
+    /// loss. Allocation-free: the object patch and every model intermediate
+    /// live in the worker's pooled buffers.
+    pub fn compute_gradient_into(&mut self, loc: &ProbeLocation, gradient: &mut CArray3) -> f64 {
         let local_window = self.local_window(loc);
-        let patch = self
-            .volume
-            .extract_region_with_fill(local_window, Complex64::ONE);
-        let result = probe_gradient(self.dataset.model(), &patch, self.dataset.measurement(loc));
-        (result.loss, result.gradient)
+        self.volume
+            .extract_region_into(local_window, Complex64::ONE, &mut self.patch);
+        probe_gradient_into(
+            self.dataset.model(),
+            &self.patch,
+            self.dataset.measurement(loc),
+            &mut self.workspace,
+            gradient,
+        )
     }
 
     /// Applies one gradient patch to the tile volume at the probe window
-    /// (step 8 of Algorithm 1): `V_k ← V_k − α·grad`.
+    /// (step 8 of Algorithm 1): `V_k ← V_k − α·grad`. Allocation-free.
     pub fn apply_patch(&mut self, loc: &ProbeLocation, gradient: &CArray3) {
         let local_window = self.local_window(loc);
-        let scaled = gradient.map(|g| -*g * self.step);
-        self.volume.add_region(local_window, &scaled);
+        add_region_scaled(&mut self.volume, local_window, gradient, -self.step);
     }
 
     /// Applies a full extended-tile-shaped gradient buffer (step 15 of
@@ -109,6 +131,18 @@ impl<'a> TileWorker<'a> {
         assert_eq!(buffer.shape(), self.volume.shape(), "buffer shape mismatch");
         for (v, g) in self.volume.iter_mut().zip(buffer.iter()) {
             *v -= g.scale(self.step);
+        }
+    }
+
+    /// Step-15 variant for locally-updating tiles: applies
+    /// `V_k ← V_k − α·(total − own)` — the accumulated gradients minus what
+    /// this tile already applied locally — without materialising the
+    /// difference buffer.
+    pub fn apply_buffer_remote(&mut self, total: &CArray3, own: &CArray3) {
+        assert_eq!(total.shape(), self.volume.shape(), "buffer shape mismatch");
+        assert_eq!(own.shape(), self.volume.shape(), "buffer shape mismatch");
+        for ((v, t), o) in self.volume.iter_mut().zip(total.iter()).zip(own.iter()) {
+            *v -= (*t - *o).scale(self.step);
         }
     }
 
@@ -139,15 +173,60 @@ impl<'a> TileWorker<'a> {
     }
 }
 
+/// Adds `factor · block` into `region` of a complex volume, clipping against
+/// the volume bounds — the allocation-free scatter behind the local
+/// per-probe update (`block` is probe-window shaped: one sub-plane per slice).
+fn add_region_scaled(volume: &mut CArray3, region: Rect, block: &CArray3, factor: f64) {
+    let (rows, cols) = region.shape();
+    assert_eq!(
+        block.shape(),
+        (volume.depth(), rows, cols),
+        "add_region_scaled: block shape {:?} does not match region {:?} x {} slices",
+        block.shape(),
+        region,
+        volume.depth()
+    );
+    let bounds = volume.plane_bounds();
+    let clipped = region.intersect(&bounds);
+    let vol_cols = volume.cols();
+    for s in 0..volume.depth() {
+        let src = block.slice_data(s);
+        let dst = volume.slice_data_mut(s);
+        for gr in clipped.row0..clipped.row1 {
+            let lr = (gr - region.row0) as usize;
+            for gc in clipped.col0..clipped.col1 {
+                let lc = (gc - region.col0) as usize;
+                dst[gr as usize * vol_cols + gc as usize] += src[lr * cols + lc] * factor;
+            }
+        }
+    }
+}
+
 /// Flattens the values of `region` (tile-local coordinates) of a complex
 /// volume into an interleaved `re, im` vector, slice-major then row-major —
-/// the wire format of every gradient/voxel message.
+/// the wire format of every gradient/voxel message. Cells of `region` outside
+/// the volume flatten to zero. The returned `Vec` is the message payload
+/// itself (wrapped in a [`ptycho_cluster::SharedTile`] by the callers), so
+/// this one allocation is inherent to sending.
 pub(crate) fn extract_region_flat(volume: &CArray3, region: Rect) -> Vec<f64> {
-    let sub = volume.extract_region_with_fill(region, Complex64::ZERO);
-    let mut out = Vec::with_capacity(sub.len() * 2);
-    for v in sub.iter() {
-        out.push(v.re);
-        out.push(v.im);
+    let slices = volume.depth();
+    let (rows, cols) = region.shape();
+    let mut out = vec![0.0; slices * rows * cols * 2];
+    let bounds = volume.plane_bounds();
+    let clipped = region.intersect(&bounds);
+    let vol_cols = volume.cols();
+    for s in 0..slices {
+        let plane = volume.slice_data(s);
+        for gr in clipped.row0..clipped.row1 {
+            let lr = (gr - region.row0) as usize;
+            for gc in clipped.col0..clipped.col1 {
+                let lc = (gc - region.col0) as usize;
+                let idx = 2 * ((s * rows + lr) * cols + lc);
+                let v = plane[gr as usize * vol_cols + gc as usize];
+                out[idx] = v.re;
+                out[idx + 1] = v.im;
+            }
+        }
     }
     out
 }
@@ -252,6 +331,25 @@ mod tests {
         set_region_flat(&mut target, region, &flat);
         assert_eq!(target[(0, 5, 5)], vol[(0, 5, 5)]);
         assert_eq!(target[(0, 0, 0)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn add_region_scaled_matches_map_then_add() {
+        let vol = volume_with_pattern();
+        let region = Rect::new(-1, 3, 4, 4);
+        let block = Array3::from_fn(2, 4, 4, |s, r, c| Complex64::new((s + r) as f64, c as f64));
+
+        let mut direct = vol.clone();
+        add_region_scaled(&mut direct, region, &block, -0.37);
+
+        let mut reference = vol.clone();
+        let scaled = block.map(|g| -*g * 0.37);
+        reference.add_region(region, &scaled);
+
+        for (a, b) in direct.iter().zip(reference.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 
     #[test]

@@ -5,10 +5,31 @@
 //! through contiguous memory). A Rayon-parallel driver is provided for the
 //! large fields of the forward model; the paper's CUDA kernels parallelise the
 //! same way across GPU threads.
+//!
+//! # In-place transforms and workspaces
+//!
+//! The hot path of the reconstruction (one FFT pair per slice per probe
+//! location) must not allocate. [`Fft2Plan::forward_in_place`] /
+//! [`Fft2Plan::inverse_in_place`] transform a field in its own storage,
+//! ping-ponging the column pass through a caller-owned [`Fft2Scratch`]
+//! transpose buffer, so a warmed-up transform performs zero heap allocations.
+//! The by-value methods ([`Fft2Plan::forward`] and friends) are thin wrappers
+//! that clone the input and build a throwaway scratch — convenient for cold
+//! paths, tests and examples.
 
 use crate::{CArray2, Complex64, FftPlan};
 use ptycho_array::Array2;
 use rayon::prelude::*;
+
+/// Minimum number of elements (`rows × cols`) before the `*_par` drivers
+/// actually fan out across Rayon workers.
+///
+/// Measured crossover from `BENCH_baseline.json`: at 128 px the parallel 2D
+/// FFT is *slower* than serial (491 µs vs 468 µs) because the per-row task is
+/// too small to amortise worker hand-off, and it only reaches parity at
+/// 256 px (2.415 ms vs 2.392 ms). Below this threshold the parallel entry
+/// points therefore pick the serial path automatically.
+pub const PARALLEL_MIN_ELEMS: usize = 256 * 256;
 
 /// A reusable plan for 2D FFTs of a fixed `(rows, cols)` shape (both powers of
 /// two).
@@ -18,6 +39,33 @@ pub struct Fft2Plan {
     cols: usize,
     row_plan: FftPlan,
     col_plan: FftPlan,
+}
+
+/// Caller-owned workspace for the in-place 2D transforms: one `rows × cols`
+/// transpose (ping-pong) buffer, allocated once and reused for every
+/// transform of the matching plan.
+#[derive(Clone, Debug)]
+pub struct Fft2Scratch {
+    rows: usize,
+    cols: usize,
+    buf: Vec<Complex64>,
+}
+
+impl Fft2Scratch {
+    /// Allocates a scratch buffer sized for `plan`.
+    pub fn for_plan(plan: &Fft2Plan) -> Self {
+        let (rows, cols) = plan.shape();
+        Self {
+            rows,
+            cols,
+            buf: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// The `(rows, cols)` plan shape this scratch was sized for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
 }
 
 impl Fft2Plan {
@@ -39,27 +87,75 @@ impl Fft2Plan {
         (self.rows, self.cols)
     }
 
-    /// Forward 2D transform (unnormalised), serial driver.
+    /// Forward 2D transform (unnormalised), serial driver. Thin by-value
+    /// wrapper over [`Self::forward_in_place`] (clones the input and builds a
+    /// throwaway scratch; hot paths should hold a [`Fft2Scratch`] instead).
     pub fn forward(&self, field: &CArray2) -> CArray2 {
         self.transform(field, true, false)
     }
 
     /// Inverse 2D transform (normalised by `1/(rows·cols)`), serial driver.
+    /// Thin by-value wrapper over [`Self::inverse_in_place`].
     pub fn inverse(&self, field: &CArray2) -> CArray2 {
         self.transform(field, false, false)
     }
 
-    /// Forward 2D transform using Rayon to parallelise across rows/columns.
+    /// Forward 2D transform using Rayon to parallelise across rows/columns
+    /// (serial below [`PARALLEL_MIN_ELEMS`]).
     pub fn forward_par(&self, field: &CArray2) -> CArray2 {
         self.transform(field, true, true)
     }
 
-    /// Inverse 2D transform using Rayon to parallelise across rows/columns.
+    /// Inverse 2D transform using Rayon to parallelise across rows/columns
+    /// (serial below [`PARALLEL_MIN_ELEMS`]).
     pub fn inverse_par(&self, field: &CArray2) -> CArray2 {
         self.transform(field, false, true)
     }
 
+    /// In-place forward 2D transform (unnormalised): zero heap allocations,
+    /// the column pass ping-pongs through `scratch`.
+    pub fn forward_in_place(&self, field: &mut CArray2, scratch: &mut Fft2Scratch) {
+        self.transform_in_place(field, scratch, true, false);
+    }
+
+    /// In-place inverse 2D transform (normalised by `1/(rows·cols)`): zero
+    /// heap allocations.
+    pub fn inverse_in_place(&self, field: &mut CArray2, scratch: &mut Fft2Scratch) {
+        self.transform_in_place(field, scratch, false, false);
+    }
+
+    /// In-place forward transform with the Rayon row driver (serial below
+    /// [`PARALLEL_MIN_ELEMS`]).
+    pub fn forward_par_in_place(&self, field: &mut CArray2, scratch: &mut Fft2Scratch) {
+        self.transform_in_place(field, scratch, true, true);
+    }
+
+    /// In-place inverse transform with the Rayon row driver (serial below
+    /// [`PARALLEL_MIN_ELEMS`]).
+    pub fn inverse_par_in_place(&self, field: &mut CArray2, scratch: &mut Fft2Scratch) {
+        self.transform_in_place(field, scratch, false, true);
+    }
+
+    /// Allocates a scratch workspace sized for this plan (alias for
+    /// [`Fft2Scratch::for_plan`]).
+    pub fn make_scratch(&self) -> Fft2Scratch {
+        Fft2Scratch::for_plan(self)
+    }
+
     fn transform(&self, field: &CArray2, forward: bool, parallel: bool) -> CArray2 {
+        let mut out = field.clone();
+        let mut scratch = Fft2Scratch::for_plan(self);
+        self.transform_in_place(&mut out, &mut scratch, forward, parallel);
+        out
+    }
+
+    fn transform_in_place(
+        &self,
+        field: &mut CArray2,
+        scratch: &mut Fft2Scratch,
+        forward: bool,
+        parallel: bool,
+    ) {
         assert_eq!(
             field.shape(),
             (self.rows, self.cols),
@@ -67,22 +163,44 @@ impl Fft2Plan {
             (self.rows, self.cols),
             field.shape()
         );
+        assert_eq!(
+            scratch.shape(),
+            (self.rows, self.cols),
+            "Fft2Scratch shape {:?} does not match plan shape {:?}",
+            scratch.shape(),
+            (self.rows, self.cols)
+        );
+        // Below the measured crossover the parallel driver only pays
+        // hand-off overhead; fall back to the serial path (see
+        // [`PARALLEL_MIN_ELEMS`]).
+        let parallel = parallel && self.rows * self.cols >= PARALLEL_MIN_ELEMS;
 
-        // Row pass.
-        let mut data = field.clone();
-        Self::row_pass(&mut data, &self.row_plan, forward, parallel);
+        // Row pass, in the field's own storage.
+        Self::row_pass(
+            field.as_mut_slice(),
+            self.cols,
+            &self.row_plan,
+            forward,
+            parallel,
+        );
 
-        // Column pass via transpose so both passes stream contiguous rows. The
-        // inverse row/column passes each apply 1/len along their own axis, so
-        // the combined inverse normalisation of 1/(rows*cols) needs no extra step.
-        let mut transposed = data.transposed();
-        Self::row_pass(&mut transposed, &self.col_plan, forward, parallel);
-        transposed.transposed()
+        // Column pass via transpose so both passes stream contiguous rows,
+        // ping-ponging through the scratch buffer instead of allocating two
+        // transposed copies. The inverse row/column passes each apply 1/len
+        // along their own axis, so the combined inverse normalisation of
+        // 1/(rows*cols) needs no extra step.
+        transpose_into(field.as_slice(), self.rows, self.cols, &mut scratch.buf);
+        Self::row_pass(
+            &mut scratch.buf,
+            self.rows,
+            &self.col_plan,
+            forward,
+            parallel,
+        );
+        transpose_into(&scratch.buf, self.cols, self.rows, field.as_mut_slice());
     }
 
-    fn row_pass(data: &mut CArray2, plan: &FftPlan, forward: bool, parallel: bool) {
-        let cols = data.cols();
-        let buf = data.as_mut_slice();
+    fn row_pass(buf: &mut [Complex64], cols: usize, plan: &FftPlan, forward: bool, parallel: bool) {
         let apply = |row: &mut [Complex64]| {
             if forward {
                 plan.forward(row);
@@ -98,6 +216,18 @@ impl Fft2Plan {
     }
 }
 
+/// Writes the transpose of the `rows × cols` row-major `src` into `dst`
+/// (which becomes `cols × rows`).
+fn transpose_into(src: &[Complex64], rows: usize, cols: usize, dst: &mut [Complex64]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for c in 0..cols {
+        for r in 0..rows {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
 /// One-shot forward 2D FFT (builds a throwaway plan).
 pub fn fft2(field: &CArray2) -> CArray2 {
     Fft2Plan::new(field.rows(), field.cols()).forward(field)
@@ -106,6 +236,18 @@ pub fn fft2(field: &CArray2) -> CArray2 {
 /// One-shot inverse 2D FFT (builds a throwaway plan).
 pub fn ifft2(field: &CArray2) -> CArray2 {
     Fft2Plan::new(field.rows(), field.cols()).inverse(field)
+}
+
+/// One-shot in-place forward 2D FFT (builds a throwaway plan and scratch).
+pub fn fft2_in_place(field: &mut CArray2) {
+    let plan = Fft2Plan::new(field.rows(), field.cols());
+    plan.forward_in_place(field, &mut plan.make_scratch());
+}
+
+/// One-shot in-place inverse 2D FFT (builds a throwaway plan and scratch).
+pub fn ifft2_in_place(field: &mut CArray2) {
+    let plan = Fft2Plan::new(field.rows(), field.cols());
+    plan.inverse_in_place(field, &mut plan.make_scratch());
 }
 
 /// Circularly shifts the zero-frequency component to the centre of the array.
@@ -283,5 +425,101 @@ mod tests {
         let plan = Fft2Plan::new(8, 8);
         let field = Array2::full(4, 4, Complex64::ZERO);
         let _ = plan.forward(&field);
+    }
+
+    #[test]
+    fn in_place_is_bit_identical_to_by_value() {
+        for &(rows, cols) in &[(8usize, 8usize), (8, 16), (16, 8)] {
+            let field = test_field(rows, cols);
+            let plan = Fft2Plan::new(rows, cols);
+            let mut scratch = plan.make_scratch();
+
+            let by_value = plan.forward(&field);
+            let mut in_place = field.clone();
+            plan.forward_in_place(&mut in_place, &mut scratch);
+            for (a, b) in by_value.as_slice().iter().zip(in_place.as_slice()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+
+            plan.inverse_in_place(&mut in_place, &mut scratch);
+            let back = plan.inverse(&by_value);
+            for (a, b) in back.as_slice().iter().zip(in_place.as_slice()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_scratch_is_reusable_across_transforms() {
+        let plan = Fft2Plan::new(16, 16);
+        let mut scratch = plan.make_scratch();
+        let field = test_field(16, 16);
+        let mut data = field.clone();
+        for _ in 0..3 {
+            plan.forward_in_place(&mut data, &mut scratch);
+            plan.inverse_in_place(&mut data, &mut scratch);
+        }
+        assert_fields_close(&data, &field, 1e-9);
+    }
+
+    #[test]
+    fn par_in_place_matches_serial_in_place() {
+        let plan = Fft2Plan::new(32, 32);
+        let field = test_field(32, 32);
+        let mut scratch = plan.make_scratch();
+        let mut serial = field.clone();
+        plan.forward_in_place(&mut serial, &mut scratch);
+        let mut parallel = field.clone();
+        plan.forward_par_in_place(&mut parallel, &mut scratch);
+        assert_fields_close(&serial, &parallel, 1e-12);
+    }
+
+    #[test]
+    fn parallel_branch_above_threshold_is_bit_identical_to_serial() {
+        // 256×256 == PARALLEL_MIN_ELEMS: the smallest size at which the
+        // `*_par` drivers genuinely take the Rayon branch instead of the
+        // serial fallback — without this test the parallel row pass would
+        // have no coverage at all (every smaller test is auto-serialised).
+        const _: () = assert!(256 * 256 >= PARALLEL_MIN_ELEMS);
+        let plan = Fft2Plan::new(256, 256);
+        let field = test_field(256, 256);
+        let mut scratch = plan.make_scratch();
+
+        let mut serial = field.clone();
+        plan.forward_in_place(&mut serial, &mut scratch);
+        let mut parallel = field.clone();
+        plan.forward_par_in_place(&mut parallel, &mut scratch);
+        for (a, b) in serial.as_slice().iter().zip(parallel.as_slice()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+
+        plan.inverse_par_in_place(&mut parallel, &mut scratch);
+        plan.inverse_in_place(&mut serial, &mut scratch);
+        for (a, b) in serial.as_slice().iter().zip(parallel.as_slice()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert_fields_close(&parallel, &field, 1e-9);
+    }
+
+    #[test]
+    fn one_shot_in_place_helpers_roundtrip() {
+        let field = test_field(8, 8);
+        let mut data = field.clone();
+        fft2_in_place(&mut data);
+        ifft2_in_place(&mut data);
+        assert_fields_close(&data, &field, 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "Fft2Scratch shape")]
+    fn mismatched_scratch_panics() {
+        let plan = Fft2Plan::new(8, 8);
+        let mut scratch = Fft2Plan::new(4, 4).make_scratch();
+        let mut field = Array2::full(8, 8, Complex64::ZERO);
+        plan.forward_in_place(&mut field, &mut scratch);
     }
 }

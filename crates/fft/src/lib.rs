@@ -10,9 +10,13 @@
 //! # Contents
 //!
 //! * [`Complex64`] — a minimal double-precision complex number.
-//! * [`FftPlan`] — a cached-twiddle radix-2 plan for power-of-two 1D transforms.
+//! * [`FftPlan`] — a cached-twiddle radix-2 plan for power-of-two 1D
+//!   transforms. Its `forward`/`inverse` methods are *in-place* over
+//!   `&mut [Complex64]` — they are the zero-allocation entry points.
 //! * [`fft2d`] — forward/inverse 2D transforms over [`ptycho_array::Array2`],
-//!   with serial and Rayon row-parallel drivers, plus `fftshift`/`ifftshift`.
+//!   with serial and Rayon row-parallel drivers, in-place variants over a
+//!   reusable [`fft2d::Fft2Scratch`] workspace (the hot-path API), plus
+//!   `fftshift`/`ifftshift`.
 //! * [`dft`] — a naive O(N²) reference DFT used only by tests and benches.
 //!
 //! # Conventions

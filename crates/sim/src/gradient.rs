@@ -11,9 +11,9 @@
 //! gradient returned here is the Wirtinger derivative `∂f_i/∂conj(t_s)`, so a
 //! gradient-descent update is `t_s ← t_s − α · grad_s`.
 
-use crate::multislice::{ForwardPass, MultisliceModel};
+use crate::multislice::{ForwardPass, MultisliceModel, SimWorkspace};
 use ptycho_array::{Array2, Array3};
-use ptycho_fft::{CArray2, CArray3, Complex64};
+use ptycho_fft::{CArray3, Complex64};
 
 /// The result of evaluating one probe location: the scalar data-fidelity cost
 /// and the gradient with respect to the object patch.
@@ -37,79 +37,135 @@ pub fn probe_loss(
 }
 
 fn loss_from_pass(pass: &ForwardPass, measured_amplitude: &Array2<f64>) -> f64 {
-    let simulated = pass.amplitude();
     assert_eq!(
-        simulated.shape(),
+        pass.far_field.shape(),
         measured_amplitude.shape(),
         "measurement shape {:?} does not match simulation {:?}",
         measured_amplitude.shape(),
-        simulated.shape()
+        pass.far_field.shape()
     );
-    simulated
+    pass.far_field
         .as_slice()
         .iter()
         .zip(measured_amplitude.as_slice())
-        .map(|(s, m)| (s - m) * (s - m))
+        .map(|(d, m)| {
+            let s = d.abs();
+            (s - m) * (s - m)
+        })
         .sum()
 }
 
 /// Computes the cost *and* the gradient `∂f_i/∂conj(t)` for one probe location
 /// by back-propagating through the multi-slice model.
+///
+/// By-value wrapper over [`probe_gradient_into`] — it allocates a fresh
+/// [`SimWorkspace`] and gradient volume per call. Hot loops should hold both
+/// and call `probe_gradient_into` directly.
 pub fn probe_gradient(
     model: &MultisliceModel,
     object_patch: &CArray3,
     measured_amplitude: &Array2<f64>,
 ) -> GradientResult {
     let n = model.window_px();
-    let pass = model.forward(object_patch);
-    let loss = loss_from_pass(&pass, measured_amplitude);
+    let mut ws = SimWorkspace::for_model(model);
+    let mut gradient = Array3::full(model.slices(), n, n, Complex64::ZERO);
+    let loss = probe_gradient_into(
+        model,
+        object_patch,
+        measured_amplitude,
+        &mut ws,
+        &mut gradient,
+    );
+    GradientResult { loss, gradient }
+}
 
-    // ∂L/∂conj(D) for the amplitude-matching loss: (|D| − y) · D / |D|.
-    let residual: CArray2 = Array2::from_fn(n, n, |r, c| {
-        let d = pass.far_field[(r, c)];
-        let y = measured_amplitude[(r, c)];
+/// The allocation-free core of [`probe_gradient`]: evaluates the forward
+/// model and its adjoint entirely inside `ws`'s reusable buffers and writes
+/// the gradient into the caller-owned `gradient` volume (shape
+/// `(slices, window, window)`). Returns the probe loss.
+///
+/// # Panics
+/// Panics if any shape does not match the model.
+pub fn probe_gradient_into(
+    model: &MultisliceModel,
+    object_patch: &CArray3,
+    measured_amplitude: &Array2<f64>,
+    ws: &mut SimWorkspace,
+    gradient: &mut CArray3,
+) -> f64 {
+    let n = model.window_px();
+    assert_eq!(
+        gradient.shape(),
+        (model.slices(), n, n),
+        "gradient shape {:?} does not match model (slices={}, window={})",
+        gradient.shape(),
+        model.slices(),
+        n
+    );
+    model.forward_with(object_patch, ws);
+
+    let SimWorkspace {
+        incident,
+        far_field,
+        back,
+        fft_scratch,
+    } = ws;
+    assert_eq!(
+        far_field.shape(),
+        measured_amplitude.shape(),
+        "measurement shape {:?} does not match simulation {:?}",
+        measured_amplitude.shape(),
+        far_field.shape()
+    );
+
+    // Loss and ∂L/∂conj(D) for the amplitude-matching loss:
+    // (|D| − y) · D / |D|, written straight into the back-propagation buffer.
+    let mut loss = 0.0;
+    for ((b, d), y) in back
+        .as_mut_slice()
+        .iter_mut()
+        .zip(far_field.as_slice())
+        .zip(measured_amplitude.as_slice())
+    {
         let a = d.abs();
-        if a == 0.0 {
+        loss += (a - y) * (a - y);
+        *b = if a == 0.0 {
             Complex64::ZERO
         } else {
             d.scale((a - y) / a)
-        }
-    });
+        };
+    }
 
     // Back through the far-field FFT: the adjoint of the unnormalised forward
-    // transform is the unnormalised inverse transform.
-    let mut back = adjoint_fft(model, &residual);
+    // transform is the unnormalised inverse transform. F^H = N · F^{-1}; the
+    // plan's inverse applies 1/N per axis, so multiply back by the element
+    // count.
+    model.plan().fft().inverse_in_place(back, fft_scratch);
+    let scale = (n * n) as f64;
+    back.map_inplace(|v| *v = v.scale(scale));
 
     // Back through the slices in reverse order.
-    let mut gradient_slices: Vec<CArray2> =
-        vec![Array2::full(n, n, Complex64::ZERO); model.slices()];
     for s in (0..model.slices()).rev() {
         // `back` currently holds ∂L/∂conj(psi_{s+1}); pull it through the
         // propagator to get ∂L/∂conj(a_s) where a_s = t_s ⊙ psi_s.
-        let d_a = model.plan().propagate_adjoint(&back);
-        let psi_s = &pass.incident[s];
-        let t_s = object_patch.slice(s);
+        model.plan().propagate_adjoint_in_place(back, fft_scratch);
+        let psi_s = incident[s].as_slice();
+        let t_s = object_patch.slice_data(s);
         // ∂L/∂conj(t_s) = ∂L/∂conj(a_s) ⊙ conj(psi_s)
-        gradient_slices[s] = d_a.zip_map(psi_s, |g, p| *g * p.conj());
+        for ((g, d_a), p) in gradient
+            .slice_data_mut(s)
+            .iter_mut()
+            .zip(back.as_slice())
+            .zip(psi_s)
+        {
+            *g = *d_a * p.conj();
+        }
         // ∂L/∂conj(psi_s) = ∂L/∂conj(a_s) ⊙ conj(t_s)
-        back = d_a.zip_map(&t_s, |g, t| *g * t.conj());
+        for (d_a, t) in back.as_mut_slice().iter_mut().zip(t_s) {
+            *d_a *= t.conj();
+        }
     }
-
-    GradientResult {
-        loss,
-        gradient: Array3::from_slices(gradient_slices),
-    }
-}
-
-/// Adjoint of the far-field transform used in [`MultisliceModel::forward`].
-fn adjoint_fft(model: &MultisliceModel, residual: &CArray2) -> CArray2 {
-    // F^H = N · F^{-1}; the plan's inverse applies 1/N per axis, so multiply
-    // the result back by the element count.
-    let n = model.window_px();
-    let mut out = model.plan().fft().inverse(residual);
-    let scale = (n * n) as f64;
-    out.map_inplace(|v| *v = v.scale(scale));
-    out
+    loss
 }
 
 /// A well-scaled gradient-descent step size for the given model, following the
@@ -230,6 +286,28 @@ mod tests {
                 "im mismatch at ({s},{r},{c}): fd={d_im}, grad={}",
                 2.0 * g.im
             );
+        }
+    }
+
+    #[test]
+    fn gradient_into_matches_by_value_bit_exactly() {
+        let model = small_model(2);
+        let truth = phase_object(2, 16, 0.3);
+        let measured = model.simulate_amplitude(&truth);
+        let guess = phase_object(2, 16, 0.1);
+
+        let by_value = probe_gradient(&model, &guess, &measured);
+
+        let mut ws = SimWorkspace::for_model(&model);
+        let mut gradient = Array3::full(2, 16, 16, Complex64::ONE);
+        // Run twice through the same buffers: reuse must not change results.
+        let _ = probe_gradient_into(&model, &truth, &measured, &mut ws, &mut gradient);
+        let loss = probe_gradient_into(&model, &guess, &measured, &mut ws, &mut gradient);
+
+        assert_eq!(loss.to_bits(), by_value.loss.to_bits());
+        for (a, b) in by_value.gradient.iter().zip(gradient.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
     }
 

@@ -54,9 +54,10 @@ pub mod specimen;
 
 pub use dataset::{Dataset, DatasetSpec};
 pub use gradient::{
-    apply_gradient_step, probe_gradient, probe_loss, suggested_step, GradientResult,
+    apply_gradient_step, probe_gradient, probe_gradient_into, probe_loss, suggested_step,
+    GradientResult,
 };
-pub use multislice::{MultisliceModel, PropagationPlan};
+pub use multislice::{MultisliceModel, PropagationPlan, SimWorkspace};
 pub use probe::{Probe, ProbeConfig};
 pub use scan::{ProbeLocation, ScanConfig, ScanPattern};
 pub use specimen::{Specimen, SpecimenConfig};

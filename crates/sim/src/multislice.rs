@@ -13,7 +13,7 @@
 
 use crate::probe::Probe;
 use ptycho_array::Array2;
-use ptycho_fft::fft2d::Fft2Plan;
+use ptycho_fft::fft2d::{Fft2Plan, Fft2Scratch};
 use ptycho_fft::{CArray2, CArray3, Complex64};
 use std::f64::consts::PI;
 
@@ -24,6 +24,8 @@ pub struct PropagationPlan {
     fft: Fft2Plan,
     /// Fresnel transfer function `H(k) = exp(-iπλΔz|k|²)` in unshifted layout.
     transfer: CArray2,
+    /// `conj(H)`, precomputed so the adjoint propagation allocates nothing.
+    conj_transfer: CArray2,
 }
 
 impl PropagationPlan {
@@ -47,10 +49,12 @@ impl PropagationPlan {
             let k2 = (fr * dk) * (fr * dk) + (fc * dk) * (fc * dk);
             Complex64::cis(-PI * wavelength_pm * slice_dz_pm * k2)
         });
+        let conj_transfer = transfer.map(|v| v.conj());
         Self {
             window_px,
             fft: Fft2Plan::new(n, n),
             transfer,
+            conj_transfer,
         }
     }
 
@@ -64,19 +68,92 @@ impl PropagationPlan {
         &self.fft
     }
 
-    /// Propagates a wave by one slice spacing.
+    /// Propagates a wave by one slice spacing (by-value wrapper over
+    /// [`Self::propagate_in_place`]).
     pub fn propagate(&self, wave: &CArray2) -> CArray2 {
-        let mut spectrum = self.fft.forward(wave);
-        spectrum = spectrum.hadamard(&self.transfer);
-        self.fft.inverse(&spectrum)
+        let mut out = wave.clone();
+        let mut scratch = self.fft.make_scratch();
+        self.propagate_in_place(&mut out, &mut scratch);
+        out
     }
 
-    /// Adjoint (= inverse, since `|H| = 1`) propagation by one slice spacing.
+    /// Adjoint (= inverse, since `|H| = 1`) propagation by one slice spacing
+    /// (by-value wrapper over [`Self::propagate_adjoint_in_place`]).
     pub fn propagate_adjoint(&self, wave: &CArray2) -> CArray2 {
-        let conj_transfer = self.transfer.map(|v| v.conj());
-        let mut spectrum = self.fft.forward(wave);
-        spectrum = spectrum.hadamard(&conj_transfer);
-        self.fft.inverse(&spectrum)
+        let mut out = wave.clone();
+        let mut scratch = self.fft.make_scratch();
+        self.propagate_adjoint_in_place(&mut out, &mut scratch);
+        out
+    }
+
+    /// Propagates a wave by one slice spacing in place: forward FFT,
+    /// elementwise transfer multiply, inverse FFT, all in `wave`'s storage.
+    /// Zero heap allocations.
+    pub fn propagate_in_place(&self, wave: &mut CArray2, scratch: &mut Fft2Scratch) {
+        self.fft.forward_in_place(wave, scratch);
+        wave.zip_apply(&self.transfer, |w, h| *w *= *h);
+        self.fft.inverse_in_place(wave, scratch);
+    }
+
+    /// In-place adjoint propagation (uses the precomputed `conj(H)`). Zero
+    /// heap allocations.
+    pub fn propagate_adjoint_in_place(&self, wave: &mut CArray2, scratch: &mut Fft2Scratch) {
+        self.fft.forward_in_place(wave, scratch);
+        wave.zip_apply(&self.conj_transfer, |w, h| *w *= *h);
+        self.fft.inverse_in_place(wave, scratch);
+    }
+}
+
+/// Reusable per-worker buffers for the forward model and its adjoint: the
+/// incident-wave stack (`slices + 1` probe-window fields), the far-field
+/// spectrum, the back-propagation wave and the FFT transpose scratch.
+///
+/// Allocate one per worker ([`SimWorkspace::for_model`]) and thread it
+/// through [`MultisliceModel::forward_with`] /
+/// [`crate::gradient::probe_gradient_into`]; after the first call every
+/// evaluation reuses the same memory — the steady-state reconstruction loop
+/// performs zero heap allocations.
+#[derive(Clone, Debug)]
+pub struct SimWorkspace {
+    pub(crate) incident: Vec<CArray2>,
+    pub(crate) far_field: CArray2,
+    pub(crate) back: CArray2,
+    pub(crate) fft_scratch: Fft2Scratch,
+}
+
+impl SimWorkspace {
+    /// Allocates a workspace sized for `model`'s window and slice count.
+    pub fn for_model(model: &MultisliceModel) -> Self {
+        let n = model.window_px();
+        let zero = Array2::full(n, n, Complex64::ZERO);
+        Self {
+            incident: vec![zero.clone(); model.slices() + 1],
+            far_field: zero.clone(),
+            back: zero,
+            fft_scratch: model.plan().fft().make_scratch(),
+        }
+    }
+
+    /// The far-field diffraction wave `D = FFT(exit)` of the latest
+    /// [`MultisliceModel::forward_with`] call.
+    pub fn far_field(&self) -> &CArray2 {
+        &self.far_field
+    }
+
+    /// The incident wave at the entrance of slice `s` (the last entry,
+    /// `s == slices`, is the exit wave) of the latest forward pass.
+    pub fn incident(&self, s: usize) -> &CArray2 {
+        &self.incident[s]
+    }
+
+    /// Number of slices this workspace was sized for.
+    pub fn slices(&self) -> usize {
+        self.incident.len() - 1
+    }
+
+    /// Probe-window side length this workspace was sized for.
+    pub fn window_px(&self) -> usize {
+        self.far_field.rows()
     }
 }
 
@@ -152,9 +229,28 @@ impl MultisliceModel {
     /// Runs the forward model on an object patch (shape
     /// `(slices, window, window)`), keeping intermediates for the adjoint.
     ///
+    /// By-value wrapper over [`Self::forward_with`] — it allocates a fresh
+    /// [`SimWorkspace`] per call. Hot loops should hold a workspace and call
+    /// `forward_with` directly.
+    ///
     /// # Panics
     /// Panics if the patch shape does not match the model.
     pub fn forward(&self, object_patch: &CArray3) -> ForwardPass {
+        let mut ws = SimWorkspace::for_model(self);
+        self.forward_with(object_patch, &mut ws);
+        ForwardPass {
+            incident: ws.incident,
+            far_field: ws.far_field,
+        }
+    }
+
+    /// Runs the forward model into a reusable [`SimWorkspace`]: the incident
+    /// stack and far field are written into `ws`'s buffers, so repeated calls
+    /// perform zero heap allocations.
+    ///
+    /// # Panics
+    /// Panics if the patch or workspace shape does not match the model.
+    pub fn forward_with(&self, object_patch: &CArray3, ws: &mut SimWorkspace) {
         let n = self.window_px();
         assert_eq!(
             object_patch.shape(),
@@ -164,20 +260,37 @@ impl MultisliceModel {
             self.slices,
             n
         );
+        assert_eq!(
+            (ws.slices(), ws.window_px()),
+            (self.slices, n),
+            "workspace shape (slices={}, window={}) does not match model (slices={}, window={})",
+            ws.slices(),
+            ws.window_px(),
+            self.slices,
+            n
+        );
 
-        let mut incident = Vec::with_capacity(self.slices + 1);
-        let mut psi = self.probe.field().clone();
-        incident.push(psi.clone());
-        for s in 0..self.slices {
-            let transmitted = psi.hadamard(&object_patch.slice(s));
-            psi = self.plan.propagate(&transmitted);
-            incident.push(psi.clone());
-        }
-        let far_field = self.plan.fft.forward(&psi);
-        ForwardPass {
+        let SimWorkspace {
             incident,
             far_field,
+            fft_scratch,
+            ..
+        } = ws;
+        incident[0].copy_from(self.probe.field());
+        for s in 0..self.slices {
+            // Transmission: incident[s+1] = incident[s] ⊙ t_s, then
+            // propagation in place — no temporaries.
+            let (before, after) = incident.split_at_mut(s + 1);
+            let psi = before[s].as_slice();
+            let next = after[0].as_mut_slice();
+            let t_s = object_patch.slice_data(s);
+            for ((dst, src), t) in next.iter_mut().zip(psi).zip(t_s) {
+                *dst = *src * *t;
+            }
+            self.plan.propagate_in_place(&mut after[0], fft_scratch);
         }
+        far_field.copy_from(&incident[self.slices]);
+        self.plan.fft.forward_in_place(far_field, fft_scratch);
     }
 
     /// Convenience wrapper returning only the diffraction amplitude.
@@ -280,6 +393,72 @@ mod tests {
         assert_eq!(pass.incident.len(), 4);
         assert_eq!(pass.far_field.shape(), (16, 16));
         assert_eq!(pass.amplitude().shape(), (16, 16));
+    }
+
+    #[test]
+    fn forward_with_matches_by_value_forward_bit_exactly() {
+        let probe = test_probe(16);
+        let model = MultisliceModel::new(probe, 3);
+        let object = Array3::from_fn(3, 16, 16, |s, r, c| {
+            Complex64::cis(0.1 * ((s + 2 * r + c) as f64).sin())
+        });
+        let pass = model.forward(&object);
+        let mut ws = SimWorkspace::for_model(&model);
+        // Run twice through the same workspace: reuse must not change results.
+        model.forward_with(&object, &mut ws);
+        model.forward_with(&object, &mut ws);
+        for (a, b) in pass
+            .far_field
+            .as_slice()
+            .iter()
+            .zip(ws.far_field().as_slice())
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        for s in 0..=3 {
+            for (a, b) in pass.incident[s]
+                .as_slice()
+                .iter()
+                .zip(ws.incident(s).as_slice())
+            {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_propagation_matches_by_value() {
+        let probe = test_probe(32);
+        let model = MultisliceModel::new(probe, 1);
+        let wave = model.probe().field().clone();
+        let by_value = model.plan().propagate(&wave);
+        let mut in_place = wave.clone();
+        let mut scratch = model.plan().fft().make_scratch();
+        model.plan().propagate_in_place(&mut in_place, &mut scratch);
+        for (a, b) in by_value.as_slice().iter().zip(in_place.as_slice()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        let adj_by_value = model.plan().propagate_adjoint(&by_value);
+        model
+            .plan()
+            .propagate_adjoint_in_place(&mut in_place, &mut scratch);
+        for (a, b) in adj_by_value.as_slice().iter().zip(in_place.as_slice()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace shape")]
+    fn mismatched_workspace_panics() {
+        let probe = test_probe(16);
+        let model = MultisliceModel::new(probe, 2);
+        let other = MultisliceModel::new(test_probe(16), 3);
+        let mut ws = SimWorkspace::for_model(&other);
+        model.forward_with(&vacuum(2, 16), &mut ws);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Zero-allocation regression gate for the reconstruction hot path.
+//!
+//! ISSUE 4's tentpole makes the steady-state Gradient Decomposition
+//! iteration allocation-free: FFTs run in place through pooled
+//! [`Fft2Scratch`](ptycho_fft::fft2d::Fft2Scratch) workspaces, the
+//! multislice forward/adjoint evaluation reuses a `SimWorkspace`, the
+//! per-rank gradient and accumulation buffers are pooled at `init`, and the
+//! buffer resets happen in place. This binary installs a counting global
+//! allocator and pins the property: a single-rank GD run with extra
+//! iterations must perform **exactly** the same number of allocations as a
+//! shorter run — i.e. a steady-state iteration allocates nothing.
+//!
+//! (Multi-rank runs inherently allocate per iteration: each wire message is
+//! one fresh payload `Vec`. Those payloads are covered separately below — a
+//! `SharedTile` clone, the unit the comm layers copy, must not allocate.)
+
+use ptycho_alloc::CountingAllocator;
+use ptycho_cluster::{ClusterTopology, LockstepBackend, SharedTile};
+use ptycho_core::{GradientDecompositionSolver, SolverConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Allocation events of one full single-rank GD reconstruction: everything
+/// between `run` and the stitched result (rank spawn, kernel init with its
+/// pooled buffers, every iteration, stitching). Dataset synthesis, solver
+/// and backend construction happen before the counter snapshot and are not
+/// measured.
+fn gd_run_allocations(dataset: &Dataset, iterations: usize) -> u64 {
+    let config = SolverConfig {
+        iterations,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    // The lockstep backend schedules deterministically (one runnable rank,
+    // fixed baton order), so two runs perform identical allocation sequences
+    // and the comparison below is exact, not statistical.
+    let backend = LockstepBackend::new(ClusterTopology::summit());
+    let solver = GradientDecompositionSolver::new(dataset, config, (1, 1));
+    let before = ALLOC.allocations();
+    let result = solver.run(&backend);
+    let after = ALLOC.allocations();
+    assert!(result.cost_history.final_cost().is_finite());
+    after - before
+}
+
+// A single #[test] on purpose: the harness runs tests concurrently, and a
+// second test allocating in parallel would corrupt the global counters.
+#[test]
+fn steady_state_gd_iteration_is_allocation_free() {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+
+    // Warm-up run: lazy runtime initialisation (thread-local storage, stdio
+    // locks, ...) must not be charged to the measured runs.
+    let _ = gd_run_allocations(&dataset, 1);
+
+    let short = gd_run_allocations(&dataset, 2);
+    let long = gd_run_allocations(&dataset, 6);
+    assert!(short > 0, "init is expected to allocate the pooled buffers");
+    assert_eq!(
+        long,
+        short,
+        "4 extra steady-state GD iterations performed {} extra allocations \
+         (expected zero: every per-iteration buffer must be pooled)",
+        long as i64 - short as i64
+    );
+
+    // The zero-copy payload pin: cloning a SharedTile — what the
+    // fault-injection duplicator and ReliableComm's retransmit outbox do to
+    // every in-flight message — must alias the Arc, not copy the buffer.
+    let tile = SharedTile::new(vec![0.5; 1 << 16]);
+    let before = ALLOC.allocations();
+    let copy = tile.clone();
+    assert_eq!(
+        ALLOC.allocations(),
+        before,
+        "cloning a SharedTile must not allocate"
+    );
+    assert_eq!(copy.len(), 1 << 16);
+}

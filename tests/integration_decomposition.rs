@@ -2,7 +2,7 @@
 //! locality, accumulation passes and the memory accounting they imply.
 
 use ptycho_array::Array3;
-use ptycho_cluster::{Cluster, ClusterTopology, MemoryCategory, RankComm};
+use ptycho_cluster::{Cluster, ClusterTopology, MemoryCategory, RankComm, SharedTile};
 use ptycho_core::gradient_decomp::passes::run_accumulation_passes;
 use ptycho_core::tiling::TileGrid;
 use ptycho_core::{GradientDecompositionSolver, HaloVoxelExchangeSolver, SolverConfig};
@@ -95,7 +95,7 @@ fn accumulation_passes_reproduce_global_gradient_sum() {
     let grid_ref = &grid;
     let buffers_ref = &buffers;
     let outcomes = cluster
-        .run::<Vec<f64>, CArray3, _>(ranks, |ctx| {
+        .run::<SharedTile, CArray3, _>(ranks, |ctx| {
             let mut buffer = buffers_ref[ctx.rank()].clone();
             run_accumulation_passes(ctx, grid_ref, &mut buffer)?;
             Ok(buffer)
