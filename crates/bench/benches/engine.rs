@@ -9,7 +9,9 @@
 //! which is exactly the overhead a cautious production deployment would pay.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ptycho_cluster::{ClusterTopology, LockstepBackend, SharedTile};
+use ptycho_cluster::{
+    ClusterTopology, FaultInjectionBackend, FaultPolicy, LockstepBackend, SharedTile,
+};
 use ptycho_core::tiling::TileGrid;
 use ptycho_core::{GradientDecompositionSolver, RecoveryPolicy, SolverConfig};
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
@@ -82,6 +84,58 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// What spare-rank substitution (ISSUE 5) costs.
+///
+/// `spare_pool_fault_free` is the price of *standing ready*: a run under
+/// `RecoveryPolicy::SubstituteSpare` with no faults pays the retransmit+
+/// restart machinery plus one ring heartbeat control frame per rank per
+/// iteration — this is the overhead a deployment accepts to survive node
+/// loss. `one_rank_death_heal` is the time to *heal*: node 1 is killed
+/// early in the first attempt, the failure is detected, a spare adopts its
+/// tile from the last consistency-barrier checkpoint, and the whole
+/// reconstruction re-runs to a bit-identical volume — so the figure covers
+/// detection, promotion and the healed re-run end to end.
+fn bench_spare_substitution(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+    let config = SolverConfig {
+        iterations: 1,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let solver = GradientDecompositionSolver::new(&dataset, config, (2, 2));
+    let backend = LockstepBackend::new(ClusterTopology::summit());
+    let policy = RecoveryPolicy::SubstituteSpare {
+        spares: 1,
+        max_iteration_restarts: 1,
+    };
+
+    let mut group = c.benchmark_group("engine_spare_substitution");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("gd_2x2_spare_pool_fault_free_lockstep", |b| {
+        b.iter(|| {
+            solver
+                .run_with_recovery(&backend, policy)
+                .expect("fault-free run cannot fail")
+        })
+    });
+    group.bench_function("gd_2x2_one_rank_death_heal_lockstep", |b| {
+        b.iter(|| {
+            let faulty = FaultInjectionBackend::new(
+                LockstepBackend::new(ClusterTopology::summit()),
+                FaultPolicy::reliable(0).kill_rank(1, 1),
+            );
+            let healed = solver
+                .run_with_recovery(&faulty, policy)
+                .expect("the spare must heal the death");
+            assert_eq!(healed.recovery.substitutions, 1);
+            healed
+        })
+    });
+    group.finish();
+}
+
 /// Pins the zero-copy payload property in time units: cloning a tile-sized
 /// `Vec<f64>` (what every retransmit-buffer insert and fault-injection
 /// duplicate cost before ISSUE 4) against cloning a [`SharedTile`] (an `Arc`
@@ -102,5 +156,10 @@ fn bench_payload_clone(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_payload_clone);
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_spare_substitution,
+    bench_payload_clone
+);
 criterion_main!(benches);

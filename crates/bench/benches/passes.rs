@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ptycho_array::Array3;
 use ptycho_cluster::{
-    Cluster, ClusterTopology, CommBackend, LockstepBackend, RankComm, SharedTile,
+    Cluster, ClusterTopology, CommBackend, LockstepBackend, RankComm, SharedTile, TilePayloadPool,
 };
 use ptycho_core::gradient_decomp::passes::run_accumulation_passes;
 use ptycho_core::tiling::TileGrid;
@@ -39,7 +39,8 @@ fn run_once<B: CommBackend>(backend: &B, grid: &TileGrid, initial: &[CArray3]) {
     backend
         .run::<SharedTile, (), _>(grid.num_tiles(), |ctx| {
             let mut buffer = initial[ctx.rank()].clone();
-            run_accumulation_passes(ctx, grid, &mut buffer)?;
+            let mut pool = TilePayloadPool::new();
+            run_accumulation_passes(ctx, grid, &mut buffer, &mut pool)?;
             Ok(())
         })
         .expect("no faults injected");

@@ -36,6 +36,14 @@ pub enum FaultAction {
     /// Hold the message back until the sender next blocks (in a receive, at a
     /// barrier, or at rank completion), letting later traffic overtake it.
     Delay,
+    /// The sending node dies permanently at this send: the message (and any
+    /// delayed messages it was holding) is lost, every later send from the
+    /// node is suppressed, and every later blocking operation on its
+    /// communicator reports [`CommError::RankDead`]. Unlike the message
+    /// faults above this one is keyed by *node* identity
+    /// ([`FaultPolicy::kill_rank`]), so a spare that adopts the dead node's
+    /// tile slot does not inherit the death.
+    Kill,
 }
 
 /// A seeded, deterministic fault model.
@@ -60,6 +68,11 @@ pub struct FaultPolicy {
     /// When set, deterministically drops exactly the message identified by
     /// `(from, to, tag, seq)` in addition to the probabilistic rules.
     pub drop_exact: Option<(usize, usize, u64, u64)>,
+    /// When set, permanently kills one node: `(node, after_sends)` makes the
+    /// node's `after_sends`-th send decision (0-based, counted across every
+    /// stream the node sends on) come out as [`FaultAction::Kill`]. Keyed by
+    /// node identity, not rank slot — see [`FaultHarness::set_node`].
+    pub kill: Option<(usize, u64)>,
 }
 
 impl FaultPolicy {
@@ -72,6 +85,7 @@ impl FaultPolicy {
             delay_probability: 0.0,
             only_tag: None,
             drop_exact: None,
+            kill: None,
         }
     }
 
@@ -104,6 +118,15 @@ impl FaultPolicy {
     /// rank `to` with tag `tag`.
     pub fn drop_message(mut self, from: usize, to: usize, tag: u64, seq: u64) -> Self {
         self.drop_exact = Some((from, to, tag, seq));
+        self
+    }
+
+    /// Permanently kills `node` at its `after_sends`-th send decision
+    /// (0-based, counted across all of the node's outgoing streams). The
+    /// node's communicator goes dead from that point on — see
+    /// [`FaultAction::Kill`].
+    pub fn kill_rank(mut self, node: usize, after_sends: u64) -> Self {
+        self.kill = Some((node, after_sends));
         self
     }
 
@@ -224,19 +247,42 @@ enum HarnessMode {
 /// the filter entirely.
 pub struct FaultHarness {
     rank: usize,
+    /// The physical node occupying this rank's slot — equal to `rank` until
+    /// the membership layer re-keys it ([`FaultHarness::set_node`]). The
+    /// rank-death fault is keyed by this identity.
+    node: usize,
+    /// Total send decisions this rank has made, across every stream — the
+    /// clock the rank-death fault fires on.
+    total_sends: u64,
     mode: HarnessMode,
     trace: Arc<Mutex<Vec<TraceEvent>>>,
     seq: HashMap<(usize, u64), u64>,
 }
 
 impl FaultHarness {
+    /// Re-keys the harness to the physical node occupying this rank's slot
+    /// (see [`RankComm::set_fault_node`]). Message faults stay keyed by the
+    /// rank slot (the wire identity); only the rank-death fault follows the
+    /// node.
+    pub fn set_node(&mut self, node: usize) {
+        self.node = node;
+    }
+
     /// Decides the fate of one outgoing message and records it in the trace.
     pub fn decide(&mut self, to: usize, tag: u64, bytes: usize) -> FaultAction {
         let counter = self.seq.entry((to, tag)).or_insert(0);
         let seq = *counter;
         *counter += 1;
+        let sends_so_far = self.total_sends;
+        self.total_sends += 1;
         let action = match &self.mode {
-            HarnessMode::Policy(policy) => policy.decide(self.rank, to, tag, seq),
+            HarnessMode::Policy(policy) => {
+                if policy.kill == Some((self.node, sends_so_far)) {
+                    FaultAction::Kill
+                } else {
+                    policy.decide(self.rank, to, tag, seq)
+                }
+            }
             HarnessMode::Replay(map) => map
                 .get(&(self.rank, to, tag, seq))
                 .copied()
@@ -260,16 +306,22 @@ impl FaultHarness {
 /// The one fault-dispatch protocol shared by every backend's `isend`: consult
 /// the harness (if any), then deliver / drop / duplicate via `deliver`, or
 /// park the payload in `delayed` (released by the backend when the sender
-/// next blocks or finishes). Keeping this in one place guarantees the
-/// backends cannot drift apart in fault semantics.
+/// next blocks or finishes), or kill the sending rank outright (`dead` is
+/// set, this payload and every delayed one is lost, and all later sends are
+/// suppressed). Keeping this in one place guarantees the backends cannot
+/// drift apart in fault semantics.
 pub(crate) fn route_send<M: super::Payload>(
     harness: &mut Option<FaultHarness>,
     delayed: &mut Vec<(usize, u64, M)>,
+    dead: &mut bool,
     to: usize,
     tag: u64,
     payload: M,
     mut deliver: impl FnMut(usize, u64, M),
 ) {
+    if *dead {
+        return;
+    }
     let action = match harness {
         Some(harness) => harness.decide(to, tag, payload.payload_bytes()),
         None => FaultAction::Deliver,
@@ -282,6 +334,11 @@ pub(crate) fn route_send<M: super::Payload>(
             deliver(to, tag, payload);
         }
         FaultAction::Delay => delayed.push((to, tag, payload)),
+        FaultAction::Kill => {
+            *dead = true;
+            // A dying node takes its held-back messages with it.
+            delayed.clear();
+        }
     }
 }
 
@@ -296,6 +353,7 @@ pub struct FaultInjectionBackend<B> {
     policy: FaultPolicy,
     replay: Option<Arc<DecisionMap>>,
     trace: Arc<Mutex<Vec<TraceEvent>>>,
+    accumulate: bool,
 }
 
 impl<B: CommBackend> FaultInjectionBackend<B> {
@@ -310,6 +368,7 @@ impl<B: CommBackend> FaultInjectionBackend<B> {
             policy,
             replay: None,
             trace: Arc::new(Mutex::new(Vec::new())),
+            accumulate: false,
         }
     }
 
@@ -323,10 +382,25 @@ impl<B: CommBackend> FaultInjectionBackend<B> {
             policy: FaultPolicy::reliable(0),
             replay: Some(Arc::new(trace.decision_map())),
             trace: Arc::new(Mutex::new(Vec::new())),
+            accumulate: false,
         }
     }
 
-    /// The trace recorded by the most recent `run`, in canonical order.
+    /// Keeps accumulating trace events across `run` calls instead of
+    /// starting a fresh trace per call. The recovery drivers in
+    /// `ptycho-core` execute one `run` per attempt (checkpoint restart,
+    /// spare substitution), and the reliable layer's per-attempt wire
+    /// epochs keep the `(from, to, tag, seq)` keys of different attempts
+    /// disjoint — so an accumulated trace replays a whole multi-attempt
+    /// recovery, rank death included, decision for decision.
+    pub fn accumulate_traces(mut self) -> Self {
+        self.accumulate = true;
+        self
+    }
+
+    /// The trace recorded by the most recent `run` (or by every `run` since
+    /// construction, under [`FaultInjectionBackend::accumulate_traces`]),
+    /// in canonical order.
     pub fn trace(&self) -> CommTrace {
         CommTrace::from_events(self.trace.lock().expect("fault trace poisoned").clone())
     }
@@ -343,6 +417,8 @@ impl<B: CommBackend> FaultInjectionBackend<B> {
         };
         FaultHarness {
             rank,
+            node: rank,
+            total_sends: 0,
             mode,
             trace: Arc::clone(&self.trace),
             seq: HashMap::new(),
@@ -359,7 +435,9 @@ impl<B: CommBackend + Sync> CommBackend for FaultInjectionBackend<B> {
         R: Send,
         F: Fn(&mut Self::Comm<M>) -> Result<R, CommError> + Sync,
     {
-        self.trace.lock().expect("fault trace poisoned").clear();
+        if !self.accumulate {
+            self.trace.lock().expect("fault trace poisoned").clear();
+        }
         self.inner.run(num_ranks, |ctx: &mut B::Comm<M>| {
             ctx.install_fault_harness(self.harness_for(ctx.rank()));
             body(ctx)
@@ -407,6 +485,56 @@ mod tests {
         let policy = FaultPolicy::reliable(3).drop(1.0).on_tag(0x11);
         assert_eq!(policy.decide(0, 1, 0x10, 0), FaultAction::Deliver);
         assert_eq!(policy.decide(0, 1, 0x11, 0), FaultAction::Drop);
+    }
+
+    #[test]
+    fn kill_fires_on_the_nodes_nth_send_decision() {
+        use super::super::LockstepBackend;
+        // Node 1 dies on its second send decision: the first send lands, the
+        // second is lost, and the node's next blocking op reports RankDead.
+        let policy = FaultPolicy::reliable(0).kill_rank(1, 1);
+        let backend = FaultInjectionBackend::new(LockstepBackend::default(), policy);
+        let failure = backend
+            .run::<Vec<f64>, f64, _>(2, |ctx| {
+                if ctx.rank() == 1 {
+                    ctx.isend(0, 0x1, vec![1.0]); // delivered
+                    ctx.isend(0, 0x2, vec![2.0]); // the moment of death
+                    ctx.isend(0, 0x3, vec![3.0]); // suppressed: already dead
+                    ctx.barrier()?; // reports the death
+                    Ok(0.0)
+                } else {
+                    Ok(ctx.recv(1, 0x1)?[0])
+                }
+            })
+            .unwrap_err();
+        assert_eq!(failure.rank, 1);
+        assert!(matches!(failure.error, CommError::RankDead { rank: 1 }));
+        let trace = backend.trace();
+        // Only two decisions reach the harness: the delivered send and the
+        // killing one. The post-death send is suppressed before the harness.
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.events()[1].action, FaultAction::Kill);
+        assert_eq!(trace.fault_count(), 1);
+    }
+
+    #[test]
+    fn kill_is_keyed_by_node_not_slot() {
+        // Re-keying the harness to a different node id must disarm a kill
+        // aimed at the original occupant of the slot.
+        let policy = FaultPolicy::reliable(0).kill_rank(0, 0);
+        let backend = FaultInjectionBackend::new(super::super::LockstepBackend::default(), policy);
+        let outcomes = backend
+            .run::<Vec<f64>, f64, _>(2, |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.set_fault_node(7); // a spare adopted this slot
+                    ctx.isend(1, 0x1, vec![4.5]);
+                    Ok(0.0)
+                } else {
+                    Ok(ctx.recv(0, 0x1)?[0])
+                }
+            })
+            .expect("the kill is aimed at node 0, which no longer runs slot 0");
+        assert_eq!(outcomes[1].result, 4.5);
     }
 
     #[test]

@@ -169,6 +169,9 @@ pub struct LockstepComm<M> {
     shared: Arc<Shared<M>>,
     harness: Option<FaultHarness>,
     delayed: Vec<(usize, u64, M)>,
+    /// Set by a `Kill` fault: the node is permanently dead — sends are
+    /// suppressed and blocking operations report [`CommError::RankDead`].
+    dead: bool,
     /// The rank's time accounting.
     pub clock: RankClock,
     /// The rank's memory accounting.
@@ -213,6 +216,11 @@ impl<M: Payload> LockstepComm<M> {
     }
 
     fn flush_delayed(&mut self, state: &mut SchedState<M>) {
+        if self.dead {
+            // A dead node's held-back messages die with it.
+            self.delayed.clear();
+            return;
+        }
         let from = self.rank;
         let topology = self.topology;
         let LockstepComm { delayed, clock, .. } = self;
@@ -254,16 +262,28 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         let LockstepComm {
             harness,
             delayed,
+            dead,
             clock,
             ..
         } = self;
-        fault::route_send(harness, delayed, to, tag, payload, |to, tag, payload| {
-            Self::deliver_parts(&mut state, clock, &topology, from, to, tag, payload);
-        });
+        fault::route_send(
+            harness,
+            delayed,
+            dead,
+            to,
+            tag,
+            payload,
+            |to, tag, payload| {
+                Self::deliver_parts(&mut state, clock, &topology, from, to, tag, payload);
+            },
+        );
         // Sends are non-blocking: the baton is kept.
     }
 
     fn recv(&mut self, from: usize, tag: u64) -> Result<M, CommError> {
+        if self.dead {
+            return Err(CommError::RankDead { rank: self.rank });
+        }
         let shared = Arc::clone(&self.shared);
         let mut state = shared.state.lock().expect("lockstep state poisoned");
         if let Some(payload) = Self::take_matching(&mut state, self.rank, from, tag) {
@@ -303,6 +323,9 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
     /// awaited sender never sends is the *caller's* livelock — prefer the
     /// blocking [`RankComm::recv`], whose deadlocks this backend proves.
     fn try_recv(&mut self, from: usize, tag: u64) -> Option<M> {
+        if self.dead {
+            return None;
+        }
         let shared = Arc::clone(&self.shared);
         {
             let mut state = shared.state.lock().expect("lockstep state poisoned");
@@ -327,6 +350,9 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
+        if self.dead {
+            return Err(CommError::RankDead { rank: self.rank });
+        }
         let shared = Arc::clone(&self.shared);
         let mut state = shared.state.lock().expect("lockstep state poisoned");
         self.flush_delayed(&mut state);
@@ -402,6 +428,12 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
     fn install_fault_harness(&mut self, harness: FaultHarness) {
         self.harness = Some(harness);
     }
+
+    fn set_fault_node(&mut self, node: usize) {
+        if let Some(harness) = self.harness.as_mut() {
+            harness.set_node(node);
+        }
+    }
 }
 
 /// The deterministic cooperative backend.
@@ -475,6 +507,7 @@ impl LockstepBackend {
                         shared,
                         harness: None,
                         delayed: Vec::new(),
+                        dead: false,
                         clock: RankClock::new(),
                         memory: MemoryTracker::new(),
                     };

@@ -24,6 +24,7 @@
 
 pub mod fault;
 pub mod lockstep;
+pub mod pool;
 pub mod reliable;
 pub mod threaded;
 
@@ -32,6 +33,7 @@ use crate::memory::MemoryTracker;
 
 pub use fault::{CommTrace, FaultAction, FaultInjectionBackend, FaultPolicy, TraceEvent};
 pub use lockstep::{LockstepBackend, LockstepComm};
+pub use pool::TilePayloadPool;
 pub use reliable::{ReliableComm, ReliableConfig, ReliableStats};
 pub use threaded::{Cluster, RankContext, ThreadedBackend};
 
@@ -84,9 +86,12 @@ impl<T: Payload + Sync> Payload for std::sync::Arc<T> {
 /// or buffering it for retransmission aliases the one allocation instead of
 /// deep-copying volume-sized data.
 ///
-/// The contents are immutable by construction (no `&mut` accessor), so every
-/// alias observes the same bytes — which is what makes the aliasing sound.
-#[derive(Clone, Debug, Default)]
+/// The contents are immutable while shared — mutation is only possible
+/// through [`SharedTile::unique_values_mut`], which (via `Arc::get_mut`)
+/// succeeds only when no alias exists, so every alias always observes the
+/// same bytes. That uniqueness gate is what lets [`TilePayloadPool`] recycle
+/// a tile's buffer for the next send without copying.
+#[derive(Clone, Debug)]
 pub struct SharedTile(std::sync::Arc<Vec<f64>>);
 
 impl SharedTile {
@@ -108,6 +113,32 @@ impl SharedTile {
     /// True when the payload holds no values.
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+
+    /// Number of live aliases of this payload (the `Arc` strong count).
+    /// `1` means this handle is the only owner and the buffer is reusable.
+    pub fn ref_count(&self) -> usize {
+        std::sync::Arc::strong_count(&self.0)
+    }
+
+    /// Mutable access to the underlying buffer, granted only when this
+    /// handle is the sole owner (no clone is in a mailbox, a retransmit
+    /// outbox or a fault-injection duplicate). Returns `None` otherwise.
+    pub fn unique_values_mut(&mut self) -> Option<&mut Vec<f64>> {
+        std::sync::Arc::get_mut(&mut self.0)
+    }
+}
+
+/// The empty tile every [`SharedTile::default`] aliases: acknowledgement
+/// and heartbeat frames carry it, and sharing one allocation keeps those
+/// control paths allocation-free.
+static EMPTY_TILE: std::sync::OnceLock<std::sync::Arc<Vec<f64>>> = std::sync::OnceLock::new();
+
+impl Default for SharedTile {
+    fn default() -> Self {
+        Self(std::sync::Arc::clone(
+            EMPTY_TILE.get_or_init(|| std::sync::Arc::new(Vec::new())),
+        ))
     }
 }
 
@@ -178,6 +209,24 @@ pub enum CommError {
         /// The final underlying failure.
         last: Box<CommError>,
     },
+    /// This rank was killed by the fault layer's rank-death fault class
+    /// ([`FaultAction::Kill`]): the simulated node died permanently mid-run.
+    /// Every subsequent operation on the rank's communicator reports this
+    /// error, mirroring a process whose runtime has revoked its communicator.
+    /// Unlike message loss this is not recoverable in place — the membership
+    /// layer must substitute a spare node for the dead one.
+    RankDead {
+        /// The rank whose node died.
+        rank: usize,
+    },
+    /// A node died permanently and the spare-rank pool had no standby node
+    /// left to adopt its tile, so the run cannot be healed.
+    SparesExhausted {
+        /// The rank reporting the exhaustion.
+        rank: usize,
+        /// The dead node that could not be replaced.
+        dead_node: usize,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -209,6 +258,16 @@ impl std::fmt::Display for CommError {
                 f,
                 "rank {rank}: reliable delivery gave up after {recoveries} \
                  retransmit/retry rounds; last failure: {last}"
+            ),
+            CommError::RankDead { rank } => write!(
+                f,
+                "rank {rank}: this rank's node died permanently (simulated rank-death fault); \
+                 only a spare-rank substitution can heal the run"
+            ),
+            CommError::SparesExhausted { rank, dead_node } => write!(
+                f,
+                "rank {rank}: node {dead_node} died permanently and the spare-rank pool \
+                 is exhausted"
             ),
         }
     }
@@ -308,6 +367,16 @@ pub trait RankComm<M: Payload> {
     /// Used by [`FaultInjectionBackend`]; backends must route `isend` through
     /// the harness once one is installed.
     fn install_fault_harness(&mut self, harness: fault::FaultHarness);
+
+    /// Tells the fault layer which *physical node* occupies this rank's
+    /// slot, so node-keyed faults (rank death) follow the node, not the
+    /// slot: after a spare adopts a dead node's tile, the same slot is run
+    /// by a different node and must not inherit its predecessor's death.
+    /// Defaults to a no-op; backends that support fault harnesses re-key
+    /// the installed harness.
+    fn set_fault_node(&mut self, node: usize) {
+        let _ = node;
+    }
 }
 
 /// A launcher that executes one body per rank and collects the outcomes.

@@ -179,6 +179,37 @@ where
         self.config
     }
 
+    /// Sends a **control frame** (heartbeat / membership signalling)
+    /// straight through the underlying communicator: no sequence number, no
+    /// outbox entry, no acknowledgement, no retransmission. Control frames
+    /// must never perturb the data streams' sequence accounting — losing a
+    /// heartbeat is information, not an error.
+    ///
+    /// # Panics
+    /// Panics unless `tag` carries the control bit
+    /// ([`crate::membership::frames::CONTROL_BIT`]), which keeps control
+    /// frames disjoint from every data and ack tag by construction.
+    pub fn isend_control(&mut self, to: usize, tag: u64, payload: M) {
+        assert!(
+            crate::membership::frames::is_control(tag),
+            "control frames must carry the control bit (tag {tag:#x})"
+        );
+        self.inner.isend(to, tag, payload);
+    }
+
+    /// Non-blocking receive of a control frame, bypassing the sequence
+    /// cursors (see [`ReliableComm::isend_control`]).
+    ///
+    /// # Panics
+    /// Panics unless `tag` carries the control bit.
+    pub fn try_recv_control(&mut self, from: usize, tag: u64) -> Option<M> {
+        assert!(
+            crate::membership::frames::is_control(tag),
+            "control frames must carry the control bit (tag {tag:#x})"
+        );
+        self.inner.try_recv(from, tag)
+    }
+
     /// Consumes any acknowledgements that have arrived and prunes the
     /// outbox. Acks are cumulative per stream: seeing the ack for seq `s`
     /// implies every earlier seq of that stream was delivered (the receiver
@@ -307,6 +338,12 @@ where
                     return Ok(payload);
                 }
                 Err(error) => {
+                    // A dead node cannot be healed by retransmission: the
+                    // error is final, surface it without burning recovery
+                    // rounds so the membership layer can substitute a spare.
+                    if matches!(error, CommError::RankDead { .. }) {
+                        return Err(error);
+                    }
                     if attempts >= self.config.max_recoveries {
                         return Err(self.escalate(error));
                     }
@@ -345,6 +382,9 @@ where
                     return Ok(());
                 }
                 Err(error) => {
+                    if matches!(error, CommError::RankDead { .. }) {
+                        return Err(error);
+                    }
                     if attempts >= self.config.max_recoveries {
                         return Err(self.escalate(error));
                     }
@@ -365,6 +405,10 @@ where
 
     fn install_fault_harness(&mut self, harness: super::fault::FaultHarness) {
         self.inner.install_fault_harness(harness);
+    }
+
+    fn set_fault_node(&mut self, node: usize) {
+        self.inner.set_fault_node(node);
     }
 }
 

@@ -105,6 +105,9 @@ pub struct RankContext<M> {
     /// Messages held back by a `Delay` fault, flushed when this rank next
     /// blocks or finishes.
     delayed: Vec<(usize, u64, M)>,
+    /// Set by a `Kill` fault: the node is permanently dead — sends are
+    /// suppressed and blocking operations report [`CommError::RankDead`].
+    dead: bool,
     /// The rank's time accounting.
     pub clock: RankClock,
     /// The rank's memory accounting.
@@ -151,8 +154,12 @@ impl<M: Payload> RankContext<M> {
     }
 
     /// Releases every `Delay`-held message (called before blocking and at
-    /// rank completion).
+    /// rank completion). A dead node's held-back messages are lost instead.
     fn flush_delayed(&mut self) {
+        if self.dead {
+            self.delayed.clear();
+            return;
+        }
         let from = self.rank;
         let RankContext {
             senders,
@@ -187,18 +194,30 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
         let RankContext {
             harness,
             delayed,
+            dead,
             senders,
             stash,
             topology,
             clock,
             ..
         } = self;
-        fault::route_send(harness, delayed, to, tag, payload, |to, tag, payload| {
-            Self::deliver_parts(senders, stash, topology, clock, from, to, tag, payload);
-        });
+        fault::route_send(
+            harness,
+            delayed,
+            dead,
+            to,
+            tag,
+            payload,
+            |to, tag, payload| {
+                Self::deliver_parts(senders, stash, topology, clock, from, to, tag, payload);
+            },
+        );
     }
 
     fn recv(&mut self, from: usize, tag: u64) -> Result<M, CommError> {
+        if self.dead {
+            return Err(CommError::RankDead { rank: self.rank });
+        }
         // Check the stash first (messages that arrived out of order).
         if let Some(pos) = self
             .stash
@@ -261,6 +280,9 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
     }
 
     fn try_recv(&mut self, from: usize, tag: u64) -> Option<M> {
+        if self.dead {
+            return None;
+        }
         // Drain anything pending into the stash, then search it.
         while let Ok(envelope) = self.receiver.try_recv() {
             self.stash.push(envelope);
@@ -272,6 +294,9 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
+        if self.dead {
+            return Err(CommError::RankDead { rank: self.rank });
+        }
         self.flush_delayed();
         let barrier = Arc::clone(&self.barrier);
         let timeout = self.recv_timeout;
@@ -293,6 +318,12 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
 
     fn install_fault_harness(&mut self, harness: FaultHarness) {
         self.harness = Some(harness);
+    }
+
+    fn set_fault_node(&mut self, node: usize) {
+        if let Some(harness) = self.harness.as_mut() {
+            harness.set_node(node);
+        }
     }
 }
 
@@ -392,6 +423,7 @@ impl ThreadedBackend {
                         recv_timeout,
                         harness: None,
                         delayed: Vec::new(),
+                        dead: false,
                         clock: RankClock::new(),
                         memory: MemoryTracker::new(),
                     };

@@ -1,0 +1,322 @@
+//! Rank membership: which physical node runs which tile, and the spare pool.
+//!
+//! The solvers assign one image tile per *logical rank* (a **slot**). On a
+//! production cluster the process occupying a slot — a **node** — can die
+//! permanently, and the paper-scale deployments this reproduction models
+//! (Summit-class machines) treat that as routine, not exceptional. This
+//! module is the bookkeeping layer that lets a run survive it:
+//!
+//! * [`MembershipView`] is the epoch-numbered slot → node assignment table
+//!   shared (read-only) by every live rank of one attempt. It also owns the
+//!   **spare pool**: standby node ids that idle unassigned until a failure
+//!   detector verdict promotes one.
+//! * [`MembershipView::substitute`] is the promotion step: the dead node is
+//!   retired, the lowest-numbered spare adopts its slot, and the membership
+//!   **epoch** is bumped so every rank (and every seeded fault policy keyed
+//!   on wire traffic) can tell the regimes apart.
+//! * [`frames`] carves a **control-frame** tag space out of the wire-tag
+//!   scheme, disjoint by construction from the reliable layer's data and
+//!   acknowledgement tags, for the heartbeat liveness protocol. Control
+//!   frames deliberately bypass the reliable layer's sequence accounting
+//!   (see `ReliableComm::isend_control`): losing one must never trigger a
+//!   retransmission storm, and sending one must never shift a data stream's
+//!   sequence numbers.
+//!
+//! Membership epochs are **not** the reliable layer's wire epochs: a wire
+//! epoch ([`crate::ReliableConfig::epoch`]) counts *attempts* (checkpoint
+//! restarts and substitutions alike) so retransmit streams never alias
+//! across attempts, while a membership epoch counts *promotions* — it only
+//! moves when the assignment table changes. A run that restarts twice
+//! without losing a node bumps the wire epoch twice and the membership
+//! epoch not at all.
+//!
+//! The failure-detector split mirrors ULFM-style MPI fault tolerance:
+//! heartbeats are the in-band *suspicion* signal each rank can observe
+//! locally, while the authoritative *verdict* that a node is dead comes
+//! from the runtime (in this repository, the simulated backends, which know
+//! a killed rank's comm state; on a real cluster, the MPI runtime's revoke
+//! notification). The iteration engine in `ptycho-core` acts on verdicts at
+//! consistency-barrier boundaries, where every surviving rank's checkpoint
+//! provably refers to the same iteration.
+
+use std::collections::VecDeque;
+
+/// The identity of a physical node (process), as opposed to the *slot*
+/// (logical rank / tile index) it currently occupies. Node ids are stable
+/// for the lifetime of a reconstruction; slots are re-assigned when a node
+/// dies and a spare adopts its tile.
+pub type NodeId = usize;
+
+/// The control-frame corner of the wire-tag space.
+///
+/// The reliable layer encodes data frames as `| ack:1 | epoch:8 | seq:24 |
+/// tag:24 |` (bits 0..56 plus bit 63). Control frames set bit 62, which no
+/// data or acknowledgement tag can ever carry, so the two families cannot
+/// alias regardless of payload tag, sequence number or wire epoch.
+pub mod frames {
+    /// The bit marking a control frame (heartbeats, membership signalling).
+    pub const CONTROL_BIT: u64 = 1 << 62;
+
+    /// Bits available for the iteration index inside a heartbeat tag.
+    const ITERATION_BITS: u32 = 40;
+    /// Bits available for the membership epoch inside a heartbeat tag.
+    const EPOCH_BITS: u32 = 14;
+    /// Bits available for the attempt (wire) epoch inside a heartbeat tag.
+    const ATTEMPT_BITS: u32 = 8;
+
+    /// Encodes a heartbeat frame's wire tag:
+    /// `| 0:1 | control:1 | attempt epoch:8 | membership epoch:14 | iteration:40 |`.
+    ///
+    /// Scoping the tag by attempt epoch, membership epoch *and* iteration
+    /// means a heartbeat can only ever match the exact liveness probe it
+    /// answers: a stale beat from before a promotion can never be mistaken
+    /// for a fresh one, and — because the attempt epoch (the reliable
+    /// layer's wire epoch) is unique per attempt — a recorded trace's
+    /// `(from, to, tag, seq)` keys stay disjoint across attempts even when
+    /// the membership table did not change (a restart without a death), so
+    /// accumulated traces replay decision-for-decision.
+    pub fn heartbeat_tag(attempt_epoch: u8, membership_epoch: u64, iteration: u64) -> u64 {
+        assert!(
+            membership_epoch < (1 << EPOCH_BITS),
+            "membership epoch {membership_epoch} exceeds the {EPOCH_BITS}-bit heartbeat space"
+        );
+        assert!(
+            iteration < (1 << ITERATION_BITS),
+            "iteration {iteration} exceeds the {ITERATION_BITS}-bit heartbeat space"
+        );
+        CONTROL_BIT
+            | ((attempt_epoch as u64) << (ITERATION_BITS + EPOCH_BITS))
+            | (membership_epoch << ITERATION_BITS)
+            | iteration
+    }
+
+    /// The attempt-epoch space is 8 bits wide, matching the reliable
+    /// layer's wire epoch ([`crate::ReliableConfig::epoch`]); recovery
+    /// drivers must not run more attempts than this.
+    pub const MAX_ATTEMPT_EPOCH: u64 = (1 << ATTEMPT_BITS) - 1;
+
+    /// True when `tag` is a control frame (heartbeat / membership signal).
+    pub fn is_control(tag: u64) -> bool {
+        tag & CONTROL_BIT != 0
+    }
+}
+
+/// Errors from membership-table updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MembershipError {
+    /// A node needed replacing but the spare pool is empty.
+    SparesExhausted {
+        /// The dead node that could not be replaced.
+        dead_node: NodeId,
+    },
+    /// The node is not currently assigned to any slot (already dead, a
+    /// spare, or unknown), so it cannot be substituted.
+    NotAssigned {
+        /// The offending node id.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::SparesExhausted { dead_node } => write!(
+                f,
+                "node {dead_node} died permanently and the spare pool is exhausted"
+            ),
+            MembershipError::NotAssigned { node } => {
+                write!(f, "node {node} is not assigned to any slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+/// The epoch-numbered rank-membership table: which node occupies each slot,
+/// which nodes are standing by as spares, and which are dead.
+///
+/// One instance is shared (read-only) by every rank of an attempt; the
+/// recovery driver mutates it between attempts, at consistency-barrier
+/// boundaries, and bumps [`MembershipView::epoch`] on every promotion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipView {
+    epoch: u64,
+    /// `assignment[slot]` is the node currently running that slot's tile.
+    assignment: Vec<NodeId>,
+    /// Standby nodes, promoted lowest-id first.
+    spares: VecDeque<NodeId>,
+    /// Nodes retired by a failure-detector verdict, in verdict order.
+    dead: Vec<NodeId>,
+}
+
+impl MembershipView {
+    /// A fresh table: nodes `0..slots` each own their slot, nodes
+    /// `slots..slots + spares` stand by in the spare pool, epoch 0.
+    pub fn new(slots: usize, spares: usize) -> Self {
+        assert!(slots > 0, "need at least one slot");
+        Self {
+            epoch: 0,
+            assignment: (0..slots).collect(),
+            spares: (slots..slots + spares).collect(),
+            dead: Vec::new(),
+        }
+    }
+
+    /// Number of tile slots (logical ranks).
+    pub fn slots(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The membership epoch: bumped once per promotion, never otherwise.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The slot → node assignment table.
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.assignment
+    }
+
+    /// The node currently occupying `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn node_for_slot(&self, slot: usize) -> NodeId {
+        self.assignment[slot]
+    }
+
+    /// The slot a node currently occupies, if any.
+    pub fn slot_of_node(&self, node: NodeId) -> Option<usize> {
+        self.assignment.iter().position(|&n| n == node)
+    }
+
+    /// Number of spares still standing by.
+    pub fn spares_remaining(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Nodes retired by failure-detector verdicts, in verdict order.
+    pub fn dead_nodes(&self) -> &[NodeId] {
+        &self.dead
+    }
+
+    /// True when the node has been declared dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.contains(&node)
+    }
+
+    /// Every node the view knows about: assigned, standby and dead.
+    pub fn total_nodes(&self) -> usize {
+        self.assignment.len() + self.spares.len() + self.dead.len()
+    }
+
+    /// Acts on a failure-detector verdict: retires `dead_node`, promotes the
+    /// lowest-numbered spare into its slot, and bumps the epoch. Returns the
+    /// `(slot, replacement)` pair so the caller can hand the adopted slot's
+    /// checkpoint to the replacement.
+    ///
+    /// Fails with [`MembershipError::SparesExhausted`] when the pool is
+    /// empty (the node is still marked dead — the verdict stands even when
+    /// it cannot be healed) and [`MembershipError::NotAssigned`] when the
+    /// node holds no slot.
+    pub fn substitute(&mut self, dead_node: NodeId) -> Result<(usize, NodeId), MembershipError> {
+        let slot = self
+            .slot_of_node(dead_node)
+            .ok_or(MembershipError::NotAssigned { node: dead_node })?;
+        let Some(replacement) = self.spares.pop_front() else {
+            self.dead.push(dead_node);
+            return Err(MembershipError::SparesExhausted { dead_node });
+        };
+        self.dead.push(dead_node);
+        self.assignment[slot] = replacement;
+        self.epoch += 1;
+        Ok((slot, replacement))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::reliable::{wire_ack_tag, wire_data_tag};
+
+    #[test]
+    fn fresh_view_assigns_identity_and_parks_spares() {
+        let view = MembershipView::new(4, 2);
+        assert_eq!(view.slots(), 4);
+        assert_eq!(view.epoch(), 0);
+        assert_eq!(view.assignment(), &[0, 1, 2, 3]);
+        assert_eq!(view.spares_remaining(), 2);
+        assert_eq!(view.total_nodes(), 6);
+        assert_eq!(view.slot_of_node(3), Some(3));
+        assert_eq!(view.slot_of_node(4), None, "spares hold no slot");
+    }
+
+    #[test]
+    fn substitution_promotes_lowest_spare_and_bumps_epoch() {
+        let mut view = MembershipView::new(4, 2);
+        let (slot, replacement) = view.substitute(2).expect("a spare is available");
+        assert_eq!((slot, replacement), (2, 4));
+        assert_eq!(view.epoch(), 1);
+        assert_eq!(view.assignment(), &[0, 1, 4, 3]);
+        assert!(view.is_dead(2));
+        assert_eq!(view.spares_remaining(), 1);
+        assert_eq!(view.slot_of_node(4), Some(2));
+        // The dead node cannot be substituted twice.
+        assert_eq!(
+            view.substitute(2),
+            Err(MembershipError::NotAssigned { node: 2 })
+        );
+    }
+
+    #[test]
+    fn exhausted_pool_reports_typed_error_and_keeps_the_verdict() {
+        let mut view = MembershipView::new(2, 1);
+        view.substitute(0).expect("first death is healed");
+        let err = view.substitute(1).expect_err("pool is now empty");
+        assert_eq!(err, MembershipError::SparesExhausted { dead_node: 1 });
+        assert!(view.is_dead(1), "the verdict stands even unhealed");
+        assert_eq!(view.epoch(), 1, "no promotion, no epoch bump");
+    }
+
+    #[test]
+    fn heartbeat_tags_never_alias_reliable_traffic() {
+        // Exhaustive-ish sweep: control frames must be disjoint from every
+        // data and ack tag the reliable layer can produce.
+        let hb = frames::heartbeat_tag(1, 3, 17);
+        assert!(frames::is_control(hb));
+        for base in [0u64, 0x10, 0xff_ffff] {
+            for seq in [0u64, 1, (1 << 24) - 1] {
+                for epoch in [0u8, 1, 255] {
+                    assert!(!frames::is_control(wire_data_tag(base, seq, epoch)));
+                    assert!(!frames::is_control(wire_ack_tag(base, seq, epoch)));
+                }
+            }
+        }
+        // Distinct attempt epochs, membership epochs and iterations all give
+        // distinct tags.
+        assert_ne!(
+            frames::heartbeat_tag(0, 0, 5),
+            frames::heartbeat_tag(1, 0, 5)
+        );
+        assert_ne!(
+            frames::heartbeat_tag(0, 0, 5),
+            frames::heartbeat_tag(0, 1, 5)
+        );
+        assert_ne!(
+            frames::heartbeat_tag(0, 0, 5),
+            frames::heartbeat_tag(0, 0, 6)
+        );
+        // The attempt epoch occupies its own bits even at the extremes.
+        assert_ne!(
+            frames::heartbeat_tag(255, (1 << 14) - 1, 0),
+            frames::heartbeat_tag(254, (1 << 14) - 1, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat space")]
+    fn oversized_heartbeat_epoch_is_rejected() {
+        frames::heartbeat_tag(0, 1 << 14, 0);
+    }
+}

@@ -20,7 +20,20 @@
 //!     per-iteration checkpoint of each rank's tile state, so that a
 //!     [`RankFailure`] that survives retransmission rolls the whole run back
 //!     to the last consistent iteration boundary and re-runs it instead of
-//!     aborting, up to `max_iteration_restarts` times.
+//!     aborting, up to `max_iteration_restarts` times;
+//!   - [`RecoveryPolicy::SubstituteSpare`] escalates one layer further:
+//!     retransmission and checkpoint restarts handle *message* loss, but a
+//!     **permanently dead rank** defeats both (the node cannot answer any
+//!     retransmission, in any attempt). Under this policy the engine keeps a
+//!     [`MembershipView`] — an epoch-numbered slot → node assignment table
+//!     with a pool of standby spare nodes — plus a per-iteration ring
+//!     heartbeat carried on control frames. When an attempt fails because a
+//!     node died (the failure-detector verdict), the engine retires the
+//!     node, promotes the lowest-numbered spare into its tile slot, bumps
+//!     the membership epoch, and re-runs from the last consistency-barrier
+//!     checkpoint — which the adopting spare restores exactly as the dead
+//!     node would have, so the healed run is bit-identical to a fault-free
+//!     one. An empty spare pool surfaces [`CommError::SparesExhausted`].
 //!
 //! ### Why checkpoints are consistent
 //!
@@ -31,17 +44,22 @@
 //! invariant before restarting and escalates the original failure if it ever
 //! does not hold. Restart attempts carry an increasing *epoch* into the
 //! reliable layer's wire tags, so retransmit streams from different attempts
-//! can never alias and seeded fault policies draw fresh decisions.
+//! can never alias and seeded fault policies draw fresh decisions. That wire
+//! epoch counts *attempts*; the membership epoch counts *promotions* — the
+//! two move independently (a restart without a death bumps only the former).
 //!
 //! [`ReliableComm`]: ptycho_cluster::ReliableComm
+//! [`MembershipView`]: ptycho_cluster::MembershipView
+//! [`CommError::SparesExhausted`]: ptycho_cluster::CommError::SparesExhausted
 
 use crate::convergence::CostHistory;
 use crate::stitch::stitch_tiles;
 use crate::tiling::TileGrid;
 use ptycho_array::Rect;
+use ptycho_cluster::membership::frames;
 use ptycho_cluster::{
-    CommBackend, CommError, MemoryTracker, RankComm, RankFailure, RankOutcome, ReliableComm,
-    ReliableConfig, ReliableStats, SharedTile, TimeBreakdown,
+    CommBackend, CommError, MembershipError, MembershipView, MemoryTracker, RankComm, RankFailure,
+    RankOutcome, ReliableComm, ReliableConfig, ReliableStats, SharedTile, TimeBreakdown,
 };
 use ptycho_fft::CArray3;
 use std::sync::Mutex;
@@ -93,22 +111,52 @@ pub enum RecoveryPolicy {
         /// surfaced to the caller.
         max_iteration_restarts: usize,
     },
+    /// Everything [`RecoveryPolicy::RetransmitThenRestart`] does, plus the
+    /// escalation step for **permanently dead ranks**: a pool of `spares`
+    /// standby nodes and a rank-membership table. When an attempt fails
+    /// because a node died (rather than because messages were lost), a
+    /// spare is promoted into the dead node's tile slot, adopts the slot's
+    /// last consistency-barrier checkpoint, and the run re-runs under a
+    /// bumped membership epoch — bit-identically to a fault-free run. The
+    /// restart budget only counts restarts *not* caused by a death;
+    /// substitutions are bounded by the spare pool instead.
+    SubstituteSpare {
+        /// Number of standby spare nodes available for promotion.
+        spares: usize,
+        /// Upper bound on checkpoint restarts for non-death failures.
+        max_iteration_restarts: usize,
+    },
 }
 
 /// What the recovery machinery did during one reconstruction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Checkpoint restarts the engine performed.
+    /// Checkpoint restarts the engine performed (excluding substitutions).
     pub iteration_restarts: usize,
+    /// Spare-rank promotions: how many permanently dead nodes were replaced
+    /// by standby spares ([`RecoveryPolicy::SubstituteSpare`]).
+    pub substitutions: usize,
+    /// The membership epoch the run finished under (equals `substitutions`:
+    /// one bump per promotion; 0 without the membership layer).
+    pub membership_epoch: u64,
+    /// Ring-liveness heartbeats sent across every rank of the successful
+    /// attempt (membership mode only).
+    pub heartbeats_sent: u64,
+    /// Heartbeats observed from ring predecessors across every rank of the
+    /// successful attempt (membership mode only).
+    pub heartbeats_observed: u64,
     /// Reliable-delivery counters summed over every rank (of the successful
     /// attempt).
     pub reliable: ReliableStats,
 }
 
 impl RecoveryReport {
-    /// True when the run needed no recovery work at all.
+    /// True when the run needed no recovery work at all (heartbeats are
+    /// routine liveness traffic, not recovery work).
     pub fn is_clean(&self) -> bool {
-        self.iteration_restarts == 0 && self.reliable == ReliableStats::default()
+        self.iteration_restarts == 0
+            && self.substitutions == 0
+            && self.reliable == ReliableStats::default()
     }
 }
 
@@ -162,6 +210,8 @@ struct RankRun {
     core: CArray3,
     costs: Vec<f64>,
     stats: ReliableStats,
+    heartbeats_sent: u64,
+    heartbeats_observed: u64,
 }
 
 /// A rank's saved state at a completed iteration boundary.
@@ -203,7 +253,11 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
             RecoveryPolicy::FailFast => self.run_fail_fast(backend),
             RecoveryPolicy::RetransmitThenRestart {
                 max_iteration_restarts,
-            } => self.run_with_restart(backend, max_iteration_restarts),
+            } => self.run_recovering(backend, max_iteration_restarts, None),
+            RecoveryPolicy::SubstituteSpare {
+                spares,
+                max_iteration_restarts,
+            } => self.run_recovering(backend, max_iteration_restarts, Some(spares)),
         }
     }
 
@@ -223,6 +277,8 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                 core: kernel.core_volume(&state),
                 costs,
                 stats: ReliableStats::default(),
+                heartbeats_sent: 0,
+                heartbeats_observed: 0,
             })
         })?;
         Ok(assemble(
@@ -233,37 +289,81 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
         ))
     }
 
-    fn run_with_restart<B: CommBackend>(
+    /// The shared recovery driver behind both recovering policies.
+    ///
+    /// With `spares: None` this is plain retransmit + checkpoint restart.
+    /// With `spares: Some(n)` the engine additionally keeps a
+    /// [`MembershipView`] mapping each tile *slot* to the physical *node*
+    /// running it, sends a per-iteration ring heartbeat on control frames,
+    /// and — when an attempt fails because a node died — promotes a spare
+    /// into the dead node's slot before re-running. The **checkpoint store
+    /// is keyed by slot**, so the adopting spare restores exactly the state
+    /// the dead node saved at the last consistency barrier.
+    fn run_recovering<B: CommBackend>(
         &self,
         backend: &B,
         max_iteration_restarts: usize,
+        spares: Option<usize>,
     ) -> Result<ReconstructionResult, RankFailure> {
         // Recovery acts on communication *errors*; a backend that hangs on a
         // lost message (threaded without a receive timeout) never produces
         // one, so the policy would silently be inert. Refuse loudly instead.
         assert!(
             backend.loss_detection_enabled(),
-            "RecoveryPolicy::RetransmitThenRestart requires a backend that turns lost messages \
-             into errors; enable it with `with_recv_timeout(..)` or `with_loss_detection()`"
+            "recovering policies require a backend that turns lost messages into errors; \
+             enable it with `with_recv_timeout(..)` or `with_loss_detection()`"
         );
         let kernel = self.kernel;
         let iterations = kernel.iterations();
         let ranks = kernel.grid().num_tiles();
+        let mut membership = spares.map(|pool| MembershipView::new(ranks, pool));
         let slots: Vec<Mutex<Option<CheckpointSlot<K::Checkpoint>>>> =
             (0..ranks).map(|_| Mutex::new(None)).collect();
         let mut restarts = 0usize;
+        let mut substitutions = 0usize;
+        let mut attempt_index = 0usize;
         loop {
+            // The wire epoch (and the heartbeat tags' attempt field) is 8
+            // bits wide; make the ceiling explicit instead of letting the
+            // cast wrap tags back onto attempt 0's and silently re-drawing
+            // its fault decisions. 256 attempts means a restart budget or a
+            // spare pool far beyond what the u8 wire-epoch scheme supports.
+            assert!(
+                attempt_index as u64 <= frames::MAX_ATTEMPT_EPOCH,
+                "recovery exceeded {} attempts: the 8-bit wire-epoch space is exhausted \
+                 (restart budget and spare pool must stay below that combined)",
+                frames::MAX_ATTEMPT_EPOCH + 1
+            );
             let config = ReliableConfig {
-                epoch: restarts as u8,
+                epoch: attempt_index as u8,
                 ..ReliableConfig::default()
             };
+            // The attempt's frozen membership: slot -> node. `None` outside
+            // membership mode, where slot == node throughout.
+            let assignment: Option<Vec<usize>> =
+                membership.as_ref().map(|view| view.assignment().to_vec());
+            let membership_epoch = membership.as_ref().map_or(0, MembershipView::epoch);
+            // Nodes whose death was observed this attempt — the failure
+            // detector's verdict registry, filled by the dying rank itself
+            // (the backend is the runtime: it knows the node's communicator
+            // went dead, like an MPI runtime revoking a communicator).
+            let dead_nodes: Mutex<Vec<usize>> = Mutex::new(Vec::new());
             let slots_ref = &slots;
+            let assignment_ref = &assignment;
+            let dead_ref = &dead_nodes;
             let attempt = backend.run::<SharedTile, RankRun, _>(ranks, |ctx| {
-                let rank = ctx.rank();
+                let slot = ctx.rank();
+                let node = assignment_ref.as_ref().map_or(slot, |a| a[slot]);
+                if assignment_ref.is_some() {
+                    // Node-keyed faults (rank death) must follow the node:
+                    // a spare adopting this slot must not inherit a death
+                    // aimed at its predecessor.
+                    ctx.set_fault_node(node);
+                }
                 let mut comm = ReliableComm::with_config(ctx, config);
                 let mut state = kernel.init(&mut comm);
                 let (mut costs, start) = {
-                    let slot = slots_ref[rank].lock().expect("checkpoint slot poisoned");
+                    let slot = slots_ref[slot].lock().expect("checkpoint slot poisoned");
                     match slot.as_ref() {
                         Some(saved) => {
                             kernel.restore(&mut state, &saved.state);
@@ -272,46 +372,99 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                         None => (Vec::with_capacity(iterations), 0),
                     }
                 };
-                for iteration in start..iterations {
-                    costs.push(kernel.run_iteration(&mut comm, &mut state, iteration)?);
-                    // The consistency barrier: no rank can proceed past this
-                    // iteration until every rank has completed it, so every
-                    // stored checkpoint always refers to the same iteration.
-                    // It doubles as the quiesce point after which any of this
-                    // rank's sends a peer still needs have been delivered.
-                    comm.barrier()?;
-                    *slots_ref[rank].lock().expect("checkpoint slot poisoned") =
-                        Some(CheckpointSlot {
-                            iteration: iteration + 1,
-                            costs: costs.clone(),
-                            state: kernel.checkpoint(&state),
-                        });
+                let heartbeats = assignment_ref.is_some() && ranks > 1;
+                let mut heartbeats_sent = 0u64;
+                let mut heartbeats_observed = 0u64;
+                let result = (|| {
+                    for iteration in start..iterations {
+                        costs.push(kernel.run_iteration(&mut comm, &mut state, iteration)?);
+                        if heartbeats {
+                            // Ring liveness beat, sent *before* the barrier
+                            // so a death here cannot leave this slot's
+                            // checkpoint ahead of its peers'. Control
+                            // frames bypass the reliable layer's sequence
+                            // accounting entirely.
+                            let tag = frames::heartbeat_tag(
+                                config.epoch,
+                                membership_epoch,
+                                iteration as u64,
+                            );
+                            comm.isend_control((slot + 1) % ranks, tag, SharedTile::default());
+                            heartbeats_sent += 1;
+                        }
+                        // The consistency barrier: no rank can proceed past
+                        // this iteration until every rank has completed it,
+                        // so every stored checkpoint always refers to the
+                        // same iteration. It doubles as the quiesce point
+                        // after which any of this rank's sends a peer still
+                        // needs have been delivered.
+                        comm.barrier()?;
+                        if heartbeats {
+                            // A completed barrier implies the predecessor's
+                            // beat was sent; its absence after the barrier
+                            // would mark the predecessor suspect.
+                            let tag = frames::heartbeat_tag(
+                                config.epoch,
+                                membership_epoch,
+                                iteration as u64,
+                            );
+                            let prev = (slot + ranks - 1) % ranks;
+                            if comm.try_recv_control(prev, tag).is_some() {
+                                heartbeats_observed += 1;
+                            }
+                        }
+                        *slots_ref[slot].lock().expect("checkpoint slot poisoned") =
+                            Some(CheckpointSlot {
+                                iteration: iteration + 1,
+                                costs: costs.clone(),
+                                state: kernel.checkpoint(&state),
+                            });
+                    }
+                    Ok(())
+                })();
+                match result {
+                    Ok(()) => Ok(RankRun {
+                        core: kernel.core_volume(&state),
+                        costs,
+                        stats: comm.stats(),
+                        heartbeats_sent,
+                        heartbeats_observed,
+                    }),
+                    Err(error) => {
+                        if assignment_ref.is_some() {
+                            if let CommError::RankDead { .. } = error {
+                                // The dying rank registers the verdict for
+                                // the engine's substitution step.
+                                dead_ref.lock().expect("death registry poisoned").push(node);
+                            }
+                        }
+                        Err(error)
+                    }
                 }
-                Ok(RankRun {
-                    core: kernel.core_volume(&state),
-                    costs,
-                    stats: comm.stats(),
-                })
             });
             match attempt {
                 Ok(outcomes) => {
                     let reliable = outcomes.iter().fold(ReliableStats::default(), |acc, o| {
                         acc.merge(&o.result.stats)
                     });
+                    let heartbeats_sent = outcomes.iter().map(|o| o.result.heartbeats_sent).sum();
+                    let heartbeats_observed =
+                        outcomes.iter().map(|o| o.result.heartbeats_observed).sum();
                     return Ok(assemble(
                         outcomes,
                         kernel.grid().clone(),
                         iterations,
                         RecoveryReport {
                             iteration_restarts: restarts,
+                            substitutions,
+                            membership_epoch,
+                            heartbeats_sent,
+                            heartbeats_observed,
                             reliable,
                         },
                     ));
                 }
                 Err(failure) => {
-                    if restarts >= max_iteration_restarts {
-                        return Err(failure);
-                    }
                     // Restart only from a provably consistent boundary: every
                     // rank's latest checkpoint must agree on the iteration
                     // (None counts as iteration 0).
@@ -325,7 +478,46 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                     if slots.iter().any(|slot| boundary(slot) != first) {
                         return Err(failure);
                     }
-                    restarts += 1;
+                    let mut deaths =
+                        std::mem::take(&mut *dead_nodes.lock().expect("death registry poisoned"));
+                    deaths.sort_unstable();
+                    deaths.dedup();
+                    if deaths.is_empty() {
+                        // A message-loss failure: plain checkpoint restart,
+                        // bounded by the restart budget.
+                        if restarts >= max_iteration_restarts {
+                            return Err(failure);
+                        }
+                        restarts += 1;
+                    } else {
+                        // The failure-detector verdict names dead nodes:
+                        // promote one spare per death. The restart budget is
+                        // untouched — substitutions are bounded by the pool.
+                        let view = membership
+                            .as_mut()
+                            .expect("deaths are only registered in membership mode");
+                        for node in deaths {
+                            match view.substitute(node) {
+                                Ok((_slot, _replacement)) => substitutions += 1,
+                                Err(MembershipError::SparesExhausted { dead_node }) => {
+                                    return Err(RankFailure {
+                                        rank: failure.rank,
+                                        error: CommError::SparesExhausted {
+                                            rank: failure.rank,
+                                            dead_node,
+                                        },
+                                        failed_ranks: failure.failed_ranks,
+                                    });
+                                }
+                                Err(MembershipError::NotAssigned { .. }) => {
+                                    // A node can only die while assigned;
+                                    // anything else is a driver bug.
+                                    unreachable!("dead node was not assigned a slot")
+                                }
+                            }
+                        }
+                    }
+                    attempt_index += 1;
                 }
             }
         }

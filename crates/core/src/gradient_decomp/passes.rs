@@ -18,8 +18,8 @@
 //! rows) are independent, which is what the APPP pipelining exploits.
 
 use crate::tiling::TileGrid;
-use crate::worker::{add_region_flat, extract_region_flat, set_region_flat};
-use ptycho_cluster::{CommError, RankComm, SharedTile};
+use crate::worker::{add_region_flat, send_pooled_region, set_region_flat};
+use ptycho_cluster::{CommError, RankComm, SharedTile, TilePayloadPool};
 use ptycho_fft::CArray3;
 
 /// Message tags for the four directional passes; combined with the sending
@@ -54,16 +54,18 @@ enum Axis {
 /// flat `re, im`-interleaved wire format works. Payloads travel as
 /// [`SharedTile`]s, so the fault-injection and reliable-delivery layers
 /// duplicate/buffer them by aliasing an `Arc` instead of deep-copying
-/// tile-sized buffers.
+/// tile-sized buffers — and every payload buffer comes out of the rank's
+/// [`TilePayloadPool`], so the steady-state send path allocates nothing.
 pub fn run_accumulation_passes<C: RankComm<SharedTile>>(
     ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
+    pool: &mut TilePayloadPool,
 ) -> Result<(), CommError> {
-    forward_pass(ctx, grid, buffer, Axis::Vertical)?;
-    backward_pass(ctx, grid, buffer, Axis::Vertical)?;
-    forward_pass(ctx, grid, buffer, Axis::Horizontal)?;
-    backward_pass(ctx, grid, buffer, Axis::Horizontal)
+    forward_pass(ctx, grid, buffer, pool, Axis::Vertical)?;
+    backward_pass(ctx, grid, buffer, pool, Axis::Vertical)?;
+    forward_pass(ctx, grid, buffer, pool, Axis::Horizontal)?;
+    backward_pass(ctx, grid, buffer, pool, Axis::Horizontal)
 }
 
 /// The neighbour "before" this rank along an axis (above / to the left).
@@ -113,6 +115,7 @@ fn forward_pass<C: RankComm<SharedTile>>(
     ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
+    pool: &mut TilePayloadPool,
     axis: Axis,
 ) -> Result<(), CommError> {
     let rank = ctx.rank();
@@ -127,8 +130,7 @@ fn forward_pass<C: RankComm<SharedTile>>(
     if let Some(next) = successor(grid, rank, axis) {
         let region = local_overlap(grid, rank, next);
         if !region.is_empty() {
-            let payload = SharedTile::new(extract_region_flat(buffer, region));
-            ctx.isend(next, tag, payload);
+            send_pooled_region(ctx, pool, buffer, region, next, tag);
         }
     }
     Ok(())
@@ -140,6 +142,7 @@ fn backward_pass<C: RankComm<SharedTile>>(
     ctx: &mut C,
     grid: &TileGrid,
     buffer: &mut CArray3,
+    pool: &mut TilePayloadPool,
     axis: Axis,
 ) -> Result<(), CommError> {
     let rank = ctx.rank();
@@ -154,8 +157,7 @@ fn backward_pass<C: RankComm<SharedTile>>(
     if let Some(prev) = predecessor(grid, rank, axis) {
         let region = local_overlap(grid, rank, prev);
         if !region.is_empty() {
-            let payload = SharedTile::new(extract_region_flat(buffer, region));
-            ctx.isend(prev, tag, payload);
+            send_pooled_region(ctx, pool, buffer, region, prev, tag);
         }
     }
     Ok(())
@@ -224,7 +226,8 @@ mod tests {
         let outcomes = cluster
             .run::<SharedTile, CArray3, _>(ranks, |ctx| {
                 let mut buffer = initial_ref[ctx.rank()].clone();
-                run_accumulation_passes(ctx, grid_ref, &mut buffer)?;
+                let mut pool = TilePayloadPool::new();
+                run_accumulation_passes(ctx, grid_ref, &mut buffer, &mut pool)?;
                 Ok(buffer)
             })
             .expect("no faults injected");

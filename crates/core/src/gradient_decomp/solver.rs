@@ -29,7 +29,9 @@ use crate::gradient_decomp::passes::run_accumulation_passes;
 use crate::tiling::TileGrid;
 use crate::worker::TileWorker;
 use ptycho_array::Array3;
-use ptycho_cluster::{CommBackend, CommError, MemoryCategory, RankComm, RankFailure, SharedTile};
+use ptycho_cluster::{
+    CommBackend, CommError, MemoryCategory, RankComm, RankFailure, SharedTile, TilePayloadPool,
+};
 use ptycho_fft::{CArray3, Complex64};
 use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX};
 use ptycho_sim::scan::ProbeLocation;
@@ -152,6 +154,9 @@ struct GdState<'a> {
     own_acc: CArray3,
     /// Probe-window-shaped gradient scratch, refilled per probe location.
     gradient: CArray3,
+    /// Recycles the pass-message payload buffers, so steady-state sends
+    /// allocate nothing.
+    pool: TilePayloadPool,
 }
 
 impl SolverKernel for GdKernel<'_> {
@@ -202,6 +207,7 @@ impl SolverKernel for GdKernel<'_> {
             acc_buf,
             own_acc,
             gradient,
+            pool: TilePayloadPool::new(),
         }
     }
 
@@ -217,6 +223,7 @@ impl SolverKernel for GdKernel<'_> {
             acc_buf,
             own_acc,
             gradient,
+            pool,
         } = state;
         let mut iteration_cost = 0.0;
         for round in 0..self.rounds {
@@ -238,7 +245,7 @@ impl SolverKernel for GdKernel<'_> {
             }
 
             // Steps 10-13: accumulate gradients across tiles.
-            run_accumulation_passes(ctx, self.grid, acc_buf)?;
+            run_accumulation_passes(ctx, self.grid, acc_buf, pool)?;
 
             // Steps 14-15: update the tile from the accumulated gradients.
             ctx.clock_mut().compute(|| {

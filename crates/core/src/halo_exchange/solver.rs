@@ -11,9 +11,9 @@ use crate::config::SolverConfig;
 use crate::engine::{IterationEngine, RecoveryPolicy, SolverKernel};
 use crate::gradient_decomp::solver::ReconstructionResult;
 use crate::tiling::{TileGrid, TileInfo};
-use crate::worker::{extract_region_flat, set_region_flat, TileWorker};
+use crate::worker::{send_pooled_region, set_region_flat, TileWorker};
 use ptycho_array::Array3;
-use ptycho_cluster::{CommBackend, CommError, RankComm, RankFailure, SharedTile};
+use ptycho_cluster::{CommBackend, CommError, RankComm, RankFailure, SharedTile, TilePayloadPool};
 use ptycho_fft::{CArray3, Complex64};
 use ptycho_sim::dataset::Dataset;
 use ptycho_sim::scan::ProbeLocation;
@@ -202,6 +202,9 @@ struct HveState<'a> {
     neighbors: Vec<usize>,
     /// Probe-window-shaped gradient scratch, refilled per probe location.
     gradient: CArray3,
+    /// Recycles the voxel-paste payload buffers, so steady-state exchanges
+    /// allocate nothing.
+    pool: TilePayloadPool,
 }
 
 impl SolverKernel for HveKernel<'_> {
@@ -241,6 +244,7 @@ impl SolverKernel for HveKernel<'_> {
             probes,
             neighbors,
             gradient,
+            pool: TilePayloadPool::new(),
         }
     }
 
@@ -256,6 +260,7 @@ impl SolverKernel for HveKernel<'_> {
             probes,
             neighbors,
             gradient,
+            pool,
         } = state;
 
         // Embarrassingly parallel tile reconstruction with the redundant probe
@@ -295,8 +300,14 @@ impl SolverKernel for HveKernel<'_> {
                 continue;
             }
             let send_local = send_region_global.to_local(&tile.extended);
-            let payload = SharedTile::new(extract_region_flat(worker.volume(), send_local));
-            ctx.isend(peer, TAG_VOXEL_PASTE, payload);
+            send_pooled_region(
+                ctx,
+                pool,
+                worker.volume(),
+                send_local,
+                peer,
+                TAG_VOXEL_PASTE,
+            );
         }
         for &peer in neighbors.iter() {
             let recv_region_global = self.grid.tile(peer).core.intersect(&tile.extended);

@@ -205,13 +205,55 @@ fn add_region_scaled(volume: &mut CArray3, region: Rect, block: &CArray3, factor
 /// Flattens the values of `region` (tile-local coordinates) of a complex
 /// volume into an interleaved `re, im` vector, slice-major then row-major —
 /// the wire format of every gradient/voxel message. Cells of `region` outside
-/// the volume flatten to zero. The returned `Vec` is the message payload
-/// itself (wrapped in a [`ptycho_cluster::SharedTile`] by the callers), so
-/// this one allocation is inherent to sending.
+/// the volume flatten to zero. Allocates the payload; the solvers' hot paths
+/// use [`extract_region_flat_into`] over a pooled buffer instead.
+#[cfg(test)]
 pub(crate) fn extract_region_flat(volume: &CArray3, region: Rect) -> Vec<f64> {
+    let (rows, cols) = region.shape();
+    let mut out = vec![0.0; volume.depth() * rows * cols * 2];
+    extract_region_flat_into(volume, region, &mut out);
+    out
+}
+
+/// Extracts `region` of `buffer` into a pooled payload and sends it — the
+/// one allocation-free send path shared by the directional passes and the
+/// HVE voxel paste. The tile retired back into the pool keeps its buffer
+/// alive until every comm-layer alias has been dropped, at which point the
+/// pool recycles it.
+pub(crate) fn send_pooled_region<C: ptycho_cluster::RankComm<ptycho_cluster::SharedTile>>(
+    ctx: &mut C,
+    pool: &mut ptycho_cluster::TilePayloadPool,
+    buffer: &CArray3,
+    region: Rect,
+    to: usize,
+    tag: u64,
+) {
+    let (rows, cols) = region.shape();
+    let mut tile = pool.acquire(buffer.depth() * rows * cols * 2);
+    extract_region_flat_into(
+        buffer,
+        region,
+        tile.unique_values_mut()
+            .expect("freshly acquired tiles are unaliased"),
+    );
+    ctx.isend(to, tag, tile.clone());
+    pool.retire(tile);
+}
+
+/// [`extract_region_flat`] into a caller-owned buffer of exactly
+/// `slices * rows * cols * 2` values (a pooled
+/// [`ptycho_cluster::SharedTile`] payload), so the steady-state multi-rank
+/// send path performs no allocation. The buffer's previous contents are
+/// fully overwritten (out-of-volume cells with zero).
+pub(crate) fn extract_region_flat_into(volume: &CArray3, region: Rect, out: &mut [f64]) {
     let slices = volume.depth();
     let (rows, cols) = region.shape();
-    let mut out = vec![0.0; slices * rows * cols * 2];
+    assert_eq!(
+        out.len(),
+        slices * rows * cols * 2,
+        "payload buffer must match the region's flat size"
+    );
+    out.fill(0.0);
     let bounds = volume.plane_bounds();
     let clipped = region.intersect(&bounds);
     let vol_cols = volume.cols();
@@ -228,7 +270,6 @@ pub(crate) fn extract_region_flat(volume: &CArray3, region: Rect) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 /// Adds interleaved `re, im` values into `region` of a complex volume

@@ -10,24 +10,26 @@
 //! iterations must perform **exactly** the same number of allocations as a
 //! shorter run — i.e. a steady-state iteration allocates nothing.
 //!
-//! (Multi-rank runs inherently allocate per iteration: each wire message is
-//! one fresh payload `Vec`. Those payloads are covered separately below — a
-//! `SharedTile` clone, the unit the comm layers copy, must not allocate.)
+//! ISSUE 5 extends the pin to **multi-rank** sends and to the **HVE**
+//! kernel: every wire payload now comes out of a rank-local
+//! [`TilePayloadPool`](ptycho_cluster::TilePayloadPool) that recycles
+//! `SharedTile` buffers once their `Arc` strong count returns to 1, so a
+//! steady-state lockstep 2×2 GD iteration allocates nothing either.
 
 use ptycho_alloc::CountingAllocator;
 use ptycho_cluster::{ClusterTopology, LockstepBackend, SharedTile};
-use ptycho_core::{GradientDecompositionSolver, SolverConfig};
+use ptycho_core::{GradientDecompositionSolver, HaloVoxelExchangeSolver, SolverConfig};
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
 
-/// Allocation events of one full single-rank GD reconstruction: everything
-/// between `run` and the stitched result (rank spawn, kernel init with its
-/// pooled buffers, every iteration, stitching). Dataset synthesis, solver
-/// and backend construction happen before the counter snapshot and are not
-/// measured.
-fn gd_run_allocations(dataset: &Dataset, iterations: usize) -> u64 {
+/// Allocation events of one full GD reconstruction on a `grid` tile
+/// decomposition: everything between `run` and the stitched result (rank
+/// spawn, kernel init with its pooled buffers, every iteration, stitching).
+/// Dataset synthesis, solver and backend construction happen before the
+/// counter snapshot and are not measured.
+fn gd_run_allocations(dataset: &Dataset, iterations: usize, grid: (usize, usize)) -> u64 {
     let config = SolverConfig {
         iterations,
         halo_px: 20,
@@ -37,7 +39,7 @@ fn gd_run_allocations(dataset: &Dataset, iterations: usize) -> u64 {
     // fixed baton order), so two runs perform identical allocation sequences
     // and the comparison below is exact, not statistical.
     let backend = LockstepBackend::new(ClusterTopology::summit());
-    let solver = GradientDecompositionSolver::new(dataset, config, (1, 1));
+    let solver = GradientDecompositionSolver::new(dataset, config, grid);
     let before = ALLOC.allocations();
     let result = solver.run(&backend);
     let after = ALLOC.allocations();
@@ -45,25 +47,72 @@ fn gd_run_allocations(dataset: &Dataset, iterations: usize) -> u64 {
     after - before
 }
 
-// A single #[test] on purpose: the harness runs tests concurrently, and a
-// second test allocating in parallel would corrupt the global counters.
-#[test]
-fn steady_state_gd_iteration_is_allocation_free() {
-    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+/// The same measurement for the Halo Voxel Exchange baseline kernel.
+fn hve_run_allocations(dataset: &Dataset, iterations: usize, grid: (usize, usize)) -> u64 {
+    let config = SolverConfig {
+        iterations,
+        hve_extra_probe_rows: 1,
+        ..SolverConfig::default()
+    };
+    let backend = LockstepBackend::new(ClusterTopology::summit());
+    let solver = HaloVoxelExchangeSolver::new(dataset, config, grid).expect("feasible");
+    let before = ALLOC.allocations();
+    let result = solver.run(&backend);
+    let after = ALLOC.allocations();
+    assert!(result.cost_history.final_cost().is_finite());
+    after - before
+}
 
-    // Warm-up run: lazy runtime initialisation (thread-local storage, stdio
-    // locks, ...) must not be charged to the measured runs.
-    let _ = gd_run_allocations(&dataset, 1);
-
-    let short = gd_run_allocations(&dataset, 2);
-    let long = gd_run_allocations(&dataset, 6);
-    assert!(short > 0, "init is expected to allocate the pooled buffers");
+/// Pins `long == short` for a measured pair, i.e. the extra iterations
+/// allocated exactly nothing.
+fn assert_steady_state(label: &str, short: u64, long: u64) {
+    assert!(
+        short > 0,
+        "{label}: init is expected to allocate the pooled buffers"
+    );
     assert_eq!(
         long,
         short,
-        "4 extra steady-state GD iterations performed {} extra allocations \
-         (expected zero: every per-iteration buffer must be pooled)",
+        "{label}: the extra steady-state iterations performed {} extra allocations \
+         (expected zero: every per-iteration buffer and wire payload must be pooled)",
         long as i64 - short as i64
+    );
+}
+
+// A single #[test] on purpose: the harness runs tests concurrently, and a
+// second test allocating in parallel would corrupt the global counters.
+#[test]
+fn steady_state_iterations_are_allocation_free() {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+
+    // Warm-up runs: lazy runtime initialisation (thread-local storage, stdio
+    // locks, ...) must not be charged to the measured runs.
+    let _ = gd_run_allocations(&dataset, 1, (1, 1));
+    let _ = gd_run_allocations(&dataset, 1, (2, 2));
+    let _ = hve_run_allocations(&dataset, 1, (1, 1));
+
+    // Single-rank GD (the ISSUE 4 pin).
+    assert_steady_state(
+        "GD 1x1",
+        gd_run_allocations(&dataset, 2, (1, 1)),
+        gd_run_allocations(&dataset, 6, (1, 1)),
+    );
+
+    // Multi-rank GD: each iteration sends pass messages in every direction;
+    // with the payload pool those sends must reuse released buffers, so a
+    // lockstep 2x2 run is steady-state allocation-free too (ISSUE 5).
+    assert_steady_state(
+        "GD 2x2",
+        gd_run_allocations(&dataset, 2, (2, 2)),
+        gd_run_allocations(&dataset, 6, (2, 2)),
+    );
+
+    // The HVE baseline kernel (single rank: pooled gradient scratch and
+    // workspace, no exchange traffic).
+    assert_steady_state(
+        "HVE 1x1",
+        hve_run_allocations(&dataset, 2, (1, 1)),
+        hve_run_allocations(&dataset, 6, (1, 1)),
     );
 
     // The zero-copy payload pin: cloning a SharedTile — what the
@@ -78,4 +127,17 @@ fn steady_state_gd_iteration_is_allocation_free() {
         "cloning a SharedTile must not allocate"
     );
     assert_eq!(copy.len(), 1 << 16);
+
+    // The control-frame pin: heartbeats and acknowledgements carry
+    // SharedTile::default(), which aliases one static empty buffer (first
+    // use initialises the static; that one-time cost is not the pin).
+    let _ = SharedTile::default();
+    let before = ALLOC.allocations();
+    let empty = SharedTile::default();
+    assert_eq!(
+        ALLOC.allocations(),
+        before,
+        "SharedTile::default must alias the static empty tile, not allocate"
+    );
+    assert!(empty.is_empty());
 }

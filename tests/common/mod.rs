@@ -1,0 +1,35 @@
+//! Helpers shared by the integration suites.
+
+use ptycho_core::ReconstructionResult;
+
+/// Asserts two reconstructions match **bit for bit**: every voxel of the
+/// stitched volume and every entry of the cost history. This is the
+/// recovery contract — a healed run (retransmit, checkpoint restart, spare
+/// substitution) must be indistinguishable from a fault-free one.
+pub fn assert_bit_identical(a: &ReconstructionResult, b: &ReconstructionResult) {
+    assert_eq!(a.volume.shape(), b.volume.shape());
+    for (x, y) in a.volume.iter().zip(b.volume.iter()) {
+        assert_eq!(
+            x.re.to_bits(),
+            y.re.to_bits(),
+            "volumes must match bit for bit"
+        );
+        assert_eq!(
+            x.im.to_bits(),
+            y.im.to_bits(),
+            "volumes must match bit for bit"
+        );
+    }
+    assert_eq!(
+        a.cost_history.costs().len(),
+        b.cost_history.costs().len(),
+        "cost histories must cover the same iterations"
+    );
+    for (x, y) in a.cost_history.costs().iter().zip(b.cost_history.costs()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "cost histories must match bit for bit"
+        );
+    }
+}

@@ -2,7 +2,9 @@
 //! locality, accumulation passes and the memory accounting they imply.
 
 use ptycho_array::Array3;
-use ptycho_cluster::{Cluster, ClusterTopology, MemoryCategory, RankComm, SharedTile};
+use ptycho_cluster::{
+    Cluster, ClusterTopology, MemoryCategory, RankComm, SharedTile, TilePayloadPool,
+};
 use ptycho_core::gradient_decomp::passes::run_accumulation_passes;
 use ptycho_core::tiling::TileGrid;
 use ptycho_core::{GradientDecompositionSolver, HaloVoxelExchangeSolver, SolverConfig};
@@ -97,7 +99,8 @@ fn accumulation_passes_reproduce_global_gradient_sum() {
     let outcomes = cluster
         .run::<SharedTile, CArray3, _>(ranks, |ctx| {
             let mut buffer = buffers_ref[ctx.rank()].clone();
-            run_accumulation_passes(ctx, grid_ref, &mut buffer)?;
+            let mut pool = TilePayloadPool::new();
+            run_accumulation_passes(ctx, grid_ref, &mut buffer, &mut pool)?;
             Ok(buffer)
         })
         .expect("no faults injected");

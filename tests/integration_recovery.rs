@@ -14,11 +14,13 @@ use ptycho_cluster::{
 };
 use ptycho_core::gradient_decomp::passes::tags;
 use ptycho_core::{
-    GradientDecompositionSolver, HaloVoxelExchangeSolver, ReconstructionResult, RecoveryPolicy,
-    SolverConfig,
+    GradientDecompositionSolver, HaloVoxelExchangeSolver, RecoveryPolicy, SolverConfig,
 };
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
 use std::time::Duration;
+
+mod common;
+use common::assert_bit_identical;
 
 /// The HVE voxel copy-paste tag (`halo_exchange::solver::TAG_VOXEL_PASTE`).
 const TAG_VOXEL_PASTE: u64 = 0x20;
@@ -65,34 +67,6 @@ fn threaded() -> Cluster {
     // Short receive timeout so a dropped frame is detected (and recovered)
     // quickly instead of after the 30 s loss-detection default.
     Cluster::new(ClusterTopology::summit()).with_recv_timeout(Duration::from_millis(150))
-}
-
-fn assert_bit_identical(a: &ReconstructionResult, b: &ReconstructionResult) {
-    assert_eq!(a.volume.shape(), b.volume.shape());
-    for (x, y) in a.volume.iter().zip(b.volume.iter()) {
-        assert_eq!(
-            x.re.to_bits(),
-            y.re.to_bits(),
-            "volumes must match bit for bit"
-        );
-        assert_eq!(
-            x.im.to_bits(),
-            y.im.to_bits(),
-            "volumes must match bit for bit"
-        );
-    }
-    assert_eq!(
-        a.cost_history.costs().len(),
-        b.cost_history.costs().len(),
-        "cost histories must cover the same iterations"
-    );
-    for (x, y) in a.cost_history.costs().iter().zip(b.cost_history.costs()) {
-        assert_eq!(
-            x.to_bits(),
-            y.to_bits(),
-            "cost histories must match bit for bit"
-        );
-    }
 }
 
 /// Drops the first frame of the (0 → 2) vertical-forward stream. In both
