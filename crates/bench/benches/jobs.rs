@@ -1,0 +1,82 @@
+//! Job-engine serving benchmarks: what the multi-tenant scheduler costs.
+//!
+//! `jobs_throughput` times a whole burst (submit → resume → idle) of small
+//! reconstructions through the paused engine — the makespan of a 24-job
+//! burst on an 8-node fleet, including one rank death healed from the
+//! shared pool. Burst throughput is `24 / mean`.
+//!
+//! `jobs_p50_latency` times one job end-to-end (submit → wait) on an
+//! otherwise idle engine — the queue + lease + run + report path a single
+//! tenant observes. The stand-in harness reports the mean over its samples,
+//! which for this unimodal single-job distribution is the p50 estimate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptycho_cluster::FaultPolicy;
+use ptycho_core::{JobEngine, JobSpec, JobState, SolverConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use std::time::Duration;
+
+fn tiny_config(iterations: usize) -> SolverConfig {
+    SolverConfig {
+        iterations,
+        halo_px: 20,
+        ..SolverConfig::default()
+    }
+}
+
+fn bench_jobs_throughput(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+
+    let mut group = c.benchmark_group("jobs_throughput");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("burst_24_fleet_8", |b| {
+        b.iter(|| {
+            let engine = JobEngine::paused(8);
+            let mut handles = Vec::with_capacity(24);
+            for i in 0..24usize {
+                let grid = [(2, 2), (2, 1), (1, 2)][i % 3];
+                let mut spec = JobSpec::new(dataset.clone(), tiny_config(1), grid)
+                    .with_priority((i % 5) as i32 - 2);
+                if i == 7 {
+                    // One tenant loses a rank mid-burst: the makespan
+                    // includes a shared-pool heal.
+                    spec = spec.with_fault_policy(FaultPolicy::reliable(7).kill_rank(1, 1));
+                    spec.config.iterations = 2;
+                }
+                handles.push(engine.submit(spec).expect("fits the fleet"));
+            }
+            engine.resume();
+            engine.wait_idle();
+            for handle in &handles {
+                assert_eq!(handle.wait().state, JobState::Completed);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_jobs_latency(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+    let engine = JobEngine::new(4);
+
+    let mut group = c.benchmark_group("jobs_p50_latency");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("single_job_gd_2x2", |b| {
+        b.iter(|| {
+            let report = engine
+                .submit(JobSpec::new(dataset.clone(), tiny_config(1), (2, 2)))
+                .expect("fits the fleet")
+                .wait();
+            assert_eq!(report.state, JobState::Completed);
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_jobs_throughput, bench_jobs_latency);
+criterion_main!(benches);

@@ -12,11 +12,17 @@
 //! `PTYCHO_BENCH_CURRENT`) against the committed `BENCH_baseline.json`
 //! (override with `PTYCHO_BENCH_BASELINE`), failing with a non-zero exit on
 //! a regression beyond the allowed factor (`PTYCHO_BENCH_GATE_FACTOR`,
-//! default 4.0). Run with `--write-baseline` to regenerate the baseline file
-//! from the current results instead of comparing.
+//! default 4.0). Individual keys can carry their own budget via
+//! `PTYCHO_BENCH_GATE_FACTORS`, comma-separated `label=factor` pairs, e.g.
+//! `PTYCHO_BENCH_GATE_FACTORS="jobs_throughput/burst_24_fleet_8=8,payload_clone/deep_vec_1mib=2"`
+//! — see BENCH_baseline.json's documentation in ARCHITECTURE.md for which
+//! keys hold pre-optimisation baselines. Run with `--write-baseline` to
+//! regenerate the baseline file from the current results instead of
+//! comparing.
 
 use ptycho_bench::gate::{
-    evaluate, parse_baseline, parse_summary_lines, render_baseline, GateConfig,
+    evaluate, parse_baseline, parse_factor_overrides, parse_summary_lines, render_baseline,
+    GateConfig,
 };
 use std::process::ExitCode;
 
@@ -73,8 +79,10 @@ fn main() -> ExitCode {
     let factor = env_or("PTYCHO_BENCH_GATE_FACTOR", "")
         .parse::<f64>()
         .unwrap_or(GateConfig::default().factor);
+    let per_label = parse_factor_overrides(&env_or("PTYCHO_BENCH_GATE_FACTORS", ""));
     let config = GateConfig {
         factor,
+        per_label,
         ..GateConfig::default()
     };
 

@@ -1,0 +1,232 @@
+//! Load generator for the multi-tenant job engine: burst-submits a mixed
+//! workload, drives it to completion, and reports throughput and latency
+//! percentiles.
+//!
+//! ```text
+//! cargo run --release -p ptycho-bench --bin load_gen -- --jobs 50 --smoke
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--jobs N`  — burst size (default 50)
+//! * `--fleet M` — fleet node count (default 16)
+//! * `--seed S`  — workload seed: varies priorities, grids and the fault
+//!   sites deterministically (default 0)
+//! * `--smoke`   — verify the run instead of just timing it: every job must
+//!   complete, the rank-death jobs must heal by shared-pool substitution,
+//!   the admission log must equal the priority-sorted submission order and
+//!   the fleet must stay conserved. Any violation exits non-zero, which is
+//!   what CI runs.
+//!
+//! The workload mirrors the scheduler-soak suite: tiny-dataset Gradient
+//! Decomposition jobs over three grid shapes and five priority levels, with
+//! every 25th job losing a rank to a seeded kill so the run exercises the
+//! shared spare pool under load.
+
+use ptycho_cluster::FaultPolicy;
+use ptycho_core::{JobEngine, JobSpec, JobState, SolverConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    jobs: usize,
+    fleet: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: 50,
+        fleet: 16,
+        seed: 0,
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut take = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = take("--jobs")? as usize,
+            "--fleet" => args.fleet = take("--fleet")? as usize,
+            "--seed" => args.seed = take("--seed")?,
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if args.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    if args.fleet < 4 {
+        return Err("--fleet must be at least 4 (the largest grid needs 4 nodes)".into());
+    }
+    Ok(args)
+}
+
+/// The deterministic burst workload: job `i` of `n` under `seed`.
+fn job_spec(dataset: &Dataset, i: usize, seed: u64) -> JobSpec {
+    let mix = i as u64 + 3 * seed;
+    let kill = i % 25 == 7;
+    // Kill jobs run on the 2-slot grid: even a minimal 4-node fleet then
+    // always has a spare (or a neighbour that will release one), so the
+    // healed burst completes on any accepted --fleet size.
+    let (grid, iterations) = if kill {
+        ((2, 1), 2)
+    } else {
+        ([(2, 2), (2, 1), (1, 2)][(mix % 3) as usize], 1)
+    };
+    let config = SolverConfig {
+        iterations,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let priority = ((mix * 2) % 5) as i32 - 2;
+    let mut spec = JobSpec::new(dataset.clone(), config, grid).with_priority(priority);
+    if kill {
+        // A seeded rank death: job-local node 1 dies early in iteration 0
+        // and must be healed from the shared fleet pool.
+        spec = spec.with_fault_policy(
+            FaultPolicy::reliable(seed.wrapping_mul(1000) + i as u64).kill_rank(1, 1),
+        );
+    }
+    spec
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("load_gen: {message}");
+            eprintln!("usage: load_gen [--jobs N] [--fleet M] [--seed S] [--smoke]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+    let engine = JobEngine::paused(args.fleet);
+
+    let mut handles = Vec::with_capacity(args.jobs);
+    let mut submitted = Vec::with_capacity(args.jobs);
+    let mut expected_kills = 0usize;
+    for i in 0..args.jobs {
+        let spec = job_spec(&dataset, i, args.seed);
+        if spec.fault_policy.is_some() {
+            expected_kills += 1;
+        }
+        let priority = spec.priority;
+        match engine.submit(spec) {
+            Ok(handle) => {
+                submitted.push((handle.id(), priority));
+                handles.push(handle);
+            }
+            Err(error) => {
+                eprintln!("load_gen: job {i} rejected: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let start = Instant::now();
+    engine.resume();
+    engine.wait_idle();
+    let wall = start.elapsed().as_secs_f64();
+
+    let reports: Vec<_> = handles.iter().map(|handle| handle.wait()).collect();
+    let completed = reports
+        .iter()
+        .filter(|r| r.state == JobState::Completed)
+        .count();
+    let substitutions: usize = reports
+        .iter()
+        .filter_map(|r| r.result.as_ref())
+        .map(|result| result.recovery.substitutions)
+        .sum();
+
+    // Per-job latency: queue wait + run time, submission to completion.
+    let mut latencies_ms: Vec<f64> = reports
+        .iter()
+        .map(|r| (r.queue_seconds + r.run_seconds) * 1e3)
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    println!(
+        "load_gen: {} job(s) on a {}-node fleet (seed {})",
+        args.jobs, args.fleet, args.seed
+    );
+    println!(
+        "  completed:    {completed}/{} ({} healed by substitution)",
+        args.jobs, substitutions
+    );
+    println!("  makespan:     {:.3} s", wall);
+    println!("  throughput:   {:.1} jobs/s", completed as f64 / wall);
+    println!(
+        "  latency ms:   p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+        percentile(&latencies_ms, 50.0),
+        percentile(&latencies_ms, 90.0),
+        percentile(&latencies_ms, 99.0),
+        latencies_ms.last().copied().unwrap_or(0.0),
+    );
+
+    if !args.smoke {
+        return ExitCode::SUCCESS;
+    }
+
+    // Smoke verification: the run must be correct, not just finished.
+    let mut failures = Vec::new();
+    if completed != args.jobs {
+        for report in reports.iter().filter(|r| r.state != JobState::Completed) {
+            failures.push(format!(
+                "job {} ended {:?}: {}",
+                report.id,
+                report.state,
+                report
+                    .error
+                    .as_ref()
+                    .map_or_else(|| "no error".into(), |e| e.to_string())
+            ));
+        }
+    }
+    if substitutions != expected_kills {
+        failures.push(format!(
+            "expected {expected_kills} shared-pool substitution(s), saw {substitutions}"
+        ));
+    }
+    let mut expected_order = submitted.clone();
+    expected_order.sort_by_key(|&(id, priority)| (std::cmp::Reverse(priority), id));
+    let expected_order: Vec<_> = expected_order.into_iter().map(|(id, _)| id).collect();
+    if engine.admission_log() != expected_order {
+        failures.push("admission log deviates from priority-sorted submission order".into());
+    }
+    if !engine.fleet_is_conserved() {
+        failures.push("fleet conservation violated".into());
+    }
+    if engine.dead_nodes() != expected_kills {
+        failures.push(format!(
+            "expected {expected_kills} retired node(s), saw {}",
+            engine.dead_nodes()
+        ));
+    }
+
+    if failures.is_empty() {
+        println!("load_gen: smoke OK");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("load_gen: FAILED — {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

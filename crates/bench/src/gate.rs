@@ -15,13 +15,27 @@ use std::fmt::Write as _;
 pub type BenchResults = BTreeMap<String, f64>;
 
 /// Tolerances of the regression gate.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct GateConfig {
     /// A benchmark fails when `current > factor * baseline`.
     pub factor: f64,
+    /// Per-label overrides of [`GateConfig::factor`]: some keys legitimately
+    /// need a different budget than the global one — e.g. baseline entries
+    /// recorded *before* an optimisation landed hold pre-optimisation
+    /// timings, so the current run sits far below them and a tight factor
+    /// would never fire anyway, while throughput-style keys on shared CI
+    /// runners may need extra headroom.
+    pub per_label: BTreeMap<String, f64>,
     /// Benchmarks with a baseline mean below this many nanoseconds are
     /// ignored — micro-timings are dominated by noise.
     pub min_baseline_ns: f64,
+}
+
+impl GateConfig {
+    /// The slowdown budget for one benchmark label.
+    pub fn factor_for(&self, label: &str) -> f64 {
+        self.per_label.get(label).copied().unwrap_or(self.factor)
+    }
 }
 
 impl Default for GateConfig {
@@ -31,9 +45,33 @@ impl Default for GateConfig {
             // accidentally quadratic loop, a lost parallel path) without
             // tripping on machine-to-machine variance.
             factor: 4.0,
+            per_label: BTreeMap::new(),
             min_baseline_ns: 50_000.0,
         }
     }
+}
+
+/// Parses per-label factor overrides from the `PTYCHO_BENCH_GATE_FACTORS`
+/// environment format: comma-separated `label=factor` pairs, e.g.
+/// `jobs/throughput_50=8,engine_recovery/gd_2x2_fail_fast_lockstep=6`.
+/// Malformed pairs are ignored rather than failing the gate.
+pub fn parse_factor_overrides(text: &str) -> BTreeMap<String, f64> {
+    let mut overrides = BTreeMap::new();
+    for pair in text.split(',') {
+        let Some((label, factor)) = pair.rsplit_once('=') else {
+            continue;
+        };
+        let label = label.trim();
+        if label.is_empty() {
+            continue;
+        }
+        if let Ok(factor) = factor.trim().parse::<f64>() {
+            if factor > 0.0 {
+                overrides.insert(label.to_string(), factor);
+            }
+        }
+    }
+    overrides
 }
 
 /// One flagged regression.
@@ -176,7 +214,7 @@ pub fn evaluate(
             continue;
         }
         report.compared += 1;
-        if current_ns > config.factor * baseline_ns {
+        if current_ns > config.factor_for(label) * baseline_ns {
             report.regressions.push(Regression {
                 label: label.clone(),
                 baseline_ns,
@@ -268,6 +306,34 @@ mod tests {
         assert_eq!(report.regressions[0].label, "fft_2d/serial/128");
         assert!(report.regressions[0].ratio() > 9.0);
         assert!(report.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn per_label_factor_overrides_the_global_budget() {
+        let baseline = parse_summary_lines(LINES);
+        let mut current = baseline.clone();
+        // 6x slower: beyond the global 4x budget...
+        current.insert("fft_2d/serial/128".into(), 7_200_000.0);
+        let mut config = GateConfig::default();
+        assert!(!evaluate(&baseline, &current, &config).passed());
+        // ...but inside a per-key 8x budget.
+        config.per_label.insert("fft_2d/serial/128".into(), 8.0);
+        assert!(evaluate(&baseline, &current, &config).passed());
+        // A per-key budget can also be *tighter* than the global one.
+        config.per_label.insert("fft_2d/serial/128".into(), 1.5);
+        current.insert("fft_2d/serial/128".into(), 2_400_000.0);
+        let report = evaluate(&baseline, &current, &config);
+        assert_eq!(report.regressions.len(), 1, "2x breaks a 1.5x budget");
+        // Other labels keep the global factor.
+        assert_eq!(config.factor_for("fft_2d/rayon_parallel/128"), 4.0);
+    }
+
+    #[test]
+    fn factor_override_env_format_parses_leniently() {
+        let overrides = parse_factor_overrides("a/b=8, c/d = 2.5 ,, bogus, =3, e/f=-1, g=x");
+        assert_eq!(overrides.len(), 2);
+        assert_eq!(overrides["a/b"], 8.0);
+        assert_eq!(overrides["c/d"], 2.5);
     }
 
     #[test]

@@ -227,6 +227,13 @@ pub enum CommError {
         /// The dead node that could not be replaced.
         dead_node: usize,
     },
+    /// The run was cancelled cooperatively: the job engine raised the job's
+    /// cancel flag and the rank observed it at its next per-iteration
+    /// barrier. Not a fault — the recovery machinery must not try to heal it.
+    Cancelled {
+        /// The rank that observed the cancellation.
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -268,6 +275,10 @@ impl std::fmt::Display for CommError {
                 f,
                 "rank {rank}: node {dead_node} died permanently and the spare-rank pool \
                  is exhausted"
+            ),
+            CommError::Cancelled { rank } => write!(
+                f,
+                "rank {rank}: the job was cancelled cooperatively at an iteration barrier"
             ),
         }
     }

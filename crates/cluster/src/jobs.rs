@@ -1,0 +1,430 @@
+//! Multi-job fleet bookkeeping: leasing a shared pool of nodes to many
+//! concurrent reconstructions.
+//!
+//! [`crate::membership::MembershipView`] answers "which node runs which tile
+//! of *one* reconstruction, and which spares stand by for it". This module
+//! generalizes that table one level up, to a *service* running many
+//! reconstructions at once:
+//!
+//! * [`FleetView`] tracks every physical node of the machine — **free**
+//!   (standing by, leasable), **leased** (assigned to exactly one job), or
+//!   **dead** (retired by a failure-detector verdict, never reused). The
+//!   free pool doubles as the **shared spare pool**: when a rank dies inside
+//!   a job, the replacement is drawn from here rather than from spares
+//!   reserved per job, so one standby fleet amortises over every tenant.
+//! * [`JobQueue`] is the admission queue: jobs wait in strict
+//!   priority-then-FIFO order, and only the head of the queue may be
+//!   admitted (no backfill). That head-of-line rule keeps admission
+//!   *deterministic and fair by construction* — the sequence of admitted
+//!   jobs is exactly the priority-sorted submission order — at the price of
+//!   a large job briefly idling nodes it cannot yet use.
+//!
+//! The division of labour with the membership layer: inside a job, ranks are
+//! numbered in *job-local* node space (`0..slots`, spares `slots..`), so a
+//! job's numerics, wire tags and seeded fault decisions are identical
+//! whether it runs alone or packed beside neighbours. The service maps each
+//! local node id to the fleet [`NodeId`] it leased; this module never leaks
+//! fleet ids into a job's communication.
+//!
+//! Invariants (pinned by the property suite in `tests/proptest_jobs.rs`):
+//!
+//! 1. **Exclusivity** — a node is leased to at most one job at a time.
+//! 2. **No resurrection** — a retired (dead) node is never leased again.
+//! 3. **Monotonic epoch** — every successful mutation bumps
+//!    [`FleetView::epoch`] by exactly one; failed operations leave it
+//!    untouched.
+//! 4. **Conservation** — `free + leased + dead == total` after every
+//!    operation; nodes are never created or destroyed.
+
+use crate::membership::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies one submitted reconstruction job for the lifetime of the
+/// service.
+pub type JobId = u64;
+
+/// Errors from fleet-lease bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// A lease asked for more nodes than the free pool holds.
+    NotEnoughFree {
+        /// The job requesting the lease.
+        job: JobId,
+        /// How many nodes the lease asked for.
+        requested: usize,
+        /// How many nodes were free.
+        available: usize,
+    },
+    /// The node is not currently leased to any job, so it cannot be retired.
+    NotLeased {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The node was already retired by an earlier verdict; dead nodes never
+    /// come back.
+    AlreadyDead {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NotEnoughFree {
+                job,
+                requested,
+                available,
+            } => write!(
+                f,
+                "job {job} requested {requested} node(s) but only {available} are free"
+            ),
+            FleetError::NotLeased { node } => {
+                write!(f, "node {node} is not leased to any job")
+            }
+            FleetError::AlreadyDead { node } => {
+                write!(f, "node {node} was already retired and cannot be reused")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// The fleet-wide node table: which nodes are free, which are leased to
+/// which job, and which are dead. The multi-tenant generalization of
+/// [`crate::membership::MembershipView`]'s spare pool.
+///
+/// One instance lives behind the service's state lock; every mutation bumps
+/// the fleet epoch, so observers can cheaply detect change.
+#[derive(Clone, Debug)]
+pub struct FleetView {
+    epoch: u64,
+    total: usize,
+    free: BTreeSet<NodeId>,
+    leased: BTreeMap<NodeId, JobId>,
+    dead: BTreeSet<NodeId>,
+}
+
+impl FleetView {
+    /// A fresh fleet: nodes `0..total` all free, epoch 0.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a fleet needs at least one node");
+        Self {
+            epoch: 0,
+            total,
+            free: (0..total).collect(),
+            leased: BTreeMap::new(),
+            dead: BTreeSet::new(),
+        }
+    }
+
+    /// The fleet epoch: bumped once per successful mutation (lease, release,
+    /// retirement), never otherwise.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total number of nodes the fleet was created with.
+    pub fn total_nodes(&self) -> usize {
+        self.total
+    }
+
+    /// Number of nodes currently free (the shared spare pool).
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of nodes currently leased to jobs.
+    pub fn leased_count(&self) -> usize {
+        self.leased.len()
+    }
+
+    /// Number of nodes retired by failure-detector verdicts.
+    pub fn dead_count(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// The job currently holding `node`, if any.
+    pub fn lessee(&self, node: NodeId) -> Option<JobId> {
+        self.leased.get(&node).copied()
+    }
+
+    /// Every node currently leased to `job`, in ascending node order.
+    pub fn leased_to(&self, job: JobId) -> Vec<NodeId> {
+        self.leased
+            .iter()
+            .filter(|&(_, &j)| j == job)
+            .map(|(&node, _)| node)
+            .collect()
+    }
+
+    /// True when `node` has been retired.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.contains(&node)
+    }
+
+    /// Leases `count` free nodes to `job`, lowest id first, and bumps the
+    /// epoch. Fails (without leasing anything or moving the epoch) when the
+    /// free pool is too small.
+    pub fn lease(&mut self, job: JobId, count: usize) -> Result<Vec<NodeId>, FleetError> {
+        assert!(count > 0, "a lease must cover at least one node");
+        if self.free.len() < count {
+            return Err(FleetError::NotEnoughFree {
+                job,
+                requested: count,
+                available: self.free.len(),
+            });
+        }
+        let nodes: Vec<NodeId> = self.free.iter().take(count).copied().collect();
+        for &node in &nodes {
+            self.free.remove(&node);
+            self.leased.insert(node, job);
+        }
+        self.epoch += 1;
+        Ok(nodes)
+    }
+
+    /// Draws one node from the shared spare pool for `job` (the substitution
+    /// path: a rank died and the job needs a replacement). Returns `None`
+    /// when the pool is empty, leaving the epoch untouched.
+    pub fn draw_spare(&mut self, job: JobId) -> Option<NodeId> {
+        self.lease(job, 1).ok().map(|nodes| nodes[0])
+    }
+
+    /// Returns every node still leased to `job` to the free pool and bumps
+    /// the epoch (once, regardless of node count). Nodes of the job that
+    /// were retired stay dead. Returns the released nodes; releasing a job
+    /// with no leases is a no-op that leaves the epoch untouched.
+    pub fn release(&mut self, job: JobId) -> Vec<NodeId> {
+        let nodes = self.leased_to(job);
+        if nodes.is_empty() {
+            return nodes;
+        }
+        for &node in &nodes {
+            self.leased.remove(&node);
+            self.free.insert(node);
+        }
+        self.epoch += 1;
+        nodes
+    }
+
+    /// Acts on a failure-detector verdict: moves a leased node to the dead
+    /// set and bumps the epoch. Returns the job that held the lease. A dead
+    /// node never returns to the free pool.
+    pub fn retire(&mut self, node: NodeId) -> Result<JobId, FleetError> {
+        if self.dead.contains(&node) {
+            return Err(FleetError::AlreadyDead { node });
+        }
+        let Some(job) = self.leased.remove(&node) else {
+            return Err(FleetError::NotLeased { node });
+        };
+        self.dead.insert(node);
+        self.epoch += 1;
+        Ok(job)
+    }
+
+    /// The conservation invariant: every node is in exactly one of the
+    /// free/leased/dead sets. The sets are disjoint by construction; this
+    /// checks the counts still cover the whole fleet.
+    pub fn is_conserved(&self) -> bool {
+        self.free.len() + self.leased.len() + self.dead.len() == self.total
+    }
+}
+
+/// One waiting entry of the admission queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// The waiting job.
+    pub job: JobId,
+    /// Admission priority: higher runs earlier; ties break FIFO.
+    pub priority: i32,
+    /// How many nodes the job needs to start.
+    pub slots: usize,
+    seq: u64,
+}
+
+/// The admission queue: waiting jobs ordered by priority (descending), then
+/// submission order. Only the head may be admitted ([`JobQueue::pop_admissible`]
+/// — strict head-of-line, no backfill), which makes the admission sequence
+/// deterministic and starvation-free for high-priority work.
+#[derive(Clone, Debug, Default)]
+pub struct JobQueue {
+    entries: Vec<QueuedJob>,
+    next_seq: u64,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of waiting jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no job is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when `job` is still waiting.
+    pub fn contains(&self, job: JobId) -> bool {
+        self.entries.iter().any(|e| e.job == job)
+    }
+
+    /// Enqueues a job needing `slots` nodes at the given priority.
+    pub fn push(&mut self, job: JobId, priority: i32, slots: usize) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(QueuedJob {
+            job,
+            priority,
+            slots,
+            seq,
+        });
+    }
+
+    /// The next job in admission order (highest priority, then FIFO), if any.
+    pub fn head(&self) -> Option<&QueuedJob> {
+        self.entries
+            .iter()
+            .min_by_key(|e| (std::cmp::Reverse(e.priority), e.seq))
+    }
+
+    /// Admits the head of the queue if `free_nodes` suffices for it,
+    /// removing and returning it. A head that does not fit blocks the whole
+    /// queue (no backfill): admission order stays exactly the
+    /// priority-sorted submission order.
+    pub fn pop_admissible(&mut self, free_nodes: usize) -> Option<QueuedJob> {
+        let head = *self.head()?;
+        if head.slots > free_nodes {
+            return None;
+        }
+        self.entries.retain(|e| e.job != head.job);
+        Some(head)
+    }
+
+    /// Removes a waiting job (cancellation before admission). Returns
+    /// whether it was present.
+    pub fn remove(&mut self, job: JobId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.job != job);
+        self.entries.len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_takes_lowest_free_nodes_and_bumps_epoch() {
+        let mut fleet = FleetView::new(6);
+        assert_eq!(fleet.epoch(), 0);
+        let a = fleet.lease(10, 3).expect("6 free");
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(fleet.epoch(), 1);
+        let b = fleet.lease(11, 2).expect("3 free");
+        assert_eq!(b, vec![3, 4]);
+        assert_eq!(fleet.lessee(0), Some(10));
+        assert_eq!(fleet.lessee(4), Some(11));
+        assert_eq!(fleet.lessee(5), None);
+        assert_eq!(fleet.free_count(), 1);
+        assert!(fleet.is_conserved());
+    }
+
+    #[test]
+    fn oversized_lease_fails_without_side_effects() {
+        let mut fleet = FleetView::new(3);
+        fleet.lease(1, 2).expect("fits");
+        let err = fleet.lease(2, 2).expect_err("only one free");
+        assert_eq!(
+            err,
+            FleetError::NotEnoughFree {
+                job: 2,
+                requested: 2,
+                available: 1
+            }
+        );
+        assert_eq!(fleet.epoch(), 1, "failed lease must not move the epoch");
+        assert_eq!(fleet.free_count(), 1);
+        assert!(fleet.is_conserved());
+    }
+
+    #[test]
+    fn release_returns_live_nodes_and_keeps_dead_ones_dead() {
+        let mut fleet = FleetView::new(4);
+        fleet.lease(7, 3).expect("fits");
+        assert_eq!(fleet.retire(1), Ok(7));
+        assert!(fleet.is_dead(1));
+        let released = fleet.release(7);
+        assert_eq!(released, vec![0, 2]);
+        assert_eq!(fleet.free_count(), 3);
+        assert_eq!(fleet.dead_count(), 1);
+        assert!(fleet.is_conserved());
+        // The dead node can be neither retired again nor re-leased.
+        assert_eq!(fleet.retire(1), Err(FleetError::AlreadyDead { node: 1 }));
+        let next = fleet.lease(8, 3).expect("three live nodes free");
+        assert!(!next.contains(&1), "a dead node must never be re-leased");
+    }
+
+    #[test]
+    fn retire_requires_a_lease() {
+        let mut fleet = FleetView::new(2);
+        assert_eq!(fleet.retire(0), Err(FleetError::NotLeased { node: 0 }));
+        assert_eq!(fleet.epoch(), 0);
+    }
+
+    #[test]
+    fn draw_spare_comes_from_the_shared_pool() {
+        let mut fleet = FleetView::new(3);
+        fleet.lease(1, 2).expect("fits");
+        assert_eq!(fleet.draw_spare(1), Some(2));
+        assert_eq!(fleet.lessee(2), Some(1));
+        assert_eq!(fleet.draw_spare(1), None, "pool exhausted");
+        assert!(fleet.is_conserved());
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let mut queue = JobQueue::new();
+        queue.push(1, 0, 2);
+        queue.push(2, 5, 2);
+        queue.push(3, 5, 2);
+        queue.push(4, -1, 2);
+        assert_eq!(queue.head().map(|e| e.job), Some(2));
+        assert_eq!(queue.pop_admissible(4).map(|e| e.job), Some(2));
+        assert_eq!(queue.pop_admissible(4).map(|e| e.job), Some(3));
+        assert_eq!(queue.pop_admissible(4).map(|e| e.job), Some(1));
+        assert_eq!(queue.pop_admissible(4).map(|e| e.job), Some(4));
+        assert!(queue.pop_admissible(4).is_none());
+    }
+
+    #[test]
+    fn head_of_line_blocks_smaller_jobs_behind_it() {
+        let mut queue = JobQueue::new();
+        queue.push(1, 9, 8);
+        queue.push(2, 0, 1);
+        // Only 4 nodes free: the big high-priority head does not fit, and the
+        // small job behind it must NOT be admitted around it.
+        assert_eq!(queue.pop_admissible(4), None);
+        assert_eq!(queue.len(), 2);
+        // Once capacity allows, order is restored.
+        assert_eq!(queue.pop_admissible(8).map(|e| e.job), Some(1));
+        assert_eq!(queue.pop_admissible(8).map(|e| e.job), Some(2));
+    }
+
+    #[test]
+    fn cancellation_removes_a_waiting_job() {
+        let mut queue = JobQueue::new();
+        queue.push(1, 0, 2);
+        queue.push(2, 1, 2);
+        assert!(queue.remove(2));
+        assert!(!queue.remove(2), "already gone");
+        assert!(queue.contains(1));
+        assert_eq!(queue.pop_admissible(4).map(|e| e.job), Some(1));
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests for the membership and fleet-lease invariants.
+//!
+//! Arbitrary operation sequences are driven against [`MembershipView`] (one
+//! job's slot → node table with per-job spares) and [`FleetView`] (the
+//! service-wide lease table), pinning the invariants the job engine's
+//! correctness rests on:
+//!
+//! * no node is ever leased to two jobs at once (exclusivity),
+//! * a substitution or lease never resurrects a dead node,
+//! * every successful mutation bumps the epoch by exactly one and failed
+//!   operations never move it (strict monotonicity),
+//! * node count is conserved across arbitrary lease/release/retire and
+//!   substitute sequences.
+
+use proptest::prelude::*;
+use ptycho_cluster::{FleetError, FleetView, JobQueue, MembershipView};
+use std::collections::BTreeSet;
+
+/// One symbolic fleet operation; indices are drawn from small ranges and
+/// mapped onto jobs/nodes modulo the current population, so every sequence
+/// is meaningful regardless of what preceded it.
+#[derive(Clone, Copy, Debug)]
+enum FleetOp {
+    /// Lease `1 + (count % 3)` nodes to job `job % 8`.
+    Lease { job: u64, count: usize },
+    /// Release job `job % 8`.
+    Release { job: u64 },
+    /// Retire the `pick`-th currently leased node, if any.
+    Retire { pick: usize },
+    /// Draw one spare for job `job % 8`.
+    DrawSpare { job: u64 },
+}
+
+fn fleet_op() -> impl Strategy<Value = FleetOp> {
+    (0u32..4, 0u64..8, 0usize..8).prop_map(|(kind, job, pick)| match kind {
+        0 => FleetOp::Lease { job, count: pick },
+        1 => FleetOp::Release { job },
+        2 => FleetOp::Retire { pick },
+        _ => FleetOp::DrawSpare { job },
+    })
+}
+
+/// Every node leased by some job, with exclusivity checked on the way.
+fn leased_nodes(fleet: &FleetView, jobs: u64) -> BTreeSet<usize> {
+    let mut seen = BTreeSet::new();
+    for job in 0..jobs {
+        for node in fleet.leased_to(job) {
+            assert!(seen.insert(node), "node {node} leased to two jobs at once");
+            assert_eq!(fleet.lessee(node), Some(job));
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fleet_invariants_hold_for_arbitrary_op_sequences(
+        total in 1usize..12,
+        ops in proptest::collection::vec(fleet_op(), 0..40),
+    ) {
+        let mut fleet = FleetView::new(total);
+        let mut ever_dead: BTreeSet<usize> = BTreeSet::new();
+        let mut last_epoch = fleet.epoch();
+        for op in ops {
+            let epoch_before = fleet.epoch();
+            let mutated = match op {
+                FleetOp::Lease { job, count } => {
+                    let job = job % 8;
+                    let count = 1 + count % 3;
+                    match fleet.lease(job, count) {
+                        Ok(nodes) => {
+                            prop_assert_eq!(nodes.len(), count);
+                            for &node in &nodes {
+                                prop_assert!(
+                                    !ever_dead.contains(&node),
+                                    "lease resurrected dead node {}", node
+                                );
+                                prop_assert_eq!(fleet.lessee(node), Some(job));
+                            }
+                            true
+                        }
+                        Err(FleetError::NotEnoughFree { requested, available, .. }) => {
+                            prop_assert_eq!(requested, count);
+                            prop_assert!(available < count);
+                            false
+                        }
+                        Err(other) => {
+                            prop_assert!(false, "unexpected lease error: {}", other);
+                            false
+                        }
+                    }
+                }
+                FleetOp::Release { job } => !fleet.release(job % 8).is_empty(),
+                FleetOp::Retire { pick } => {
+                    let leased: Vec<usize> =
+                        leased_nodes(&fleet, 8).into_iter().collect();
+                    if leased.is_empty() {
+                        false
+                    } else {
+                        let node = leased[pick % leased.len()];
+                        prop_assert!(fleet.retire(node).is_ok());
+                        ever_dead.insert(node);
+                        prop_assert!(fleet.is_dead(node));
+                        true
+                    }
+                }
+                FleetOp::DrawSpare { job } => {
+                    let job = job % 8;
+                    match fleet.draw_spare(job) {
+                        Some(node) => {
+                            prop_assert!(!ever_dead.contains(&node));
+                            prop_assert_eq!(fleet.lessee(node), Some(job));
+                            true
+                        }
+                        None => false,
+                    }
+                }
+            };
+            // Epoch: +1 per successful mutation, untouched otherwise.
+            let expected = if mutated { epoch_before + 1 } else { epoch_before };
+            prop_assert_eq!(fleet.epoch(), expected);
+            prop_assert!(fleet.epoch() >= last_epoch, "epoch went backwards");
+            last_epoch = fleet.epoch();
+            // Conservation: free + leased + dead always covers the fleet.
+            prop_assert!(fleet.is_conserved());
+            prop_assert_eq!(
+                fleet.free_count() + fleet.leased_count() + fleet.dead_count(),
+                total
+            );
+            // Dead nodes never reappear anywhere.
+            let leased = leased_nodes(&fleet, 8);
+            for node in &ever_dead {
+                prop_assert!(!leased.contains(node));
+                prop_assert!(fleet.is_dead(*node));
+            }
+            prop_assert_eq!(ever_dead.len(), fleet.dead_count());
+        }
+    }
+
+    #[test]
+    fn membership_substitutions_never_resurrect_and_bump_epoch_once(
+        slots in 1usize..6,
+        spares in 0usize..6,
+        kills in proptest::collection::vec(0usize..6, 0..8),
+    ) {
+        let mut view = MembershipView::new(slots, spares);
+        let total = view.total_nodes();
+        let mut epoch = view.epoch();
+        prop_assert_eq!(epoch, 0);
+        for pick in kills {
+            // Kill some currently assigned node (dead or spare nodes are
+            // not valid verdicts — the engine only reports assigned ones).
+            let node = view.assignment()[pick % view.slots()];
+            let before = view.epoch();
+            match view.substitute(node) {
+                Ok((slot, replacement)) => {
+                    // The replacement adopts exactly the dead node's slot.
+                    prop_assert_eq!(view.node_for_slot(slot), replacement);
+                    prop_assert!(replacement != node);
+                    prop_assert!(!view.is_dead(replacement));
+                    prop_assert!(view.is_dead(node));
+                    // The dead node holds no slot anymore...
+                    prop_assert_eq!(view.slot_of_node(node), None);
+                    // ...and the epoch moved by exactly one.
+                    prop_assert_eq!(view.epoch(), before + 1);
+                }
+                Err(_) => {
+                    // Spare pool exhausted: the verdict stands (the node is
+                    // marked dead) but no promotion happens and the epoch
+                    // does not move. The engine aborts the run here, so the
+                    // view sees no further operations.
+                    prop_assert_eq!(view.epoch(), before);
+                    prop_assert_eq!(view.spares_remaining(), 0);
+                    prop_assert!(view.is_dead(node));
+                    break;
+                }
+            }
+            prop_assert!(view.epoch() >= epoch);
+            epoch = view.epoch();
+            // Conservation: assigned + spares + dead is the fixed node set.
+            prop_assert_eq!(view.total_nodes(), total);
+            // No dead node is ever assigned to any slot.
+            for &assigned in view.assignment() {
+                prop_assert!(!view.is_dead(assigned));
+            }
+            // Assignment stays a set (no node in two slots).
+            let unique: BTreeSet<usize> = view.assignment().iter().copied().collect();
+            prop_assert_eq!(unique.len(), view.slots());
+        }
+    }
+
+    #[test]
+    fn queue_admission_is_priority_then_fifo(
+        jobs in proptest::collection::vec((-5i32..5, 1usize..4), 1..12),
+    ) {
+        let mut queue = JobQueue::new();
+        for (id, &(priority, slots)) in jobs.iter().enumerate() {
+            queue.push(id as u64, priority, slots);
+        }
+        // Drain with unlimited capacity: admission order must be exactly
+        // the submission order sorted by (priority desc, submission asc).
+        let mut drained = Vec::new();
+        while let Some(entry) = queue.pop_admissible(usize::MAX) {
+            drained.push((entry.priority, entry.job));
+        }
+        prop_assert_eq!(drained.len(), jobs.len());
+        let mut expected: Vec<(i32, u64)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(id, &(priority, _))| (priority, id as u64))
+            .collect();
+        expected.sort_by_key(|&(priority, id)| (std::cmp::Reverse(priority), id));
+        prop_assert_eq!(drained, expected);
+    }
+}

@@ -62,6 +62,7 @@ use ptycho_cluster::{
     RankOutcome, ReliableComm, ReliableConfig, ReliableStats, SharedTile, TimeBreakdown,
 };
 use ptycho_fft::CArray3;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// The outcome of a parallel reconstruction.
@@ -160,6 +161,80 @@ impl RecoveryReport {
     }
 }
 
+/// One per-iteration progress event from one rank, emitted through
+/// [`JobContext::progress`] right after the rank passes the iteration's
+/// consistency barrier (or, under [`RecoveryPolicy::FailFast`], right after
+/// the iteration body). Together with the job id (added by the service
+/// layer) this is the stream a client tails to watch a reconstruction
+/// converge.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationProgress {
+    /// The reporting rank (tile slot).
+    pub rank: usize,
+    /// The iteration that just completed (0-based).
+    pub iteration: usize,
+    /// Which recovery attempt the iteration ran under (0 = fault-free path).
+    pub attempt: usize,
+    /// The rank's share of the iteration cost `F(V)`.
+    pub cost: f64,
+    /// The rank's simulated time breakdown so far.
+    pub time: TimeBreakdown,
+    /// The rank's peak memory so far, in bytes.
+    pub peak_bytes: usize,
+}
+
+/// Hooks tying one engine run to the job engine above it. All fields are
+/// optional; [`JobContext::default`] is a plain standalone run and is what
+/// [`IterationEngine::run`] uses — the hooks add no overhead when absent.
+///
+/// * `cancel` — cooperative cancellation: the engine polls the flag at each
+///   iteration boundary and unwinds with [`CommError::Cancelled`] when it is
+///   raised. Cancellation is not a fault: the recovery machinery never
+///   spends restart budget or spares on it.
+/// * `progress` — per-iteration [`IterationProgress`] events. Called from
+///   rank worker threads, hence `Sync`.
+/// * `spare_grant` — delegates the spare pool to an external owner (the
+///   service's shared fleet). Called with the *job-local* dead node id
+///   before each promotion; returning `false` means the pool is exhausted
+///   and the run fails with [`CommError::SparesExhausted`]. When present,
+///   the policy's own `spares` count is ignored — promotions are bounded by
+///   the external pool (and the 8-bit attempt-epoch ceiling) instead, while
+///   job-local spare numbering (`slots + k` for the k-th promotion) is
+///   unchanged, which is what keeps a healed service run bit-identical to
+///   the same job healed standalone.
+#[derive(Clone, Copy, Default)]
+pub struct JobContext<'a> {
+    /// Raised by the job's owner to request cooperative cancellation.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Sink for per-iteration progress events.
+    pub progress: Option<&'a (dyn Fn(IterationProgress) + Sync)>,
+    /// External spare-pool arbiter: `grant(dead_local_node) -> granted`.
+    pub spare_grant: Option<&'a (dyn Fn(usize) -> bool + Sync)>,
+}
+
+impl JobContext<'_> {
+    /// True once the owner has requested cancellation.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    fn emit(&self, event: IterationProgress) {
+        if let Some(sink) = self.progress {
+            sink(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for JobContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobContext")
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field("progress", &self.progress.is_some())
+            .field("spare_grant", &self.spare_grant.is_some())
+            .finish()
+    }
+}
+
 /// What one reconstruction method contributes to the shared engine loop: the
 /// per-rank tile state and the body of one iteration. Everything else —
 /// iteration driving, cost collection, checkpointing, recovery, stitching —
@@ -249,21 +324,34 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
     /// Runs the reconstruction, one rank per tile, surfacing unrecovered
     /// communication failures as a [`RankFailure`].
     pub fn run<B: CommBackend>(&self, backend: &B) -> Result<ReconstructionResult, RankFailure> {
+        self.run_with_context(backend, &JobContext::default())
+    }
+
+    /// Runs the reconstruction under job-engine hooks: cooperative
+    /// cancellation, per-iteration progress streaming, and an externally
+    /// owned spare pool (see [`JobContext`]). [`IterationEngine::run`] is
+    /// this with the default (empty) context.
+    pub fn run_with_context<B: CommBackend>(
+        &self,
+        backend: &B,
+        job: &JobContext<'_>,
+    ) -> Result<ReconstructionResult, RankFailure> {
         match self.policy {
-            RecoveryPolicy::FailFast => self.run_fail_fast(backend),
+            RecoveryPolicy::FailFast => self.run_fail_fast(backend, job),
             RecoveryPolicy::RetransmitThenRestart {
                 max_iteration_restarts,
-            } => self.run_recovering(backend, max_iteration_restarts, None),
+            } => self.run_recovering(backend, job, max_iteration_restarts, None),
             RecoveryPolicy::SubstituteSpare {
                 spares,
                 max_iteration_restarts,
-            } => self.run_recovering(backend, max_iteration_restarts, Some(spares)),
+            } => self.run_recovering(backend, job, max_iteration_restarts, Some(spares)),
         }
     }
 
     fn run_fail_fast<B: CommBackend>(
         &self,
         backend: &B,
+        job: &JobContext<'_>,
     ) -> Result<ReconstructionResult, RankFailure> {
         let kernel = self.kernel;
         let iterations = kernel.iterations();
@@ -271,7 +359,18 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
             let mut state = kernel.init(ctx);
             let mut costs = Vec::with_capacity(iterations);
             for iteration in 0..iterations {
+                if job.cancelled() {
+                    return Err(CommError::Cancelled { rank: ctx.rank() });
+                }
                 costs.push(kernel.run_iteration(ctx, &mut state, iteration)?);
+                job.emit(IterationProgress {
+                    rank: ctx.rank(),
+                    iteration,
+                    attempt: 0,
+                    cost: costs[iteration],
+                    time: ctx.clock_mut().breakdown(),
+                    peak_bytes: ctx.memory_mut().peak_total(),
+                });
             }
             Ok(RankRun {
                 core: kernel.core_volume(&state),
@@ -302,6 +401,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
     fn run_recovering<B: CommBackend>(
         &self,
         backend: &B,
+        job: &JobContext<'_>,
         max_iteration_restarts: usize,
         spares: Option<usize>,
     ) -> Result<ReconstructionResult, RankFailure> {
@@ -316,6 +416,19 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
         let kernel = self.kernel;
         let iterations = kernel.iterations();
         let ranks = kernel.grid().num_tiles();
+        // With an external spare arbiter, the pool bound lives outside the
+        // engine: size the local view at the attempt-epoch ceiling (the hard
+        // upper bound on promotions anyway) so the arbiter alone decides
+        // exhaustion. Promotion numbering is unaffected — the k-th promotion
+        // is always local node `ranks + k` whatever the pool size — which is
+        // what keeps service-healed runs bit-identical to standalone ones.
+        let spares = spares.map(|pool| {
+            if job.spare_grant.is_some() {
+                frames::MAX_ATTEMPT_EPOCH as usize + 1
+            } else {
+                pool
+            }
+        });
         let mut membership = spares.map(|pool| MembershipView::new(ranks, pool));
         let slots: Vec<Mutex<Option<CheckpointSlot<K::Checkpoint>>>> =
             (0..ranks).map(|_| Mutex::new(None)).collect();
@@ -351,6 +464,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
             let slots_ref = &slots;
             let assignment_ref = &assignment;
             let dead_ref = &dead_nodes;
+            let attempt_number = attempt_index;
             let attempt = backend.run::<SharedTile, RankRun, _>(ranks, |ctx| {
                 let slot = ctx.rank();
                 let node = assignment_ref.as_ref().map_or(slot, |a| a[slot]);
@@ -377,6 +491,15 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                 let mut heartbeats_observed = 0u64;
                 let result = (|| {
                     for iteration in start..iterations {
+                        // The cancellation poll point: before starting new
+                        // work, and again at the iteration boundary below.
+                        // Every rank polls the same flag, so either all
+                        // ranks unwind here together or the stragglers'
+                        // barrier fails — both cases are mapped to a
+                        // cancelled (not faulted) run by the failure branch.
+                        if job.cancelled() {
+                            return Err(CommError::Cancelled { rank: slot });
+                        }
                         costs.push(kernel.run_iteration(&mut comm, &mut state, iteration)?);
                         if heartbeats {
                             // Ring liveness beat, sent *before* the barrier
@@ -419,6 +542,14 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                                 costs: costs.clone(),
                                 state: kernel.checkpoint(&state),
                             });
+                        job.emit(IterationProgress {
+                            rank: slot,
+                            iteration,
+                            attempt: attempt_number,
+                            cost: costs[iteration],
+                            time: comm.clock_mut().breakdown(),
+                            peak_bytes: comm.memory_mut().peak_total(),
+                        });
                     }
                     Ok(())
                 })();
@@ -465,6 +596,18 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                     ));
                 }
                 Err(failure) => {
+                    // Cancellation is not a fault. Some ranks observe the
+                    // flag and unwind with `Cancelled`; ranks already parked
+                    // in a receive or barrier fail with a timeout/deadlock
+                    // instead. Either way, once the flag is up the run is
+                    // over — no restart budget, no substitutions.
+                    if job.cancelled() || matches!(failure.error, CommError::Cancelled { .. }) {
+                        return Err(RankFailure {
+                            rank: failure.rank,
+                            error: CommError::Cancelled { rank: failure.rank },
+                            failed_ranks: failure.failed_ranks,
+                        });
+                    }
                     // Restart only from a provably consistent boundary: every
                     // rank's latest checkpoint must agree on the iteration
                     // (None counts as iteration 0).
@@ -497,6 +640,21 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                             .as_mut()
                             .expect("deaths are only registered in membership mode");
                         for node in deaths {
+                            // Under an external arbiter, every promotion
+                            // must first be granted a node from the shared
+                            // pool; a refusal is pool exhaustion.
+                            if let Some(grant) = job.spare_grant {
+                                if !grant(node) {
+                                    return Err(RankFailure {
+                                        rank: failure.rank,
+                                        error: CommError::SparesExhausted {
+                                            rank: failure.rank,
+                                            dead_node: node,
+                                        },
+                                        failed_ranks: failure.failed_ranks,
+                                    });
+                                }
+                            }
                             match view.substitute(node) {
                                 Ok((_slot, _replacement)) => substitutions += 1,
                                 Err(MembershipError::SparesExhausted { dead_node }) => {

@@ -122,6 +122,21 @@ impl<'a> GradientDecompositionSolver<'a> {
         backend: &B,
         policy: RecoveryPolicy,
     ) -> Result<ReconstructionResult, RankFailure> {
+        self.run_job(backend, policy, &crate::engine::JobContext::default())
+    }
+
+    /// Runs the reconstruction as one job of a multi-tenant service: the
+    /// [`JobContext`] adds cooperative cancellation, per-iteration progress
+    /// streaming, and an externally owned spare pool to
+    /// [`Self::run_with_recovery`] (which is this with an empty context).
+    ///
+    /// [`JobContext`]: crate::engine::JobContext
+    pub fn run_job<B: CommBackend>(
+        &self,
+        backend: &B,
+        policy: RecoveryPolicy,
+        job: &crate::engine::JobContext<'_>,
+    ) -> Result<ReconstructionResult, RankFailure> {
         let initial = self.dataset.initial_guess();
         let kernel = GdKernel {
             dataset: self.dataset,
@@ -130,7 +145,7 @@ impl<'a> GradientDecompositionSolver<'a> {
             rounds: self.rounds_per_iteration(),
             initial: &initial,
         };
-        IterationEngine::with_policy(&kernel, policy).run(backend)
+        IterationEngine::with_policy(&kernel, policy).run_with_context(backend, job)
     }
 }
 

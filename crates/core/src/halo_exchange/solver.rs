@@ -171,6 +171,20 @@ impl<'a> HaloVoxelExchangeSolver<'a> {
         backend: &B,
         policy: RecoveryPolicy,
     ) -> Result<ReconstructionResult, RankFailure> {
+        self.run_job(backend, policy, &crate::engine::JobContext::default())
+    }
+
+    /// Runs the baseline as one job of a multi-tenant service (see
+    /// [`GradientDecompositionSolver::run_job`]).
+    ///
+    /// [`GradientDecompositionSolver::run_job`]:
+    ///     crate::GradientDecompositionSolver::run_job
+    pub fn run_job<B: CommBackend>(
+        &self,
+        backend: &B,
+        policy: RecoveryPolicy,
+        job: &crate::engine::JobContext<'_>,
+    ) -> Result<ReconstructionResult, RankFailure> {
         let initial = self.dataset.initial_guess();
         let kernel = HveKernel {
             dataset: self.dataset,
@@ -179,7 +193,7 @@ impl<'a> HaloVoxelExchangeSolver<'a> {
             assigned: &self.assigned,
             initial: &initial,
         };
-        IterationEngine::with_policy(&kernel, policy).run(backend)
+        IterationEngine::with_policy(&kernel, policy).run_with_context(backend, job)
     }
 }
 

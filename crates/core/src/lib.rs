@@ -63,6 +63,7 @@ pub mod halo_exchange;
 pub mod memory_model;
 pub mod metrics;
 pub mod scaling;
+pub mod service;
 pub mod stitch;
 pub mod tiling;
 mod worker;
@@ -70,12 +71,17 @@ mod worker;
 pub use config::SolverConfig;
 pub use convergence::CostHistory;
 pub use engine::{
-    IterationEngine, ReconstructionResult, RecoveryPolicy, RecoveryReport, SolverKernel,
+    IterationEngine, IterationProgress, JobContext, ReconstructionResult, RecoveryPolicy,
+    RecoveryReport, SolverKernel,
 };
 pub use gradient_decomp::solver::GradientDecompositionSolver;
 pub use halo_exchange::solver::HaloVoxelExchangeSolver;
 pub use memory_model::{gd_memory_per_gpu, hve_memory_per_gpu, MemoryBreakdown};
 pub use metrics::{strong_scaling_efficiency, RuntimeReport};
 pub use scaling::{ScalingPoint, ScalingScenario};
+pub use service::{
+    JobEngine, JobError, JobHandle, JobProgress, JobReport, JobSpec, JobState, ServiceBackend,
+    SolverMethod,
+};
 pub use stitch::{seam_artifact_metric, stitch_tiles};
 pub use tiling::{TileGrid, TileInfo};

@@ -1,0 +1,716 @@
+//! Reconstruction as a service: the multi-tenant job engine.
+//!
+//! A beamline does not run one reconstruction — it queues them continuously
+//! as scans complete. This module turns the single-run solvers into exactly
+//! that serving shape: a [`JobEngine`] owns a fleet of worker nodes
+//! ([`FleetView`]) and an admission queue ([`JobQueue`]), and each submitted
+//! [`JobSpec`] moves through the lifecycle
+//!
+//! ```text
+//! submit → queued → leased (admission) → running → (heal)* → complete
+//!                                          │
+//!                                          └─ cancel / fail
+//! ```
+//!
+//! * **Admission** is priority-then-FIFO and strictly head-of-line: the
+//!   admission log is always the priority-sorted submission order, which
+//!   makes scheduler behaviour deterministic and testable.
+//! * **Isolation**: each job runs on its own backend instance with
+//!   *job-local* rank numbering; the engine maps local node ids to the
+//!   fleet nodes it leased. No wire tag, seed, or fault decision of one job
+//!   can observe another, so every job's result is **bit-identical to the
+//!   same job running alone** — the scheduler-soak suite pins this.
+//! * **Healing**: when a rank dies mid-job, the engine's spare-substitution
+//!   machinery asks the service for a replacement through the
+//!   [`JobContext::spare_grant`] hook; the service retires the dead fleet
+//!   node and leases one from the shared free pool. One standby pool
+//!   amortises over every tenant instead of being reserved per job. When
+//!   the pool is transiently empty (every node leased out), the healing job
+//!   blocks until a neighbour releases nodes; it only fails for good when
+//!   no other tenant could ever free one.
+//! * **Observability**: per-iteration [`JobProgress`] events (iteration,
+//!   cost, per-rank simulated clock and peak memory) stream into a per-job
+//!   buffer a client can tail; the final [`JobReport`] carries the full
+//!   [`ReconstructionResult`] and [`RecoveryReport`] plus queue/run timing.
+//!
+//! [`FleetView`]: ptycho_cluster::FleetView
+//! [`JobQueue`]: ptycho_cluster::JobQueue
+//! [`RecoveryReport`]: crate::engine::RecoveryReport
+
+use crate::config::SolverConfig;
+use crate::engine::{IterationProgress, JobContext, ReconstructionResult, RecoveryPolicy};
+use crate::gradient_decomp::solver::GradientDecompositionSolver;
+use crate::halo_exchange::solver::HaloVoxelExchangeSolver;
+use ptycho_cluster::{
+    Cluster, ClusterTopology, CommBackend, CommError, FaultInjectionBackend, FaultPolicy,
+    FleetView, JobId, JobQueue, LockstepBackend, NodeId, RankFailure,
+};
+use ptycho_sim::dataset::Dataset;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which reconstruction method a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverMethod {
+    /// The paper's Gradient Decomposition solver.
+    GradientDecomposition,
+    /// The Halo Voxel Exchange baseline.
+    HaloVoxelExchange,
+}
+
+/// Which communication backend a job's ranks run on. Every job gets its own
+/// backend instance, so tenants never share communication state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceBackend {
+    /// The deterministic lockstep scheduler (default; reproducible bit for
+    /// bit and deadlock-proving).
+    Lockstep,
+    /// One OS thread per rank, with the receive timeout that recovery needs
+    /// to observe lost messages.
+    Threaded {
+        /// How long a receive waits before reporting the message lost.
+        recv_timeout: Duration,
+    },
+}
+
+/// One reconstruction request: everything the engine needs to run the job,
+/// plus its admission priority.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The measured (here: synthesized) acquisition to reconstruct.
+    pub dataset: Dataset,
+    /// Solver parameters.
+    pub config: SolverConfig,
+    /// Tile grid dimensions; the job needs `grid.0 * grid.1` fleet nodes.
+    pub grid: (usize, usize),
+    /// Which solver runs the job.
+    pub method: SolverMethod,
+    /// Admission priority: higher is served earlier; ties break FIFO.
+    pub priority: i32,
+    /// The engine recovery policy. Under [`RecoveryPolicy::SubstituteSpare`]
+    /// the policy's own `spares` count is ignored — replacements come from
+    /// the service's shared fleet pool instead.
+    pub recovery: RecoveryPolicy,
+    /// Optional fault injection wrapped around the job's backend
+    /// (job-local: seeds and rank ids are the job's own).
+    pub fault_policy: Option<FaultPolicy>,
+    /// The communication backend the job runs on.
+    pub backend: ServiceBackend,
+}
+
+impl JobSpec {
+    /// A Gradient Decomposition job on the lockstep backend at priority 0,
+    /// with retransmit + checkpoint-restart + shared-pool substitution
+    /// enabled (the service default).
+    pub fn new(dataset: Dataset, config: SolverConfig, grid: (usize, usize)) -> Self {
+        Self {
+            dataset,
+            config,
+            grid,
+            method: SolverMethod::GradientDecomposition,
+            priority: 0,
+            recovery: RecoveryPolicy::SubstituteSpare {
+                // Ignored in service runs: the shared fleet pool (via
+                // `JobContext::spare_grant`) bounds substitutions instead.
+                spares: 0,
+                max_iteration_restarts: 2,
+            },
+            fault_policy: None,
+            backend: ServiceBackend::Lockstep,
+        }
+    }
+
+    /// Sets the solver method.
+    pub fn with_method(mut self, method: SolverMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the admission priority (higher runs earlier).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Wraps the job's backend in fault injection.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Sets the communication backend.
+    pub fn with_backend(mut self, backend: ServiceBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// How many fleet nodes the job needs.
+    pub fn slots(&self) -> usize {
+        self.grid.0 * self.grid.1
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the admission queue.
+    Queued,
+    /// Leased fleet nodes and running (possibly healing).
+    Running,
+    /// Finished successfully; the report carries the result.
+    Completed,
+    /// Finished with an unrecovered failure.
+    Failed,
+    /// Cancelled — before admission, or cooperatively while running.
+    Cancelled,
+}
+
+impl JobState {
+    /// True once the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Why a job did not complete.
+#[derive(Clone, Debug)]
+pub enum JobError {
+    /// The spec could never run (bad grid, more slots than the fleet has,
+    /// an invalid baseline decomposition) and was refused at submission.
+    Rejected {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// The job was cancelled (before admission or cooperatively mid-run).
+    Cancelled,
+    /// The run failed and recovery could not heal it.
+    Failed(RankFailure),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Rejected { reason } => write!(f, "job rejected: {reason}"),
+            JobError::Cancelled => write!(f, "job cancelled"),
+            JobError::Failed(failure) => write!(f, "job failed: {failure}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// One per-iteration progress event of one job (the engine's
+/// [`IterationProgress`] stamped with the job id).
+#[derive(Clone, Copy, Debug)]
+pub struct JobProgress {
+    /// The reporting job.
+    pub job: JobId,
+    /// The engine-level event (rank, iteration, attempt, cost, clock,
+    /// memory).
+    pub event: IterationProgress,
+}
+
+/// The final record of one job: terminal state, result or error, and
+/// queue/run wall-clock timing (host time, not the simulated rank clocks —
+/// those are inside the result).
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The job this report describes.
+    pub id: JobId,
+    /// The terminal state ([`JobState::is_terminal`] always holds).
+    pub state: JobState,
+    /// The reconstruction (with its `RecoveryReport`), when completed.
+    pub result: Option<ReconstructionResult>,
+    /// Why the job did not complete, otherwise.
+    pub error: Option<JobError>,
+    /// Seconds spent waiting in the admission queue.
+    pub queue_seconds: f64,
+    /// Seconds spent running (0 if never admitted).
+    pub run_seconds: f64,
+    /// How many progress events the job emitted.
+    pub progress_events: usize,
+}
+
+/// Everything the service tracks about one job.
+struct JobRecord {
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    /// Job-local node id → fleet node. Indices `0..slots` are the initial
+    /// lease; each drawn spare is appended in promotion order, mirroring the
+    /// engine's `slots + k` numbering for the k-th promotion.
+    node_map: Vec<NodeId>,
+    progress: Vec<JobProgress>,
+    result: Option<ReconstructionResult>,
+    error: Option<JobError>,
+    submitted: Instant,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+}
+
+impl JobRecord {
+    fn report(&self, id: JobId) -> JobReport {
+        let end = self.finished.unwrap_or(self.submitted);
+        let queue_end = self.started.unwrap_or(end);
+        JobReport {
+            id,
+            state: self.state,
+            result: self.result.clone(),
+            error: self.error.clone(),
+            queue_seconds: queue_end.duration_since(self.submitted).as_secs_f64(),
+            run_seconds: self
+                .started
+                .map_or(0.0, |s| end.duration_since(s).as_secs_f64()),
+            progress_events: self.progress.len(),
+        }
+    }
+}
+
+struct ServiceState {
+    fleet: FleetView,
+    queue: JobQueue,
+    /// Specs of queued jobs, consumed at admission.
+    pending: BTreeMap<JobId, JobSpec>,
+    jobs: BTreeMap<JobId, JobRecord>,
+    /// Jobs in admission order — the scheduler's fairness witness.
+    admissions: Vec<JobId>,
+    next_id: JobId,
+    /// Jobs currently running.
+    active: usize,
+    /// Running jobs currently blocked waiting for a shared-pool spare.
+    waiting_for_spare: usize,
+    /// While true, nothing is admitted (burst-submission mode).
+    paused: bool,
+}
+
+struct Shared {
+    state: Mutex<ServiceState>,
+    changed: Condvar,
+}
+
+/// The multi-tenant job engine: a shared node fleet serving an admission
+/// queue of reconstruction jobs.
+///
+/// ```
+/// use ptycho_core::service::{JobEngine, JobSpec};
+/// use ptycho_core::SolverConfig;
+/// use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+///
+/// let engine = JobEngine::new(8);
+/// let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+/// let config = SolverConfig { iterations: 2, ..SolverConfig::default() };
+/// let job = engine
+///     .submit(JobSpec::new(dataset, config, (2, 2)).with_priority(5))
+///     .expect("fits the fleet");
+/// let report = job.wait();
+/// assert!(report.result.is_some());
+/// ```
+pub struct JobEngine {
+    shared: Arc<Shared>,
+}
+
+impl JobEngine {
+    /// An engine owning a fleet of `fleet_nodes` worker nodes, admitting
+    /// jobs as soon as they fit.
+    pub fn new(fleet_nodes: usize) -> Self {
+        Self::build(fleet_nodes, false)
+    }
+
+    /// An engine that holds every submission in the queue until
+    /// [`JobEngine::resume`] — for deterministic burst submission (load
+    /// generators, scheduler tests).
+    pub fn paused(fleet_nodes: usize) -> Self {
+        Self::build(fleet_nodes, true)
+    }
+
+    fn build(fleet_nodes: usize, paused: bool) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(ServiceState {
+                    fleet: FleetView::new(fleet_nodes),
+                    queue: JobQueue::new(),
+                    pending: BTreeMap::new(),
+                    jobs: BTreeMap::new(),
+                    admissions: Vec::new(),
+                    next_id: 0,
+                    active: 0,
+                    waiting_for_spare: 0,
+                    paused,
+                }),
+                changed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Starts admitting queued jobs (no-op unless built with
+    /// [`JobEngine::paused`]).
+    pub fn resume(&self) {
+        let mut state = self.lock();
+        state.paused = false;
+        try_admit(&mut state, &self.shared);
+        self.shared.changed.notify_all();
+    }
+
+    /// Submits a job. Specs that can never run — an empty grid, more slots
+    /// than the fleet owns, an invalid baseline decomposition — are refused
+    /// here rather than left to rot in the queue.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, JobError> {
+        let slots = spec.slots();
+        if slots == 0 {
+            return Err(JobError::Rejected {
+                reason: "the tile grid is empty (zero slots)".into(),
+            });
+        }
+        if spec.method == SolverMethod::HaloVoxelExchange {
+            // The baseline's decomposition constraint is knowable now;
+            // refuse a spec that would only fail after admission.
+            if let Err(error) = HaloVoxelExchangeSolver::new(&spec.dataset, spec.config, spec.grid)
+            {
+                return Err(JobError::Rejected {
+                    reason: error.to_string(),
+                });
+            }
+        }
+        let mut state = self.lock();
+        if slots > state.fleet.total_nodes() {
+            return Err(JobError::Rejected {
+                reason: format!(
+                    "job needs {slots} node(s) but the fleet only has {}",
+                    state.fleet.total_nodes()
+                ),
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            JobRecord {
+                state: JobState::Queued,
+                cancel: Arc::new(AtomicBool::new(false)),
+                node_map: Vec::new(),
+                progress: Vec::new(),
+                result: None,
+                error: None,
+                submitted: Instant::now(),
+                started: None,
+                finished: None,
+            },
+        );
+        state.queue.push(id, spec.priority, slots);
+        state.pending.insert(id, spec);
+        try_admit(&mut state, &self.shared);
+        self.shared.changed.notify_all();
+        Ok(JobHandle {
+            id,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Blocks until no job is running or waiting.
+    pub fn wait_idle(&self) {
+        let mut state = self.lock();
+        while state.active > 0 || !state.queue.is_empty() {
+            state = self
+                .shared
+                .changed
+                .wait(state)
+                .expect("service state poisoned");
+        }
+    }
+
+    /// The jobs admitted so far, in admission order. With strict
+    /// head-of-line scheduling this is always the priority-sorted
+    /// submission order — the fairness witness the tests pin.
+    pub fn admission_log(&self) -> Vec<JobId> {
+        self.lock().admissions.clone()
+    }
+
+    /// The fleet epoch (bumped once per lease, release, or retirement).
+    pub fn fleet_epoch(&self) -> u64 {
+        self.lock().fleet.epoch()
+    }
+
+    /// Nodes currently free (the shared spare pool).
+    pub fn free_nodes(&self) -> usize {
+        self.lock().fleet.free_count()
+    }
+
+    /// Nodes retired by failure-detector verdicts.
+    pub fn dead_nodes(&self) -> usize {
+        self.lock().fleet.dead_count()
+    }
+
+    /// Total nodes the fleet was created with.
+    pub fn total_nodes(&self) -> usize {
+        self.lock().fleet.total_nodes()
+    }
+
+    /// The conservation invariant: free + leased + dead covers the whole
+    /// fleet.
+    pub fn fleet_is_conserved(&self) -> bool {
+        self.lock().fleet.is_conserved()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ServiceState> {
+        self.shared.state.lock().expect("service state poisoned")
+    }
+}
+
+/// A client's handle to one submitted job.
+pub struct JobHandle {
+    id: JobId,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The job's id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The job's current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.record(|record| record.state)
+    }
+
+    /// Requests cancellation. A queued job is cancelled immediately; a
+    /// running one is asked to stop cooperatively (its ranks observe the
+    /// flag at the next iteration boundary). Terminal jobs are unaffected.
+    pub fn cancel(&self) {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        let record = state.jobs.get_mut(&self.id).expect("job record missing");
+        match record.state {
+            JobState::Queued => {
+                record.state = JobState::Cancelled;
+                record.error = Some(JobError::Cancelled);
+                record.finished = Some(Instant::now());
+                state.queue.remove(self.id);
+                state.pending.remove(&self.id);
+                self.shared.changed.notify_all();
+            }
+            JobState::Running => {
+                record.cancel.store(true, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state, then returns its
+    /// report.
+    pub fn wait(&self) -> JobReport {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        loop {
+            let record = state.jobs.get(&self.id).expect("job record missing");
+            if record.state.is_terminal() {
+                return record.report(self.id);
+            }
+            state = self
+                .shared
+                .changed
+                .wait(state)
+                .expect("service state poisoned");
+        }
+    }
+
+    /// The progress events emitted so far.
+    pub fn progress(&self) -> Vec<JobProgress> {
+        self.record(|record| record.progress.clone())
+    }
+
+    /// The progress events after the first `seen` — the tailing API: keep a
+    /// cursor, poll with it, advance by what comes back.
+    pub fn progress_since(&self, seen: usize) -> Vec<JobProgress> {
+        self.record(|record| record.progress.get(seen..).unwrap_or_default().to_vec())
+    }
+
+    fn record<T>(&self, f: impl FnOnce(&JobRecord) -> T) -> T {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        f(state.jobs.get(&self.id).expect("job record missing"))
+    }
+}
+
+/// Admits queued jobs while the head of the queue fits the free pool,
+/// spawning one runner thread per admission. Called with the state lock
+/// held, everywhere the free pool or the queue grows.
+fn try_admit(state: &mut ServiceState, shared: &Arc<Shared>) {
+    if state.paused {
+        return;
+    }
+    while let Some(entry) = state.queue.pop_admissible(state.fleet.free_count()) {
+        let leased = state
+            .fleet
+            .lease(entry.job, entry.slots)
+            .expect("pop_admissible checked the free pool");
+        let spec = state
+            .pending
+            .remove(&entry.job)
+            .expect("queued job has a pending spec");
+        let record = state.jobs.get_mut(&entry.job).expect("job record missing");
+        record.state = JobState::Running;
+        record.started = Some(Instant::now());
+        record.node_map = leased;
+        state.admissions.push(entry.job);
+        state.active += 1;
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || run_job_thread(shared, entry.job, spec));
+    }
+}
+
+/// The per-job runner: builds the job's own backend, wires the job-context
+/// hooks into the shared state, runs the solver, and completes the job.
+fn run_job_thread(shared: Arc<Shared>, id: JobId, spec: JobSpec) {
+    let cancel = {
+        let state = shared.state.lock().expect("service state poisoned");
+        Arc::clone(&state.jobs.get(&id).expect("job record missing").cancel)
+    };
+    let progress_shared = Arc::clone(&shared);
+    let progress = move |event: IterationProgress| {
+        let mut state = progress_shared
+            .state
+            .lock()
+            .expect("service state poisoned");
+        if let Some(record) = state.jobs.get_mut(&id) {
+            record.progress.push(JobProgress { job: id, event });
+        }
+    };
+    let grant_shared = Arc::clone(&shared);
+    let grant_cancel = Arc::clone(&cancel);
+    let spare_grant = move |dead_local: usize| -> bool {
+        let mut guard = grant_shared.state.lock().expect("service state poisoned");
+        let dead_global = {
+            let state = &mut *guard;
+            let Some(record) = state.jobs.get_mut(&id) else {
+                return false;
+            };
+            let Some(&dead_global) = record.node_map.get(dead_local) else {
+                return false;
+            };
+            dead_global
+        };
+        if guard.fleet.retire(dead_global).is_err() {
+            return false;
+        }
+        // The free pool may be transiently empty when every node is leased
+        // out to tenants: block until a neighbouring job releases one. The
+        // grant can only fail for good when no other active tenant exists —
+        // or every one of them is itself blocked here — so nobody will ever
+        // free a node (and when the job was cancelled while waiting).
+        loop {
+            let state = &mut *guard;
+            if let Some(replacement) = state.fleet.draw_spare(id) {
+                if let Some(record) = state.jobs.get_mut(&id) {
+                    // Appended in promotion order: the engine numbers the
+                    // k-th promoted spare `slots + k`, which indexes this
+                    // entry.
+                    record.node_map.push(replacement);
+                }
+                return true;
+            }
+            if grant_cancel.load(Ordering::Relaxed) || state.waiting_for_spare + 1 >= state.active {
+                return false;
+            }
+            state.waiting_for_spare += 1;
+            guard = grant_shared
+                .changed
+                .wait(guard)
+                .expect("service state poisoned");
+            guard.waiting_for_spare -= 1;
+        }
+    };
+    let job = JobContext {
+        cancel: Some(&cancel),
+        progress: Some(&progress),
+        spare_grant: Some(&spare_grant),
+    };
+    let outcome = run_spec(&spec, &job);
+    let mut state = shared.state.lock().expect("service state poisoned");
+    let cancelled = cancel.load(Ordering::Relaxed);
+    let record = state.jobs.get_mut(&id).expect("job record missing");
+    match outcome {
+        Ok(result) => {
+            record.state = JobState::Completed;
+            record.result = Some(result);
+        }
+        Err(failure) if cancelled || matches!(failure.error, CommError::Cancelled { .. }) => {
+            record.state = JobState::Cancelled;
+            record.error = Some(JobError::Cancelled);
+        }
+        Err(failure) => {
+            record.state = JobState::Failed;
+            record.error = Some(JobError::Failed(failure));
+        }
+    }
+    record.finished = Some(Instant::now());
+    state.active -= 1;
+    state.fleet.release(id);
+    try_admit(&mut state, &shared);
+    drop(state);
+    shared.changed.notify_all();
+}
+
+/// Builds the job's backend and runs its solver. Each arm hands a concrete
+/// backend type to the generic runner — `CommBackend` is not object-safe
+/// (generic `run`), so dispatch is by enumeration, not by `dyn`.
+fn run_spec(spec: &JobSpec, job: &JobContext<'_>) -> Result<ReconstructionResult, RankFailure> {
+    let topology = ClusterTopology::summit();
+    match (spec.backend, spec.fault_policy.clone()) {
+        (ServiceBackend::Lockstep, None) => run_method(spec, &LockstepBackend::new(topology), job),
+        (ServiceBackend::Lockstep, Some(policy)) => run_method(
+            spec,
+            &FaultInjectionBackend::new(LockstepBackend::new(topology), policy),
+            job,
+        ),
+        (ServiceBackend::Threaded { recv_timeout }, None) => run_method(
+            spec,
+            &Cluster::new(topology).with_recv_timeout(recv_timeout),
+            job,
+        ),
+        (ServiceBackend::Threaded { recv_timeout }, Some(policy)) => run_method(
+            spec,
+            &FaultInjectionBackend::new(
+                Cluster::new(topology).with_recv_timeout(recv_timeout),
+                policy,
+            ),
+            job,
+        ),
+    }
+}
+
+fn run_method<B: CommBackend>(
+    spec: &JobSpec,
+    backend: &B,
+    job: &JobContext<'_>,
+) -> Result<ReconstructionResult, RankFailure> {
+    match spec.method {
+        SolverMethod::GradientDecomposition => GradientDecompositionSolver::new(
+            &spec.dataset,
+            spec.config,
+            spec.grid,
+        )
+        .run_job(backend, spec.recovery, job),
+        SolverMethod::HaloVoxelExchange => {
+            HaloVoxelExchangeSolver::new(&spec.dataset, spec.config, spec.grid)
+                .expect("validated at submission")
+                .run_job(backend, spec.recovery, job)
+        }
+    }
+}

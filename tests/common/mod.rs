@@ -1,6 +1,89 @@
 //! Helpers shared by the integration suites.
+//!
+//! Every suite used to carry its own copy of the same dataset, config and
+//! backend fixtures; they live here once now. `mod common;` compiles this
+//! file into each test binary separately, so not every binary uses every
+//! helper — hence the file-level `dead_code` allowance.
 
-use ptycho_core::ReconstructionResult;
+#![allow(dead_code)]
+
+use ptycho_cluster::{Cluster, ClusterTopology, LockstepBackend};
+use ptycho_core::{
+    GradientDecompositionSolver, HaloVoxelExchangeSolver, ReconstructionResult, RecoveryPolicy,
+    SolverConfig,
+};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use std::time::Duration;
+
+/// The shared small reconstruction problem: a 128 px, 2-slice object under a
+/// 4×4 scan — big enough for a 2×2 tile grid with real halo traffic, small
+/// enough that a 2-iteration solve takes milliseconds.
+pub fn small_problem() -> Dataset {
+    Dataset::synthesize(SyntheticConfig {
+        object_px: 128,
+        slices: 2,
+        scan_grid: (4, 4),
+        window_px: 32,
+        dose: None,
+        defocus_pm: 12_000.0,
+        seed: 21,
+    })
+}
+
+/// The Gradient Decomposition config matching [`small_problem`].
+pub fn gd_config() -> SolverConfig {
+    SolverConfig {
+        iterations: 2,
+        halo_px: 20,
+        ..SolverConfig::default()
+    }
+}
+
+/// The Halo Voxel Exchange config matching [`small_problem`].
+pub fn hve_config() -> SolverConfig {
+    SolverConfig {
+        iterations: 2,
+        hve_extra_probe_rows: 1,
+        ..SolverConfig::default()
+    }
+}
+
+/// A Gradient Decomposition solver on the standard 2×2 grid.
+pub fn gd_solver(dataset: &Dataset) -> GradientDecompositionSolver<'_> {
+    GradientDecompositionSolver::new(dataset, gd_config(), (2, 2))
+}
+
+/// A Halo Voxel Exchange solver on the standard 2×2 grid.
+pub fn hve_solver(dataset: &Dataset) -> HaloVoxelExchangeSolver<'_> {
+    HaloVoxelExchangeSolver::new(dataset, hve_config(), (2, 2)).expect("feasible decomposition")
+}
+
+/// The deterministic lockstep backend on the Summit topology.
+pub fn lockstep() -> LockstepBackend {
+    LockstepBackend::new(ClusterTopology::summit())
+}
+
+/// The threaded backend with a bounded receive, so lost messages surface as
+/// errors within `timeout_ms` instead of after the 30 s loss-detection
+/// default. Suites pick the timeout their fault scenario needs.
+pub fn threaded(timeout_ms: u64) -> Cluster {
+    Cluster::new(ClusterTopology::summit()).with_recv_timeout(Duration::from_millis(timeout_ms))
+}
+
+/// Retransmit + checkpoint-restart recovery with the standard budget.
+pub fn restart_policy() -> RecoveryPolicy {
+    RecoveryPolicy::RetransmitThenRestart {
+        max_iteration_restarts: 2,
+    }
+}
+
+/// Spare-substitution recovery with a pool of `spares` standby nodes.
+pub fn substitute_policy(spares: usize) -> RecoveryPolicy {
+    RecoveryPolicy::SubstituteSpare {
+        spares,
+        max_iteration_restarts: 1,
+    }
+}
 
 /// Asserts two reconstructions match **bit for bit**: every voxel of the
 /// stitched volume and every entry of the cost history. This is the
@@ -33,3 +116,29 @@ pub fn assert_bit_identical(a: &ReconstructionResult, b: &ReconstructionResult) 
         );
     }
 }
+
+/// Runs the same test body once per solver: `$solver` binds a
+/// [`GradientDecompositionSolver`] and then a [`HaloVoxelExchangeSolver`]
+/// (both on [`small_problem`]'s standard 2×2 fixtures), `$label` names the
+/// method for assertion messages. The body is expanded twice, so it only
+/// needs the API surface the two solvers share (`run`, `try_run`,
+/// `run_with_recovery`, `run_job`, `grid`).
+#[allow(unused_macros)]
+macro_rules! run_both_solvers {
+    ($dataset:expr, |$solver:ident, $label:ident| $body:block) => {{
+        {
+            let $label = "gradient-decomposition";
+            let $solver = $crate::common::gd_solver($dataset);
+            let _ = &$label;
+            $body
+        }
+        {
+            let $label = "halo-voxel-exchange";
+            let $solver = $crate::common::hve_solver($dataset);
+            let _ = &$label;
+            $body
+        }
+    }};
+}
+#[allow(unused_imports)]
+pub(crate) use run_both_solvers;

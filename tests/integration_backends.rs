@@ -6,67 +6,19 @@
 //! detectable error (never a hang or a silently wrong volume); and a recorded
 //! communication trace replays to an identical run.
 
-use ptycho_cluster::{
-    Cluster, ClusterTopology, CommError, FaultInjectionBackend, FaultPolicy, LockstepBackend,
-};
+use ptycho_cluster::{Cluster, ClusterTopology, CommError, FaultInjectionBackend, FaultPolicy};
 use ptycho_core::gradient_decomp::passes::tags;
-use ptycho_core::{GradientDecompositionSolver, HaloVoxelExchangeSolver, SolverConfig};
-use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use ptycho_core::{GradientDecompositionSolver, SolverConfig};
 use std::time::Duration;
 
-fn dataset() -> Dataset {
-    Dataset::synthesize(SyntheticConfig {
-        object_px: 128,
-        slices: 2,
-        scan_grid: (4, 4),
-        window_px: 32,
-        dose: None,
-        defocus_pm: 12_000.0,
-        seed: 21,
-    })
-}
-
-fn gd_config() -> SolverConfig {
-    SolverConfig {
-        iterations: 2,
-        halo_px: 20,
-        ..SolverConfig::default()
-    }
-}
-
-fn assert_bit_identical(
-    a: &ptycho_core::ReconstructionResult,
-    b: &ptycho_core::ReconstructionResult,
-) {
-    assert_eq!(a.volume.shape(), b.volume.shape());
-    for (x, y) in a.volume.iter().zip(b.volume.iter()) {
-        assert_eq!(
-            x.re.to_bits(),
-            y.re.to_bits(),
-            "volumes must match bit for bit"
-        );
-        assert_eq!(
-            x.im.to_bits(),
-            y.im.to_bits(),
-            "volumes must match bit for bit"
-        );
-    }
-    for (x, y) in a.cost_history.costs().iter().zip(b.cost_history.costs()) {
-        assert_eq!(
-            x.to_bits(),
-            y.to_bits(),
-            "cost histories must match bit for bit"
-        );
-    }
-}
+mod common;
+use common::{assert_bit_identical, gd_solver, hve_solver, lockstep, small_problem};
 
 #[test]
 fn gd_solver_is_bit_identical_across_backends() {
-    let ds = dataset();
-    let threaded = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
-        .run(&Cluster::new(ClusterTopology::summit()));
-    let lockstep = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
-        .run(&LockstepBackend::new(ClusterTopology::summit()));
+    let ds = small_problem();
+    let threaded = gd_solver(&ds).run(&Cluster::new(ClusterTopology::summit()));
+    let lockstep = gd_solver(&ds).run(&lockstep());
     assert_bit_identical(&threaded, &lockstep);
     // The analytic communication charges agree too (wire time does not
     // depend on the execution schedule).
@@ -77,24 +29,19 @@ fn gd_solver_is_bit_identical_across_backends() {
 
 #[test]
 fn hve_solver_is_bit_identical_across_backends() {
-    let ds = dataset();
-    let config = SolverConfig {
-        iterations: 2,
-        hve_extra_probe_rows: 1,
-        ..SolverConfig::default()
-    };
-    let solver = HaloVoxelExchangeSolver::new(&ds, config, (2, 2)).expect("feasible");
+    let ds = small_problem();
+    let solver = hve_solver(&ds);
     let threaded = solver.run(&Cluster::new(ClusterTopology::summit()));
-    let lockstep = solver.run(&LockstepBackend::new(ClusterTopology::summit()));
+    let lockstep = solver.run(&lockstep());
     assert_bit_identical(&threaded, &lockstep);
 }
 
 #[test]
 fn lockstep_reruns_are_bit_identical() {
-    let ds = dataset();
-    let backend = LockstepBackend::new(ClusterTopology::summit());
-    let a = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2)).run(&backend);
-    let b = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2)).run(&backend);
+    let ds = small_problem();
+    let backend = lockstep();
+    let a = gd_solver(&ds).run(&backend);
+    let b = gd_solver(&ds).run(&backend);
     assert_bit_identical(&a, &b);
 }
 
@@ -104,12 +51,11 @@ fn dropped_pass_message_is_a_detectable_error_on_lockstep() {
     // tile below it on a 2x2 grid). The receiver can never complete its
     // forward pass, every rank eventually blocks, and the lockstep scheduler
     // must *prove* the deadlock — not hang, not return a wrong volume.
-    let ds = dataset();
+    let ds = small_problem();
     let policy = FaultPolicy::reliable(0).drop_message(0, 2, tags::VERTICAL_FORWARD, 0);
-    let faulty =
-        FaultInjectionBackend::new(LockstepBackend::new(ClusterTopology::summit()), policy);
+    let faulty = FaultInjectionBackend::new(lockstep(), policy);
 
-    let failure = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+    let failure = gd_solver(&ds)
         .try_run(&faulty)
         .expect_err("a dropped pass message must fail the run");
     assert!(
@@ -133,13 +79,13 @@ fn dropped_pass_message_is_a_detectable_error_on_lockstep() {
 fn dropped_pass_message_times_out_on_threaded() {
     // Same fault on the threaded backend: the bounded receive turns the lost
     // message into a timeout error instead of an infinite hang.
-    let ds = dataset();
+    let ds = small_problem();
     let policy = FaultPolicy::reliable(0).drop_message(0, 2, tags::VERTICAL_FORWARD, 0);
     let threaded =
         Cluster::new(ClusterTopology::summit()).with_recv_timeout(Duration::from_millis(250));
     let faulty = FaultInjectionBackend::new(threaded, policy);
 
-    let failure = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+    let failure = gd_solver(&ds)
         .try_run(&faulty)
         .expect_err("a dropped pass message must fail the run");
     assert!(
@@ -159,7 +105,7 @@ fn sends_to_an_already_failed_rank_do_not_panic_the_run() {
     // rounds post sends to a rank whose channel is gone. Those sends must be
     // buffered into the void and the run must still report the original
     // failure as a value — not panic in the sender's thread.
-    let ds = dataset();
+    let ds = small_problem();
     let config = SolverConfig {
         iterations: 2,
         halo_px: 20,
@@ -189,14 +135,12 @@ fn delayed_messages_do_not_corrupt_the_solve() {
     // pass structure always posts a blocking receive between two sends on the
     // same (from, to, tag) stream — so per-stream order survives and the
     // reconstruction must equal the fault-free one.
-    let ds = dataset();
-    let clean = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
-        .run(&LockstepBackend::new(ClusterTopology::summit()));
+    let ds = small_problem();
+    let clean = gd_solver(&ds).run(&lockstep());
 
     let policy = FaultPolicy::reliable(77).delay(0.5);
-    let faulty =
-        FaultInjectionBackend::new(LockstepBackend::new(ClusterTopology::summit()), policy);
-    let noisy = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+    let faulty = FaultInjectionBackend::new(lockstep(), policy);
+    let noisy = gd_solver(&ds)
         .try_run(&faulty)
         .expect("delays must not break the solve");
     assert!(
@@ -213,18 +157,16 @@ fn duplicated_messages_are_ignored_by_single_round_traffic() {
     // in the mailbox. (Across *multiple* rounds a duplicate is a real fault —
     // a stale copy would match a later round's receive first — which is
     // exactly the class of bug the fault layer exists to expose.)
-    let ds = dataset();
+    let ds = small_problem();
     let config = SolverConfig {
         iterations: 1,
         halo_px: 20,
         ..SolverConfig::default()
     };
-    let clean = GradientDecompositionSolver::new(&ds, config, (2, 2))
-        .run(&LockstepBackend::new(ClusterTopology::summit()));
+    let clean = GradientDecompositionSolver::new(&ds, config, (2, 2)).run(&lockstep());
 
     let policy = FaultPolicy::reliable(77).duplicate(0.5);
-    let faulty =
-        FaultInjectionBackend::new(LockstepBackend::new(ClusterTopology::summit()), policy);
+    let faulty = FaultInjectionBackend::new(lockstep(), policy);
     let noisy = GradientDecompositionSolver::new(&ds, config, (2, 2))
         .try_run(&faulty)
         .expect("spare duplicates must not break a single-round solve");
@@ -237,21 +179,19 @@ fn duplicated_messages_are_ignored_by_single_round_traffic() {
 
 #[test]
 fn recorded_trace_replays_to_an_identical_run() {
-    let ds = dataset();
+    let ds = small_problem();
     let policy = FaultPolicy::reliable(13).duplicate(0.2).delay(0.2);
 
-    let recording =
-        FaultInjectionBackend::new(LockstepBackend::new(ClusterTopology::summit()), policy);
-    let original = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+    let recording = FaultInjectionBackend::new(lockstep(), policy);
+    let original = gd_solver(&ds)
         .try_run(&recording)
         .expect("faults are non-fatal");
     let trace = recording.trace();
     assert!(trace.fault_count() > 0, "the recording must contain faults");
 
     // Replay the recorded envelope decisions verbatim on a fresh backend.
-    let replaying =
-        FaultInjectionBackend::replay(LockstepBackend::new(ClusterTopology::summit()), &trace);
-    let replayed = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2))
+    let replaying = FaultInjectionBackend::replay(lockstep(), &trace);
+    let replayed = gd_solver(&ds)
         .try_run(&replaying)
         .expect("replay reproduces the recorded run");
 

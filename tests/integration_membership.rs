@@ -12,61 +12,20 @@
 use ptycho_cluster::backend::reliable::wire_data_tag;
 use ptycho_cluster::membership::frames;
 use ptycho_cluster::{
-    Cluster, ClusterTopology, CommBackend, CommError, FaultAction, FaultInjectionBackend,
-    FaultPolicy, LockstepBackend, RankComm, ReliableComm, ReliableStats, SharedTile,
+    CommBackend, CommError, FaultAction, FaultInjectionBackend, FaultPolicy, LockstepBackend,
+    RankComm, ReliableComm, ReliableStats, SharedTile,
 };
-use ptycho_core::{
-    GradientDecompositionSolver, HaloVoxelExchangeSolver, RecoveryPolicy, SolverConfig,
-};
-use ptycho_sim::dataset::{Dataset, SyntheticConfig};
-use std::time::Duration;
+use ptycho_core::RecoveryPolicy;
 
 mod common;
-use common::assert_bit_identical;
+use common::{
+    assert_bit_identical, gd_solver, hve_solver, lockstep, small_problem, substitute_policy,
+};
 
-fn dataset() -> Dataset {
-    Dataset::synthesize(SyntheticConfig {
-        object_px: 128,
-        slices: 2,
-        scan_grid: (4, 4),
-        window_px: 32,
-        dose: None,
-        defocus_pm: 12_000.0,
-        seed: 21,
-    })
-}
-
-fn gd_config() -> SolverConfig {
-    SolverConfig {
-        iterations: 2,
-        halo_px: 20,
-        ..SolverConfig::default()
-    }
-}
-
-fn hve_config() -> SolverConfig {
-    SolverConfig {
-        iterations: 2,
-        hve_extra_probe_rows: 1,
-        ..SolverConfig::default()
-    }
-}
-
-fn substitute_policy(spares: usize) -> RecoveryPolicy {
-    RecoveryPolicy::SubstituteSpare {
-        spares,
-        max_iteration_restarts: 1,
-    }
-}
-
-fn lockstep() -> LockstepBackend {
-    LockstepBackend::new(ClusterTopology::summit())
-}
-
-fn threaded() -> Cluster {
-    // Short receive timeout so a dead rank's silence is detected (and the
-    // substitution triggered) quickly instead of after the 30 s default.
-    Cluster::new(ClusterTopology::summit()).with_recv_timeout(Duration::from_millis(100))
+// A dead rank's silence should be detected (and the substitution triggered)
+// quickly, not after the 30 s loss-detection default.
+fn threaded() -> ptycho_cluster::Cluster {
+    common::threaded(100)
 }
 
 /// Kills node 1 early in iteration 0 (its second send decision, counting
@@ -84,8 +43,8 @@ fn late_death() -> FaultPolicy {
 
 #[test]
 fn gd_spare_substitution_heals_a_dead_rank_on_both_backends() {
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let clean = solver.run(&lockstep());
 
     for (label, backend_kind) in [("lockstep", 0), ("threaded", 1)] {
@@ -124,8 +83,8 @@ fn gd_substitution_resumes_from_the_adopted_checkpoint() {
     // promoted spare must adopt the dead node's iteration-0 checkpoint and
     // the engine must not recompute iteration 0 — and the volume must still
     // come out bit-identical to the fault-free run.
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let clean = solver.run(&lockstep());
 
     let faulty = FaultInjectionBackend::new(lockstep(), late_death());
@@ -138,8 +97,8 @@ fn gd_substitution_resumes_from_the_adopted_checkpoint() {
 
 #[test]
 fn hve_spare_substitution_heals_a_dead_rank_on_both_backends() {
-    let ds = dataset();
-    let solver = HaloVoxelExchangeSolver::new(&ds, hve_config(), (2, 2)).expect("feasible");
+    let ds = small_problem();
+    let solver = hve_solver(&ds);
     let clean = solver.run(&lockstep());
 
     for (label, backend_kind) in [("lockstep", 0), ("threaded", 1)] {
@@ -167,8 +126,8 @@ fn fault_free_spare_mode_is_bit_identical_and_counts_heartbeats() {
     // SubstituteSpare run matches the plain run bit for bit, on both
     // backends, and the ring heartbeat ledger is complete (every beat sent
     // was observed by its ring successor).
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let clean = solver.run(&lockstep());
 
     let on_lockstep = solver
@@ -192,8 +151,8 @@ fn fault_free_spare_mode_is_bit_identical_and_counts_heartbeats() {
 
 #[test]
 fn rank_death_without_spares_keeps_the_legacy_policies_intact() {
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
 
     // FailFast: the first attempt surfaces the failure.
     let failure = solver
@@ -233,8 +192,8 @@ fn rank_death_without_spares_keeps_the_legacy_policies_intact() {
 fn exhausted_spare_pool_surfaces_a_typed_error() {
     // A death with zero spares configured must fail with the typed
     // SparesExhausted error — not hang, not loop, not return a wrong volume.
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let failure = solver
         .run_with_recovery(
             &FaultInjectionBackend::new(lockstep(), early_death()),
@@ -253,8 +212,8 @@ fn rank_death_trace_replays_to_the_identical_reconstruction() {
     // attempt 1) with trace accumulation, then replay the recorded
     // decisions verbatim: the kill fires at the same send, the same spare
     // is promoted, and the volume matches bit for bit.
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
 
     let recording = FaultInjectionBackend::new(lockstep(), early_death()).accumulate_traces();
     let first = solver

@@ -8,65 +8,22 @@
 //! on both solvers and both backends.
 
 use ptycho_cluster::backend::reliable::wire_data_tag;
-use ptycho_cluster::{
-    Cluster, ClusterTopology, CommError, FaultInjectionBackend, FaultPolicy, LockstepBackend,
-    RankFailure,
-};
+use ptycho_cluster::{CommError, FaultInjectionBackend, FaultPolicy, RankFailure};
 use ptycho_core::gradient_decomp::passes::tags;
-use ptycho_core::{
-    GradientDecompositionSolver, HaloVoxelExchangeSolver, RecoveryPolicy, SolverConfig,
-};
-use ptycho_sim::dataset::{Dataset, SyntheticConfig};
-use std::time::Duration;
+use ptycho_core::RecoveryPolicy;
 
 mod common;
-use common::assert_bit_identical;
+use common::{
+    assert_bit_identical, gd_solver, hve_solver, lockstep, restart_policy, small_problem,
+};
 
 /// The HVE voxel copy-paste tag (`halo_exchange::solver::TAG_VOXEL_PASTE`).
 const TAG_VOXEL_PASTE: u64 = 0x20;
 
-fn dataset() -> Dataset {
-    Dataset::synthesize(SyntheticConfig {
-        object_px: 128,
-        slices: 2,
-        scan_grid: (4, 4),
-        window_px: 32,
-        dose: None,
-        defocus_pm: 12_000.0,
-        seed: 21,
-    })
-}
-
-fn gd_config() -> SolverConfig {
-    SolverConfig {
-        iterations: 2,
-        halo_px: 20,
-        ..SolverConfig::default()
-    }
-}
-
-fn hve_config() -> SolverConfig {
-    SolverConfig {
-        iterations: 2,
-        hve_extra_probe_rows: 1,
-        ..SolverConfig::default()
-    }
-}
-
-fn restart_policy() -> RecoveryPolicy {
-    RecoveryPolicy::RetransmitThenRestart {
-        max_iteration_restarts: 2,
-    }
-}
-
-fn lockstep() -> LockstepBackend {
-    LockstepBackend::new(ClusterTopology::summit())
-}
-
-fn threaded() -> Cluster {
-    // Short receive timeout so a dropped frame is detected (and recovered)
-    // quickly instead of after the 30 s loss-detection default.
-    Cluster::new(ClusterTopology::summit()).with_recv_timeout(Duration::from_millis(150))
+// A dropped frame should be detected (and recovered) quickly, not after the
+// 30 s loss-detection default.
+fn threaded() -> ptycho_cluster::Cluster {
+    common::threaded(150)
 }
 
 /// Drops the first frame of the (0 → 2) vertical-forward stream. In both
@@ -86,8 +43,8 @@ fn hve_drop_policy() -> FaultPolicy {
 
 #[test]
 fn gd_fail_fast_still_surfaces_rank_failure() {
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let faulty = FaultInjectionBackend::new(lockstep(), gd_drop_policy());
     let failure = solver
         .try_run(&faulty)
@@ -97,8 +54,8 @@ fn gd_fail_fast_still_surfaces_rank_failure() {
 
 #[test]
 fn hve_fail_fast_still_surfaces_rank_failure() {
-    let ds = dataset();
-    let solver = HaloVoxelExchangeSolver::new(&ds, hve_config(), (2, 2)).expect("feasible");
+    let ds = small_problem();
+    let solver = hve_solver(&ds);
     let faulty = FaultInjectionBackend::new(lockstep(), hve_drop_policy());
     let failure = solver
         .try_run(&faulty)
@@ -108,8 +65,8 @@ fn hve_fail_fast_still_surfaces_rank_failure() {
 
 #[test]
 fn gd_retransmit_heals_dropped_pass_message_on_both_backends() {
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let clean = solver.run(&lockstep());
 
     for (label, recovered) in [
@@ -144,8 +101,8 @@ fn gd_retransmit_heals_dropped_pass_message_on_both_backends() {
 
 #[test]
 fn hve_retransmit_heals_dropped_voxel_paste_on_both_backends() {
-    let ds = dataset();
-    let solver = HaloVoxelExchangeSolver::new(&ds, hve_config(), (2, 2)).expect("feasible");
+    let ds = small_problem();
+    let solver = hve_solver(&ds);
     let clean = solver.run(&lockstep());
 
     for (label, recovered) in [
@@ -177,8 +134,8 @@ fn gd_random_drops_on_pass_traffic_are_healed() {
     // A seeded probabilistic policy across every message class (data frames
     // and acknowledgements alike): whatever it hits must be recovered and
     // the result must stay exact.
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let clean = solver.run(&lockstep());
 
     let faulty = FaultInjectionBackend::new(lockstep(), FaultPolicy::reliable(99).drop(0.05));
@@ -200,8 +157,8 @@ fn gd_restart_recovers_when_retransmission_is_defeated() {
     // the engine must restart from the last checkpoint (here: from scratch,
     // the failure is in iteration 0), and the epoch-1 attempt's distinct
     // wire tags escape the policy.
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let clean = solver.run(&lockstep());
 
     let policy =
@@ -226,8 +183,8 @@ fn gd_restart_resumes_from_the_iteration_boundary_checkpoint() {
     // failure hits iteration 1 after iteration 0 checkpointed. The restart
     // must resume from the checkpoint (not recompute iteration 0) and still
     // reproduce the fault-free volume bit for bit.
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let clean = solver.run(&lockstep());
 
     let policy =
@@ -247,8 +204,8 @@ fn restart_budget_zero_surfaces_the_escalated_failure() {
     // With retransmission defeated and no restart budget, the run must fail
     // with the reliable layer's escalation error — never hang, never return
     // a wrong volume.
-    let ds = dataset();
-    let solver = GradientDecompositionSolver::new(&ds, gd_config(), (2, 2));
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
     let policy =
         FaultPolicy::reliable(0)
             .drop(1.0)
@@ -273,8 +230,8 @@ fn restart_budget_zero_surfaces_the_escalated_failure() {
 fn hve_recovery_mode_is_bit_identical_across_backends_fault_free() {
     // The recovery machinery (reliable wrapping + per-iteration barriers +
     // checkpoints) must not perturb the numerics on either backend.
-    let ds = dataset();
-    let solver = HaloVoxelExchangeSolver::new(&ds, hve_config(), (2, 2)).expect("feasible");
+    let ds = small_problem();
+    let solver = hve_solver(&ds);
     let clean = solver.run(&lockstep());
     let on_lockstep = solver
         .run_with_recovery(&lockstep(), restart_policy())
