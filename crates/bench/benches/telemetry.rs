@@ -1,0 +1,97 @@
+//! Telemetry overhead benchmark: what the flight recorder costs on runs
+//! that never fault.
+//!
+//! The ISSUE 7 acceptance budget is **≤ 10% iteration-time overhead with the
+//! recorder on**, so each pair below runs the identical fault-free GD 2×2
+//! reconstruction twice — once bare, once with a [`Telemetry`] handle in the
+//! job context — under the two engine paths that instrument differently:
+//!
+//! * `fail_fast` records sends, receives and iteration begin/end pairs;
+//! * `spare_pool` (membership mode) additionally records heartbeats,
+//!   barrier waits and checkpoints, and exercises the per-barrier
+//!   `flush_consistent` watermark walk (a no-op write without a durable
+//!   sink, which is the steady-state configuration the gate pins).
+//!
+//! `record_one_event` prices the primitive itself — one mutex lock plus one
+//! ring write — and sits below the gate's noise floor by design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptycho_cluster::{ClusterTopology, LockstepBackend};
+use ptycho_core::{GradientDecompositionSolver, JobContext, RecoveryPolicy, SolverConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use ptycho_telemetry::{Telemetry, TelemetryEvent};
+use std::time::Duration;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+    let config = SolverConfig {
+        iterations: 1,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let solver = GradientDecompositionSolver::new(&dataset, config, (2, 2));
+    let backend = LockstepBackend::new(ClusterTopology::summit());
+    let spare_pool = RecoveryPolicy::SubstituteSpare {
+        spares: 1,
+        max_iteration_restarts: 1,
+    };
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("gd_2x2_fail_fast_recorder_off", |b| {
+        b.iter(|| {
+            solver
+                .run_job(&backend, RecoveryPolicy::FailFast, &JobContext::default())
+                .expect("fault-free run cannot fail")
+        })
+    });
+    group.bench_function("gd_2x2_fail_fast_recorder_on", |b| {
+        b.iter(|| {
+            // A fresh recorder per run, as the job service attaches one per
+            // job — so the figure includes the sink/ring setup cost, not
+            // just the steady-state recording.
+            let telemetry = Telemetry::new();
+            let job = JobContext {
+                telemetry: Some(&telemetry),
+                ..JobContext::default()
+            };
+            solver
+                .run_job(&backend, RecoveryPolicy::FailFast, &job)
+                .expect("fault-free run cannot fail")
+        })
+    });
+    group.bench_function("gd_2x2_spare_pool_recorder_off", |b| {
+        b.iter(|| {
+            solver
+                .run_job(&backend, spare_pool, &JobContext::default())
+                .expect("fault-free run cannot fail")
+        })
+    });
+    group.bench_function("gd_2x2_spare_pool_recorder_on", |b| {
+        b.iter(|| {
+            let telemetry = Telemetry::new();
+            let job = JobContext {
+                telemetry: Some(&telemetry),
+                ..JobContext::default()
+            };
+            solver
+                .run_job(&backend, spare_pool, &job)
+                .expect("fault-free run cannot fail")
+        })
+    });
+
+    // The recording primitive itself: lock + stamp + ring write.
+    let telemetry = Telemetry::new();
+    let sink = telemetry.sink(0);
+    group.bench_function("record_one_event", |b| {
+        b.iter(|| {
+            sink.record(TelemetryEvent::BarrierWait { iteration: 1 });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -17,6 +17,11 @@
 //!   the admission log must equal the priority-sorted submission order and
 //!   the fleet must stay conserved. Any violation exits non-zero, which is
 //!   what CI runs.
+//! * `--telemetry <path.jsonl>` — attach a flight recorder to every job and
+//!   write the combined event log (all jobs, one file) to `path`. Inspect
+//!   with `trace_dump`.
+//! * `--metrics` — print the engine's end-of-run metrics snapshot: the
+//!   Prometheus-style registry plus a retransmit/heal/queue-depth summary.
 //!
 //! The workload mirrors the scheduler-soak suite: tiny-dataset Gradient
 //! Decomposition jobs over three grid shapes and five priority levels, with
@@ -26,14 +31,38 @@
 use ptycho_cluster::FaultPolicy;
 use ptycho_core::{JobEngine, JobSpec, JobState, SolverConfig};
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use ptycho_telemetry::{Telemetry, TelemetryConfig};
+use std::fs::File;
+use std::io::Write;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// One output file shared by every job's durable telemetry sink. Each
+/// flush hands the sink a whole batch of complete lines via one
+/// `write_all`, so lines from concurrent jobs interleave but never split.
+#[derive(Clone)]
+struct SharedWriter(Arc<Mutex<File>>);
+
+impl Write for SharedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut file = self.0.lock().expect("telemetry file poisoned");
+        file.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().expect("telemetry file poisoned").flush()
+    }
+}
 
 struct Args {
     jobs: usize,
     fleet: usize,
     seed: u64,
     smoke: bool,
+    telemetry: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
         fleet: 16,
         seed: 0,
         smoke: false,
+        telemetry: None,
+        metrics: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -56,6 +87,10 @@ fn parse_args() -> Result<Args, String> {
             "--fleet" => args.fleet = take("--fleet")? as usize,
             "--seed" => args.seed = take("--seed")?,
             "--smoke" => args.smoke = true,
+            "--metrics" => args.metrics = true,
+            "--telemetry" => {
+                args.telemetry = Some(iter.next().ok_or("--telemetry needs a path")?);
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -110,9 +145,23 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(message) => {
             eprintln!("load_gen: {message}");
-            eprintln!("usage: load_gen [--jobs N] [--fleet M] [--seed S] [--smoke]");
+            eprintln!(
+                "usage: load_gen [--jobs N] [--fleet M] [--seed S] [--smoke] \
+                 [--telemetry <path.jsonl>] [--metrics]"
+            );
             return ExitCode::FAILURE;
         }
+    };
+
+    let writer = match &args.telemetry {
+        Some(path) => match File::create(path) {
+            Ok(file) => Some(SharedWriter(Arc::new(Mutex::new(file)))),
+            Err(error) => {
+                eprintln!("load_gen: cannot create {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
 
     let dataset = Dataset::synthesize(SyntheticConfig::tiny());
@@ -122,7 +171,19 @@ fn main() -> ExitCode {
     let mut submitted = Vec::with_capacity(args.jobs);
     let mut expected_kills = 0usize;
     for i in 0..args.jobs {
-        let spec = job_spec(&dataset, i, args.seed);
+        let mut spec = job_spec(&dataset, i, args.seed);
+        if let Some(writer) = &writer {
+            // One recorder per job, stamped with the submission index, all
+            // draining into the shared JSONL file.
+            let config = TelemetryConfig {
+                job_id: i as u64,
+                ..TelemetryConfig::default()
+            };
+            spec = spec.with_telemetry(Arc::new(Telemetry::with_writer(
+                config,
+                Box::new(writer.clone()),
+            )));
+        }
         if spec.fault_policy.is_some() {
             expected_kills += 1;
         }
@@ -179,6 +240,23 @@ fn main() -> ExitCode {
         percentile(&latencies_ms, 99.0),
         latencies_ms.last().copied().unwrap_or(0.0),
     );
+
+    if let Some(path) = &args.telemetry {
+        println!("  telemetry:    {path}");
+    }
+
+    if args.metrics {
+        let registry = engine.metrics_snapshot();
+        let retransmits = registry.counter("comm_retransmits_total").unwrap_or(0);
+        let heals = registry.counter("engine_substitutions_total").unwrap_or(0);
+        let (depth_p50, depth_p99) = registry
+            .histogram("queue_depth")
+            .map_or((0, 0), |h| (h.quantile(0.5), h.quantile(0.99)));
+        println!("  metrics:      {retransmits} retransmit(s), {heals} heal(s), queue depth p50 {depth_p50} p99 {depth_p99}");
+        println!("--- metrics snapshot ---");
+        print!("{}", registry.prometheus_text());
+        println!("------------------------");
+    }
 
     if !args.smoke {
         return ExitCode::SUCCESS;

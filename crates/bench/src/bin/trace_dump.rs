@@ -1,0 +1,168 @@
+//! Reassembles a JSONL telemetry log into per-rank timelines and the
+//! paper-style compute/wait/communication breakdown (Fig. 7b).
+//!
+//! ```text
+//! cargo run --release -p ptycho-bench --bin trace_dump -- trace.jsonl
+//! ```
+//!
+//! Flags:
+//!
+//! * `--validate` — schema-validate every line instead of summarising:
+//!   unknown kinds, missing fields, out-of-order sequence numbers, or a
+//!   non-monotonic simulated clock exit non-zero. A truncated *final* line
+//!   (a run killed mid-flush) is tolerated, matching the durable sink's
+//!   prefix-consistency guarantee. This is what CI runs on the load
+//!   generator's trace.
+//! * `--job J`   — restrict the summary to one job id.
+
+use ptycho_telemetry::{SchemaValidator, TraceSummary};
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    validate: bool,
+    job: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut path = None;
+    let mut validate = false;
+    let mut job = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--validate" => validate = true,
+            "--job" => {
+                let value = iter.next().ok_or("--job needs a value")?;
+                job = Some(value.parse::<u64>().map_err(|e| format!("--job: {e}"))?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err("exactly one trace file expected".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        path: path.ok_or("a trace file is required")?,
+        validate,
+        job,
+    })
+}
+
+/// Validation mode: every line must parse and every per-stream invariant
+/// must hold. Only the final line may be truncated (a kill mid-write).
+fn validate(text: &str) -> Result<u64, String> {
+    let mut validator = SchemaValidator::new();
+    let mut pending: Option<String> = None;
+    for (number, line) in text.lines().enumerate() {
+        if let Some(error) = pending.take() {
+            return Err(error);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(error) = validator.check_line(line) {
+            // Tolerated only if this turns out to be the last line.
+            pending = Some(format!("line {}: {error}", number + 1));
+        }
+    }
+    // A bad *final* line is a truncated flush, not a schema violation.
+    Ok(validator.accepted())
+}
+
+fn format_ns(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("trace_dump: {message}");
+            eprintln!("usage: trace_dump <trace.jsonl> [--validate] [--job J]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("trace_dump: cannot read {}: {error}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.validate {
+        return match validate(&text) {
+            Ok(accepted) => {
+                println!("trace_dump: {} valid record(s) in {}", accepted, args.path);
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("trace_dump: INVALID — {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let summary = match TraceSummary::from_lines(text.lines()) {
+        Ok(summary) => summary,
+        Err(error) => {
+            eprintln!("trace_dump: malformed trace: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if summary.truncated_lines > 0 {
+        println!(
+            "trace_dump: note — final line truncated (run killed mid-flush); \
+             the consistent prefix follows"
+        );
+    }
+
+    let jobs = match args.job {
+        Some(job) => vec![job],
+        None => summary.jobs(),
+    };
+    println!(
+        "trace_dump: {} event(s), {} stream(s), {} job(s)",
+        summary.total_events(),
+        summary.streams.len(),
+        jobs.len()
+    );
+    for job in jobs {
+        println!("job {job}:");
+        for ((_, rank), stream) in summary.streams.iter().filter(|((j, _), _)| *j == job) {
+            println!(
+                "  rank {rank}: {} event(s), {} iteration(s), last cost {:.6e}, sim clock {}",
+                stream.events,
+                stream.iterations,
+                stream.last_cost,
+                format_ns(stream.last_sim_ns),
+            );
+            let mut kinds: Vec<_> = stream.kinds.iter().collect();
+            kinds.sort_by(|a, b| {
+                (std::cmp::Reverse(*a.1), a.0).cmp(&(std::cmp::Reverse(*b.1), b.0))
+            });
+            let top: Vec<String> = kinds
+                .iter()
+                .take(4)
+                .map(|(kind, count)| format!("{kind}={count}"))
+                .collect();
+            println!("    top events: {}", top.join("  "));
+        }
+        // The Fig. 7b-style stacked view: per-rank compute / communication,
+        // plus the wait implied by the slowest rank's critical path.
+        println!("  breakdown (compute / comm / wait):");
+        for row in summary.breakdown(job) {
+            println!(
+                "    rank {}: {} / {} / {}",
+                row.rank,
+                format_ns(row.compute_ns),
+                format_ns(row.comm_ns),
+                format_ns(row.wait_ns),
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -310,10 +310,15 @@ impl FaultHarness {
 /// set, this payload and every delayed one is lost, and all later sends are
 /// suppressed). Keeping this in one place guarantees the backends cannot
 /// drift apart in fault semantics.
+// Each argument is one piece of the sending rank's comm state, borrowed
+// separately so the caller can keep using the rest of `self` inside
+// `deliver`; bundling them into a struct would just move the argument list.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn route_send<M: super::Payload>(
     harness: &mut Option<FaultHarness>,
     delayed: &mut Vec<(usize, u64, M)>,
     dead: &mut bool,
+    telemetry: &Option<ptycho_telemetry::RankSink>,
     to: usize,
     tag: u64,
     payload: M,
@@ -328,7 +333,15 @@ pub(crate) fn route_send<M: super::Payload>(
     };
     match action {
         FaultAction::Deliver => deliver(to, tag, payload),
-        FaultAction::Drop => {}
+        FaultAction::Drop => {
+            if let Some(sink) = telemetry {
+                sink.record(ptycho_telemetry::TelemetryEvent::CommDrop {
+                    to: to as u64,
+                    tag,
+                    bytes: payload.payload_bytes() as u64,
+                });
+            }
+        }
         FaultAction::Duplicate => {
             deliver(to, tag, payload.clone());
             deliver(to, tag, payload);
@@ -338,6 +351,13 @@ pub(crate) fn route_send<M: super::Payload>(
             *dead = true;
             // A dying node takes its held-back messages with it.
             delayed.clear();
+            if let Some(sink) = telemetry {
+                let node = harness
+                    .as_ref()
+                    .expect("only a harness can kill a node")
+                    .node;
+                sink.record(ptycho_telemetry::TelemetryEvent::RankDead { node: node as u64 });
+            }
         }
     }
 }

@@ -176,12 +176,29 @@ pub struct LockstepComm<M> {
     pub clock: RankClock,
     /// The rank's memory accounting.
     pub memory: MemoryTracker,
+    /// Per-rank telemetry sink, if a recorder has been attached.
+    telemetry: Option<ptycho_telemetry::RankSink>,
 }
 
 impl<M: Payload> LockstepComm<M> {
     /// The topology the ranks are mapped onto.
     pub fn topology(&self) -> &ClusterTopology {
         &self.topology
+    }
+
+    /// Records a receive at the API-return point (program order on the
+    /// receiver), which is what keeps the event stream deterministic.
+    fn note_recv(&self, from: usize, tag: u64, bytes: usize) {
+        if let Some(sink) = &self.telemetry {
+            sink.record_at_comm_ns(
+                self.clock.comm_ns(),
+                ptycho_telemetry::TelemetryEvent::CommRecv {
+                    from: from as u64,
+                    tag,
+                    bytes: bytes as u64,
+                },
+            );
+        }
     }
 
     fn take_matching(state: &mut SchedState<M>, rank: usize, from: usize, tag: u64) -> Option<M> {
@@ -257,6 +274,7 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         );
         let from = self.rank;
         let topology = self.topology;
+        let bytes = payload.payload_bytes();
         let shared = Arc::clone(&self.shared);
         let mut state = shared.state.lock().expect("lockstep state poisoned");
         let LockstepComm {
@@ -264,12 +282,14 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
             delayed,
             dead,
             clock,
+            telemetry,
             ..
         } = self;
         fault::route_send(
             harness,
             delayed,
             dead,
+            telemetry,
             to,
             tag,
             payload,
@@ -277,6 +297,20 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
                 Self::deliver_parts(&mut state, clock, &topology, from, to, tag, payload);
             },
         );
+        // A killed node's sends are suppressed, not transmitted — only a
+        // live sender records the event.
+        if !self.dead {
+            if let Some(sink) = &self.telemetry {
+                sink.record_at_comm_ns(
+                    self.clock.comm_ns(),
+                    ptycho_telemetry::TelemetryEvent::CommSend {
+                        to: to as u64,
+                        tag,
+                        bytes: bytes as u64,
+                    },
+                );
+            }
+        }
         // Sends are non-blocking: the baton is kept.
     }
 
@@ -287,12 +321,14 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         let shared = Arc::clone(&self.shared);
         let mut state = shared.state.lock().expect("lockstep state poisoned");
         if let Some(payload) = Self::take_matching(&mut state, self.rank, from, tag) {
+            self.note_recv(from, tag, payload.payload_bytes());
             return Ok(payload);
         }
         // About to block: release delayed messages (they may be the very
         // ones the grid is waiting on), then re-check.
         self.flush_delayed(&mut state);
         if let Some(payload) = Self::take_matching(&mut state, self.rank, from, tag) {
+            self.note_recv(from, tag, payload.payload_bytes());
             return Ok(payload);
         }
         state.status[self.rank] = RankStatus::BlockedRecv { from, tag };
@@ -314,6 +350,9 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
             state.status[rank] = RankStatus::BlockedRecv { from, tag };
             shared.yield_baton(&mut state, rank);
         });
+        if let Ok(payload) = &result {
+            self.note_recv(from, tag, payload.payload_bytes());
+        }
         result
     }
 
@@ -330,6 +369,7 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         {
             let mut state = shared.state.lock().expect("lockstep state poisoned");
             if let Some(payload) = Self::take_matching(&mut state, self.rank, from, tag) {
+                self.note_recv(from, tag, payload.payload_bytes());
                 return Some(payload);
             }
             // Cooperative polling: give every other runnable rank one turn,
@@ -346,7 +386,10 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
             }
         }
         let mut state = shared.wait_for_turn(self.rank);
-        Self::take_matching(&mut state, self.rank, from, tag)
+        let payload = Self::take_matching(&mut state, self.rank, from, tag)?;
+        drop(state);
+        self.note_recv(from, tag, payload.payload_bytes());
+        Some(payload)
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
@@ -434,6 +477,10 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
             harness.set_node(node);
         }
     }
+
+    fn set_telemetry(&mut self, sink: ptycho_telemetry::RankSink) {
+        self.telemetry = Some(sink);
+    }
 }
 
 /// The deterministic cooperative backend.
@@ -510,6 +557,7 @@ impl LockstepBackend {
                         dead: false,
                         clock: RankClock::new(),
                         memory: MemoryTracker::new(),
+                        telemetry: None,
                     };
                     let result = body(&mut comm);
                     guard.armed = false;

@@ -388,6 +388,15 @@ pub trait RankComm<M: Payload> {
     fn set_fault_node(&mut self, node: usize) {
         let _ = node;
     }
+
+    /// Installs a telemetry sink for this rank's stream. Backends that
+    /// support recording report transport-level events (sends, receives,
+    /// fault drops, rank deaths) through it; [`ReliableComm`] additionally
+    /// records its semantic events (retransmits, acks) and forwards the sink
+    /// inward. Defaults to a no-op so trivial test doubles stay trivial.
+    fn set_telemetry(&mut self, sink: ptycho_telemetry::RankSink) {
+        let _ = sink;
+    }
 }
 
 /// A launcher that executes one body per rank and collects the outcomes.

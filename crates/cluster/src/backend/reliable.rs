@@ -136,6 +136,9 @@ pub struct ReliableComm<'c, C, M> {
     /// Sends not yet acknowledged, in send order.
     outbox: Vec<OutboxEntry<M>>,
     stats: ReliableStats,
+    /// Semantic-event telemetry (retransmits, acks). The wrapped
+    /// communicator keeps its own sink for transport-level events.
+    telemetry: Option<ptycho_telemetry::RankSink>,
 }
 
 impl<'c, C, M> ReliableComm<'c, C, M>
@@ -157,6 +160,7 @@ where
             recv_seq: HashMap::new(),
             outbox: Vec::new(),
             stats: ReliableStats::default(),
+            telemetry: None,
         }
     }
 
@@ -240,12 +244,23 @@ where
     fn retransmit_outstanding(&mut self) {
         let epoch = self.config.epoch;
         for entry in &self.outbox {
+            let bytes = entry.payload.payload_bytes();
             self.inner.isend(
                 entry.to,
                 wire_data_tag(entry.base_tag, entry.seq, epoch),
                 entry.payload.clone(),
             );
             self.stats.retransmits += 1;
+            if let Some(sink) = &self.telemetry {
+                sink.record_at_comm_ns(
+                    self.inner.clock_mut().comm_ns(),
+                    ptycho_telemetry::TelemetryEvent::CommRetransmit {
+                        to: entry.to as u64,
+                        tag: entry.base_tag,
+                        bytes: bytes as u64,
+                    },
+                );
+            }
         }
     }
 
@@ -257,11 +272,14 @@ where
     /// completeness beats a sliding window that could strand old entries.
     fn reack_duplicates(&mut self) {
         let epoch = self.config.epoch;
-        let streams: Vec<((usize, u64), u64)> = self
+        let mut streams: Vec<((usize, u64), u64)> = self
             .recv_seq
             .iter()
             .map(|(&key, &expected)| (key, expected))
             .collect();
+        // HashMap iteration order varies run to run; the re-ack sends charge
+        // wire time and emit telemetry, so fix the order for determinism.
+        streams.sort_unstable_by_key(|&(key, _)| key);
         for ((from, base_tag), expected) in streams {
             for seq in 0..expected {
                 while self
@@ -273,6 +291,15 @@ where
                         .isend(from, wire_ack_tag(base_tag, seq, epoch), M::default());
                     self.stats.duplicates_reacked += 1;
                     self.stats.acks_sent += 1;
+                    if let Some(sink) = &self.telemetry {
+                        sink.record_at_comm_ns(
+                            self.inner.clock_mut().comm_ns(),
+                            ptycho_telemetry::TelemetryEvent::CommAck {
+                                peer: from as u64,
+                                tag: base_tag,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -335,6 +362,15 @@ where
                     self.inner
                         .isend(from, wire_ack_tag(tag, expected, epoch), M::default());
                     self.stats.acks_sent += 1;
+                    if let Some(sink) = &self.telemetry {
+                        sink.record_at_comm_ns(
+                            self.inner.clock_mut().comm_ns(),
+                            ptycho_telemetry::TelemetryEvent::CommAck {
+                                peer: from as u64,
+                                tag,
+                            },
+                        );
+                    }
                     return Ok(payload);
                 }
                 Err(error) => {
@@ -364,6 +400,15 @@ where
         self.inner
             .isend(from, wire_ack_tag(tag, expected, epoch), M::default());
         self.stats.acks_sent += 1;
+        if let Some(sink) = &self.telemetry {
+            sink.record_at_comm_ns(
+                self.inner.clock_mut().comm_ns(),
+                ptycho_telemetry::TelemetryEvent::CommAck {
+                    peer: from as u64,
+                    tag,
+                },
+            );
+        }
         Some(payload)
     }
 
@@ -409,6 +454,13 @@ where
 
     fn set_fault_node(&mut self, node: usize) {
         self.inner.set_fault_node(node);
+    }
+
+    fn set_telemetry(&mut self, sink: ptycho_telemetry::RankSink) {
+        // The inner communicator records transport-level sends/receives;
+        // this layer adds the semantic retransmit/ack events on top.
+        self.inner.set_telemetry(sink.clone());
+        self.telemetry = Some(sink);
     }
 }
 

@@ -108,6 +108,8 @@ pub struct RankContext<M> {
     /// Set by a `Kill` fault: the node is permanently dead — sends are
     /// suppressed and blocking operations report [`CommError::RankDead`].
     dead: bool,
+    /// Telemetry sink for this rank's stream, when recording is enabled.
+    telemetry: Option<ptycho_telemetry::RankSink>,
     /// The rank's time accounting.
     pub clock: RankClock,
     /// The rank's memory accounting.
@@ -153,6 +155,21 @@ impl<M: Payload> RankContext<M> {
             .send(envelope);
     }
 
+    /// Records a successful receive on the telemetry stream (at the current
+    /// deterministic communication clock).
+    fn note_recv(&self, from: usize, tag: u64, bytes: usize) {
+        if let Some(sink) = &self.telemetry {
+            sink.record_at_comm_ns(
+                self.clock.comm_ns(),
+                ptycho_telemetry::TelemetryEvent::CommRecv {
+                    from: from as u64,
+                    tag,
+                    bytes: bytes as u64,
+                },
+            );
+        }
+    }
+
     /// Releases every `Delay`-held message (called before blocking and at
     /// rank completion). A dead node's held-back messages are lost instead.
     fn flush_delayed(&mut self) {
@@ -191,6 +208,7 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
             self.size
         );
         let from = self.rank;
+        let bytes = payload.payload_bytes();
         let RankContext {
             harness,
             delayed,
@@ -199,12 +217,14 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
             stash,
             topology,
             clock,
+            telemetry,
             ..
         } = self;
         fault::route_send(
             harness,
             delayed,
             dead,
+            telemetry,
             to,
             tag,
             payload,
@@ -212,6 +232,20 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
                 Self::deliver_parts(senders, stash, topology, clock, from, to, tag, payload);
             },
         );
+        // A node killed by the fault layer (possibly by this very send) no
+        // longer reaches the transport, so its sends are not recorded.
+        if !self.dead {
+            if let Some(sink) = &self.telemetry {
+                sink.record_at_comm_ns(
+                    self.clock.comm_ns(),
+                    ptycho_telemetry::TelemetryEvent::CommSend {
+                        to: to as u64,
+                        tag,
+                        bytes: bytes as u64,
+                    },
+                );
+            }
+        }
     }
 
     fn recv(&mut self, from: usize, tag: u64) -> Result<M, CommError> {
@@ -224,7 +258,9 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
             .iter()
             .position(|e| e.from == from && e.tag == tag)
         {
-            return Ok(self.stash.remove(pos).payload);
+            let payload = self.stash.remove(pos).payload;
+            self.note_recv(from, tag, payload.payload_bytes());
+            return Ok(payload);
         }
         // About to block: release anything the fault layer was delaying, so a
         // delayed message can never deadlock its own sender's round-trip.
@@ -235,7 +271,9 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
             .iter()
             .position(|e| e.from == from && e.tag == tag)
         {
-            return Ok(self.stash.remove(pos).payload);
+            let payload = self.stash.remove(pos).payload;
+            self.note_recv(from, tag, payload.payload_bytes());
+            return Ok(payload);
         }
         let receiver = self.receiver.clone();
         let rank = self.rank;
@@ -276,7 +314,11 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
                 }
             }
         });
-        found.expect("recv loop exited without a message")
+        let result = found.expect("recv loop exited without a message");
+        if let Ok(payload) = &result {
+            self.note_recv(from, tag, payload.payload_bytes());
+        }
+        result
     }
 
     fn try_recv(&mut self, from: usize, tag: u64) -> Option<M> {
@@ -287,10 +329,13 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
         while let Ok(envelope) = self.receiver.try_recv() {
             self.stash.push(envelope);
         }
-        self.stash
+        let payload = self
+            .stash
             .iter()
             .position(|e| e.from == from && e.tag == tag)
-            .map(|pos| self.stash.remove(pos).payload)
+            .map(|pos| self.stash.remove(pos).payload)?;
+        self.note_recv(from, tag, payload.payload_bytes());
+        Some(payload)
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
@@ -324,6 +369,10 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
         if let Some(harness) = self.harness.as_mut() {
             harness.set_node(node);
         }
+    }
+
+    fn set_telemetry(&mut self, sink: ptycho_telemetry::RankSink) {
+        self.telemetry = Some(sink);
     }
 }
 
@@ -424,6 +473,7 @@ impl ThreadedBackend {
                         harness: None,
                         delayed: Vec::new(),
                         dead: false,
+                        telemetry: None,
                         clock: RankClock::new(),
                         memory: MemoryTracker::new(),
                     };

@@ -48,6 +48,11 @@ impl TimeBreakdown {
 #[derive(Debug)]
 pub struct RankClock {
     breakdown: TimeBreakdown,
+    /// Deterministic integer mirror of the analytic communication charges,
+    /// in nanoseconds. Unlike the wall-clock compute/wait measurements this
+    /// is a pure function of the message sequence, so telemetry stamps taken
+    /// from it are bit-identical across identical seeded runs.
+    comm_ns: u64,
 }
 
 impl Default for RankClock {
@@ -61,6 +66,7 @@ impl RankClock {
     pub fn new() -> Self {
         Self {
             breakdown: TimeBreakdown::default(),
+            comm_ns: 0,
         }
     }
 
@@ -84,6 +90,13 @@ impl RankClock {
     /// Charges `seconds` of analytic communication time.
     pub fn charge_communication(&mut self, seconds: f64) {
         self.breakdown.communication += seconds;
+        self.comm_ns += (seconds * 1e9) as u64;
+    }
+
+    /// Cumulative analytic communication time in integer nanoseconds — the
+    /// deterministic clock telemetry events are stamped with.
+    pub fn comm_ns(&self) -> u64 {
+        self.comm_ns
     }
 
     /// Charges `seconds` of analytic compute time (used by the performance
@@ -105,6 +118,7 @@ impl RankClock {
     /// Resets all categories to zero.
     pub fn reset(&mut self) {
         self.breakdown = TimeBreakdown::default();
+        self.comm_ns = 0;
     }
 }
 

@@ -62,6 +62,7 @@ use ptycho_cluster::{
     RankOutcome, ReliableComm, ReliableConfig, ReliableStats, SharedTile, TimeBreakdown,
 };
 use ptycho_fft::CArray3;
+use ptycho_telemetry::{Telemetry, TelemetryEvent};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -210,6 +211,11 @@ pub struct JobContext<'a> {
     pub progress: Option<&'a (dyn Fn(IterationProgress) + Sync)>,
     /// External spare-pool arbiter: `grant(dead_local_node) -> granted`.
     pub spare_grant: Option<&'a (dyn Fn(usize) -> bool + Sync)>,
+    /// Flight recorder for structured telemetry events. When present the
+    /// engine stamps per-iteration and recovery events on each rank's
+    /// stream (simulated clock, never wall time) and flushes the durable
+    /// sink at every consistency barrier.
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 impl JobContext<'_> {
@@ -231,6 +237,7 @@ impl std::fmt::Debug for JobContext<'_> {
             .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
             .field("progress", &self.progress.is_some())
             .field("spare_grant", &self.spare_grant.is_some())
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -278,6 +285,16 @@ pub trait SolverKernel: Sync {
 
     /// Extracts the rank's core (non-halo) volume for stitching.
     fn core_volume(&self, state: &Self::State<'_>) -> CArray3;
+
+    /// The modeled compute time of one iteration on `rank`, in integer
+    /// nanoseconds, used to advance the telemetry stream's simulated clock.
+    /// Must be a pure function of the decomposition (deterministic across
+    /// runs); the default of zero leaves the stream on communication time
+    /// alone.
+    fn modeled_compute_ns(&self, rank: usize) -> u64 {
+        let _ = rank;
+        0
+    }
 }
 
 /// What one rank hands back to the engine.
@@ -356,13 +373,39 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
         let kernel = self.kernel;
         let iterations = kernel.iterations();
         let outcomes = backend.run::<SharedTile, RankRun, _>(kernel.grid().num_tiles(), |ctx| {
+            let rank = ctx.rank();
+            let sink = job.telemetry.map(|t| t.sink(rank));
+            if let Some(sink) = &sink {
+                ctx.set_telemetry(sink.clone());
+            }
             let mut state = kernel.init(ctx);
             let mut costs = Vec::with_capacity(iterations);
             for iteration in 0..iterations {
                 if job.cancelled() {
                     return Err(CommError::Cancelled { rank: ctx.rank() });
                 }
+                if let Some(sink) = &sink {
+                    sink.record_at_comm_ns(
+                        ctx.clock_mut().comm_ns(),
+                        TelemetryEvent::IterationBegin {
+                            iteration: iteration as u64,
+                            attempt: 0,
+                        },
+                    );
+                }
                 costs.push(kernel.run_iteration(ctx, &mut state, iteration)?);
+                if let Some(sink) = &sink {
+                    sink.add_compute_ns(kernel.modeled_compute_ns(rank));
+                    sink.set_comm_ns(ctx.clock_mut().comm_ns());
+                    let (compute_ns, comm_ns) = sink.sim_parts();
+                    sink.record(TelemetryEvent::IterationEnd {
+                        iteration: iteration as u64,
+                        attempt: 0,
+                        cost: costs[iteration],
+                        compute_ns,
+                        comm_ns,
+                    });
+                }
                 job.emit(IterationProgress {
                     rank: ctx.rank(),
                     iteration,
@@ -379,9 +422,13 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                 heartbeats_sent: 0,
                 heartbeats_observed: 0,
             })
-        })?;
+        });
+        // The rank threads are joined: flushing here cannot race recording.
+        if let Some(telemetry) = job.telemetry {
+            telemetry.flush_all();
+        }
         Ok(assemble(
-            outcomes,
+            outcomes?,
             kernel.grid().clone(),
             iterations,
             RecoveryReport::default(),
@@ -475,6 +522,13 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                     ctx.set_fault_node(node);
                 }
                 let mut comm = ReliableComm::with_config(ctx, config);
+                // Telemetry streams are keyed by *node*: a promoted spare
+                // writes its own stream, leaving the dead node's record of
+                // its final attempt intact for post-mortems.
+                let sink = job.telemetry.map(|t| t.sink(node));
+                if let Some(sink) = &sink {
+                    comm.set_telemetry(sink.clone());
+                }
                 let mut state = kernel.init(&mut comm);
                 let (mut costs, start) = {
                     let slot = slots_ref[slot].lock().expect("checkpoint slot poisoned");
@@ -500,7 +554,28 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                         if job.cancelled() {
                             return Err(CommError::Cancelled { rank: slot });
                         }
+                        if let Some(sink) = &sink {
+                            sink.record_at_comm_ns(
+                                comm.clock_mut().comm_ns(),
+                                TelemetryEvent::IterationBegin {
+                                    iteration: iteration as u64,
+                                    attempt: attempt_number as u64,
+                                },
+                            );
+                        }
                         costs.push(kernel.run_iteration(&mut comm, &mut state, iteration)?);
+                        if let Some(sink) = &sink {
+                            sink.add_compute_ns(kernel.modeled_compute_ns(slot));
+                            sink.set_comm_ns(comm.clock_mut().comm_ns());
+                            let (compute_ns, comm_ns) = sink.sim_parts();
+                            sink.record(TelemetryEvent::IterationEnd {
+                                iteration: iteration as u64,
+                                attempt: attempt_number as u64,
+                                cost: costs[iteration],
+                                compute_ns,
+                                comm_ns,
+                            });
+                        }
                         if heartbeats {
                             // Ring liveness beat, sent *before* the barrier
                             // so a death here cannot leave this slot's
@@ -514,6 +589,27 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                             );
                             comm.isend_control((slot + 1) % ranks, tag, SharedTile::default());
                             heartbeats_sent += 1;
+                            if let Some(sink) = &sink {
+                                sink.record_at_comm_ns(
+                                    comm.clock_mut().comm_ns(),
+                                    TelemetryEvent::HeartbeatSent {
+                                        to: ((slot + 1) % ranks) as u64,
+                                        iteration: iteration as u64,
+                                    },
+                                );
+                            }
+                        }
+                        if let Some(sink) = &sink {
+                            sink.record_at_comm_ns(
+                                comm.clock_mut().comm_ns(),
+                                TelemetryEvent::BarrierWait {
+                                    iteration: iteration as u64,
+                                },
+                            );
+                            // Publish the durability watermark *before* the
+                            // barrier: everything recorded so far is covered
+                            // by this generation's post-barrier flush.
+                            sink.publish_watermark(iteration as u64);
                         }
                         // The consistency barrier: no rank can proceed past
                         // this iteration until every rank has completed it,
@@ -522,6 +618,16 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                         // after which any of this rank's sends a peer still
                         // needs have been delivered.
                         comm.barrier()?;
+                        if slot == 0 {
+                            if let Some(telemetry) = job.telemetry {
+                                // Every rank published its watermark before
+                                // entering the barrier this rank just left,
+                                // so the flushed prefix is consistent (and
+                                // the generation parity keeps a racing next
+                                // iteration from moving it underneath us).
+                                telemetry.flush_consistent(iteration as u64);
+                            }
+                        }
                         if heartbeats {
                             // A completed barrier implies the predecessor's
                             // beat was sent; its absence after the barrier
@@ -534,6 +640,24 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                             let prev = (slot + ranks - 1) % ranks;
                             if comm.try_recv_control(prev, tag).is_some() {
                                 heartbeats_observed += 1;
+                                if let Some(sink) = &sink {
+                                    sink.record_at_comm_ns(
+                                        comm.clock_mut().comm_ns(),
+                                        TelemetryEvent::HeartbeatObserved {
+                                            from: prev as u64,
+                                            iteration: iteration as u64,
+                                        },
+                                    );
+                                }
+                            } else if let Some(sink) = &sink {
+                                let prev_node = assignment_ref.as_ref().map_or(prev, |a| a[prev]);
+                                sink.record_at_comm_ns(
+                                    comm.clock_mut().comm_ns(),
+                                    TelemetryEvent::RankSuspected {
+                                        node: prev_node as u64,
+                                        iteration: iteration as u64,
+                                    },
+                                );
                             }
                         }
                         *slots_ref[slot].lock().expect("checkpoint slot poisoned") =
@@ -542,6 +666,14 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                                 costs: costs.clone(),
                                 state: kernel.checkpoint(&state),
                             });
+                        if let Some(sink) = &sink {
+                            sink.record_at_comm_ns(
+                                comm.clock_mut().comm_ns(),
+                                TelemetryEvent::Checkpoint {
+                                    iteration: iteration as u64,
+                                },
+                            );
+                        }
                         job.emit(IterationProgress {
                             rank: slot,
                             iteration,
@@ -573,6 +705,13 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                     }
                 }
             });
+            // Rank threads are joined at this point: a driver-side flush (or
+            // stream write) cannot race rank-side recording.
+            let flush_telemetry = || {
+                if let Some(telemetry) = job.telemetry {
+                    telemetry.flush_all();
+                }
+            };
             match attempt {
                 Ok(outcomes) => {
                     let reliable = outcomes.iter().fold(ReliableStats::default(), |acc, o| {
@@ -581,6 +720,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                     let heartbeats_sent = outcomes.iter().map(|o| o.result.heartbeats_sent).sum();
                     let heartbeats_observed =
                         outcomes.iter().map(|o| o.result.heartbeats_observed).sum();
+                    flush_telemetry();
                     return Ok(assemble(
                         outcomes,
                         kernel.grid().clone(),
@@ -602,6 +742,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                     // instead. Either way, once the flag is up the run is
                     // over — no restart budget, no substitutions.
                     if job.cancelled() || matches!(failure.error, CommError::Cancelled { .. }) {
+                        flush_telemetry();
                         return Err(RankFailure {
                             rank: failure.rank,
                             error: CommError::Cancelled { rank: failure.rank },
@@ -619,6 +760,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                     };
                     let first = boundary(&slots[0]);
                     if slots.iter().any(|slot| boundary(slot) != first) {
+                        flush_telemetry();
                         return Err(failure);
                     }
                     let mut deaths =
@@ -629,6 +771,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                         // A message-loss failure: plain checkpoint restart,
                         // bounded by the restart budget.
                         if restarts >= max_iteration_restarts {
+                            flush_telemetry();
                             return Err(failure);
                         }
                         restarts += 1;
@@ -645,6 +788,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                             // pool; a refusal is pool exhaustion.
                             if let Some(grant) = job.spare_grant {
                                 if !grant(node) {
+                                    flush_telemetry();
                                     return Err(RankFailure {
                                         rank: failure.rank,
                                         error: CommError::SparesExhausted {
@@ -656,8 +800,22 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                                 }
                             }
                             match view.substitute(node) {
-                                Ok((_slot, _replacement)) => substitutions += 1,
+                                Ok((slot, replacement)) => {
+                                    substitutions += 1;
+                                    if let Some(telemetry) = job.telemetry {
+                                        // Recorded on the *new* node's stream
+                                        // (the dead node's stream keeps its
+                                        // final attempt for post-mortems).
+                                        telemetry.sink(replacement).record(
+                                            TelemetryEvent::SparePromoted {
+                                                slot: slot as u64,
+                                                node: replacement as u64,
+                                            },
+                                        );
+                                    }
+                                }
                                 Err(MembershipError::SparesExhausted { dead_node }) => {
+                                    flush_telemetry();
                                     return Err(RankFailure {
                                         rank: failure.rank,
                                         error: CommError::SparesExhausted {

@@ -30,7 +30,8 @@ use crate::tiling::TileGrid;
 use crate::worker::TileWorker;
 use ptycho_array::Array3;
 use ptycho_cluster::{
-    CommBackend, CommError, MemoryCategory, RankComm, RankFailure, SharedTile, TilePayloadPool,
+    CommBackend, CommError, HardwareModel, MemoryCategory, RankComm, RankFailure, SharedTile,
+    TilePayloadPool,
 };
 use ptycho_fft::{CArray3, Complex64};
 use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX};
@@ -293,6 +294,19 @@ impl SolverKernel for GdKernel<'_> {
 
     fn core_volume(&self, state: &GdState<'_>) -> CArray3 {
         state.worker.core_volume()
+    }
+
+    fn modeled_compute_ns(&self, rank: usize) -> u64 {
+        // Analytic (deterministic) per-iteration compute time for the
+        // telemetry stream's simulated clock: every owned probe location is
+        // visited exactly once per iteration, whatever the round split.
+        let tile = self.grid.tile(rank);
+        let slices = self.dataset.object_shape().0;
+        let window = self.dataset.model().window_px();
+        let working_set = (tile.extended.area() * slices * BYTES_PER_COMPLEX) as f64;
+        let per_probe =
+            HardwareModel::summit_v100().probe_gradient_time(window, slices, working_set);
+        (tile.owned_locations.len() as f64 * per_probe * 1e9) as u64
     }
 }
 

@@ -13,9 +13,11 @@ use crate::gradient_decomp::solver::ReconstructionResult;
 use crate::tiling::{TileGrid, TileInfo};
 use crate::worker::{send_pooled_region, set_region_flat, TileWorker};
 use ptycho_array::Array3;
-use ptycho_cluster::{CommBackend, CommError, RankComm, RankFailure, SharedTile, TilePayloadPool};
+use ptycho_cluster::{
+    CommBackend, CommError, HardwareModel, RankComm, RankFailure, SharedTile, TilePayloadPool,
+};
 use ptycho_fft::{CArray3, Complex64};
-use ptycho_sim::dataset::Dataset;
+use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX};
 use ptycho_sim::scan::ProbeLocation;
 
 /// Message tag used for the voxel copy-paste exchange.
@@ -345,6 +347,19 @@ impl SolverKernel for HveKernel<'_> {
 
     fn core_volume(&self, state: &HveState<'_>) -> CArray3 {
         state.worker.core_volume()
+    }
+
+    fn modeled_compute_ns(&self, rank: usize) -> u64 {
+        // Analytic (deterministic) per-iteration compute time for the
+        // telemetry stream's simulated clock: the baseline reconstructs
+        // every assigned probe (owned plus redundant rings) each iteration.
+        let tile = self.grid.tile(rank);
+        let slices = self.dataset.object_shape().0;
+        let window = self.dataset.model().window_px();
+        let working_set = (tile.extended.area() * slices * BYTES_PER_COMPLEX) as f64;
+        let per_probe =
+            HardwareModel::summit_v100().probe_gradient_time(window, slices, working_set);
+        (self.assigned[rank].len() as f64 * per_probe * 1e9) as u64
     }
 }
 

@@ -46,6 +46,7 @@ use ptycho_cluster::{
     FleetView, JobId, JobQueue, LockstepBackend, NodeId, RankFailure,
 };
 use ptycho_sim::dataset::Dataset;
+use ptycho_telemetry::{Histogram, MetricsRegistry, Telemetry, TelemetryEvent};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -98,6 +99,9 @@ pub struct JobSpec {
     pub fault_policy: Option<FaultPolicy>,
     /// The communication backend the job runs on.
     pub backend: ServiceBackend,
+    /// Optional flight recorder: comm, iteration, recovery, and job
+    /// lifecycle events stream into it (and its durable sink, if any).
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl JobSpec {
@@ -119,6 +123,7 @@ impl JobSpec {
             },
             fault_policy: None,
             backend: ServiceBackend::Lockstep,
+            telemetry: None,
         }
     }
 
@@ -149,6 +154,12 @@ impl JobSpec {
     /// Sets the communication backend.
     pub fn with_backend(mut self, backend: ServiceBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Attaches a flight recorder to the job.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -276,6 +287,30 @@ impl JobRecord {
     }
 }
 
+/// Aggregate service counters feeding [`JobEngine::metrics_snapshot`].
+/// Recovery totals accumulate at job completion from each job's
+/// [`RecoveryReport`](crate::engine::RecoveryReport) — the counters that
+/// previously vanished silently when a healed job reported success.
+#[derive(Debug, Default)]
+struct EngineMetrics {
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    cancelled: u64,
+    failed: u64,
+    rejected: u64,
+    /// Queue depth sampled at every submission and admission.
+    queue_depth: Histogram,
+    iteration_restarts: u64,
+    substitutions: u64,
+    heartbeats_sent: u64,
+    heartbeats_observed: u64,
+    retransmits: u64,
+    recoveries: u64,
+    acks_sent: u64,
+    duplicates_reacked: u64,
+}
+
 struct ServiceState {
     fleet: FleetView,
     queue: JobQueue,
@@ -291,6 +326,8 @@ struct ServiceState {
     waiting_for_spare: usize,
     /// While true, nothing is admitted (burst-submission mode).
     paused: bool,
+    /// Aggregate counters across every job the engine has seen.
+    metrics: EngineMetrics,
 }
 
 struct Shared {
@@ -346,6 +383,7 @@ impl JobEngine {
                     active: 0,
                     waiting_for_spare: 0,
                     paused,
+                    metrics: EngineMetrics::default(),
                 }),
                 changed: Condvar::new(),
             }),
@@ -367,6 +405,7 @@ impl JobEngine {
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, JobError> {
         let slots = spec.slots();
         if slots == 0 {
+            self.lock().metrics.rejected += 1;
             return Err(JobError::Rejected {
                 reason: "the tile grid is empty (zero slots)".into(),
             });
@@ -376,6 +415,7 @@ impl JobEngine {
             // refuse a spec that would only fail after admission.
             if let Err(error) = HaloVoxelExchangeSolver::new(&spec.dataset, spec.config, spec.grid)
             {
+                self.lock().metrics.rejected += 1;
                 return Err(JobError::Rejected {
                     reason: error.to_string(),
                 });
@@ -383,6 +423,7 @@ impl JobEngine {
         }
         let mut state = self.lock();
         if slots > state.fleet.total_nodes() {
+            state.metrics.rejected += 1;
             return Err(JobError::Rejected {
                 reason: format!(
                     "job needs {slots} node(s) but the fleet only has {}",
@@ -407,6 +448,19 @@ impl JobEngine {
             },
         );
         state.queue.push(id, spec.priority, slots);
+        state.metrics.submitted += 1;
+        let depth = state.queue.len() as u64;
+        state.metrics.queue_depth.observe(depth);
+        if let Some(telemetry) = &spec.telemetry {
+            // Lifecycle events live on stream 0 of the job's recorder; they
+            // all fall outside the job's run window, so they never race the
+            // ranks' own recording.
+            telemetry.sink(0).record(TelemetryEvent::JobSubmitted {
+                job: id,
+                priority: spec.priority as i64,
+                slots: slots as u64,
+            });
+        }
         state.pending.insert(id, spec);
         try_admit(&mut state, &self.shared);
         self.shared.changed.notify_all();
@@ -461,6 +515,39 @@ impl JobEngine {
         self.lock().fleet.is_conserved()
     }
 
+    /// A point-in-time metrics registry: job lifecycle counters, fleet
+    /// gauges, queue-depth histogram, and the recovery work (restarts,
+    /// substitutions, heartbeats, reliable-layer counters) accumulated from
+    /// every finished job's [`RecoveryReport`](crate::engine::RecoveryReport).
+    /// Render with [`MetricsRegistry::prometheus_text`] or
+    /// [`MetricsRegistry::json_snapshot`].
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let state = self.lock();
+        let m = &state.metrics;
+        let mut registry = MetricsRegistry::new();
+        registry.inc_counter("jobs_submitted_total", m.submitted);
+        registry.inc_counter("jobs_admitted_total", m.admitted);
+        registry.inc_counter("jobs_completed_total", m.completed);
+        registry.inc_counter("jobs_cancelled_total", m.cancelled);
+        registry.inc_counter("jobs_failed_total", m.failed);
+        registry.inc_counter("jobs_rejected_total", m.rejected);
+        registry.inc_counter("engine_iteration_restarts_total", m.iteration_restarts);
+        registry.inc_counter("engine_substitutions_total", m.substitutions);
+        registry.inc_counter("engine_heartbeats_sent_total", m.heartbeats_sent);
+        registry.inc_counter("engine_heartbeats_observed_total", m.heartbeats_observed);
+        registry.inc_counter("comm_retransmits_total", m.retransmits);
+        registry.inc_counter("comm_recoveries_total", m.recoveries);
+        registry.inc_counter("comm_acks_sent_total", m.acks_sent);
+        registry.inc_counter("comm_duplicates_reacked_total", m.duplicates_reacked);
+        registry.set_histogram("queue_depth", m.queue_depth.clone());
+        registry.set_gauge("fleet_epoch", state.fleet.epoch() as f64);
+        registry.set_gauge("fleet_nodes_total", state.fleet.total_nodes() as f64);
+        registry.set_gauge("fleet_nodes_free", state.fleet.free_count() as f64);
+        registry.set_gauge("fleet_nodes_leased", state.fleet.leased_count() as f64);
+        registry.set_gauge("fleet_nodes_dead", state.fleet.dead_count() as f64);
+        registry
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, ServiceState> {
         self.shared.state.lock().expect("service state poisoned")
     }
@@ -504,7 +591,15 @@ impl JobHandle {
                 record.error = Some(JobError::Cancelled);
                 record.finished = Some(Instant::now());
                 state.queue.remove(self.id);
-                state.pending.remove(&self.id);
+                state.metrics.cancelled += 1;
+                if let Some(spec) = state.pending.remove(&self.id) {
+                    if let Some(telemetry) = &spec.telemetry {
+                        telemetry
+                            .sink(0)
+                            .record(TelemetryEvent::JobCancelled { job: self.id });
+                        telemetry.flush_all();
+                    }
+                }
                 self.shared.changed.notify_all();
             }
             JobState::Running => {
@@ -570,6 +665,15 @@ fn try_admit(state: &mut ServiceState, shared: &Arc<Shared>) {
         record.node_map = leased;
         state.admissions.push(entry.job);
         state.active += 1;
+        state.metrics.admitted += 1;
+        let depth = state.queue.len() as u64;
+        state.metrics.queue_depth.observe(depth);
+        if let Some(telemetry) = &spec.telemetry {
+            telemetry.sink(0).record(TelemetryEvent::JobAdmitted {
+                job: entry.job,
+                queue_depth: depth,
+            });
+        }
         let shared = Arc::clone(shared);
         std::thread::spawn(move || run_job_thread(shared, entry.job, spec));
     }
@@ -640,14 +744,17 @@ fn run_job_thread(shared: Arc<Shared>, id: JobId, spec: JobSpec) {
         cancel: Some(&cancel),
         progress: Some(&progress),
         spare_grant: Some(&spare_grant),
+        telemetry: spec.telemetry.as_deref(),
     };
     let outcome = run_spec(&spec, &job);
     let mut state = shared.state.lock().expect("service state poisoned");
     let cancelled = cancel.load(Ordering::Relaxed);
     let record = state.jobs.get_mut(&id).expect("job record missing");
+    let mut recovery = None;
     match outcome {
         Ok(result) => {
             record.state = JobState::Completed;
+            recovery = Some(result.recovery);
             record.result = Some(result);
         }
         Err(failure) if cancelled || matches!(failure.error, CommError::Cancelled { .. }) => {
@@ -660,6 +767,44 @@ fn run_job_thread(shared: Arc<Shared>, id: JobId, spec: JobSpec) {
         }
     }
     record.finished = Some(Instant::now());
+    let terminal = record.state;
+    let metrics = &mut state.metrics;
+    match terminal {
+        JobState::Completed => metrics.completed += 1,
+        JobState::Cancelled => metrics.cancelled += 1,
+        _ => metrics.failed += 1,
+    }
+    // Fold the job's recovery work into the service totals — healed faults
+    // used to vanish silently once the job reported success.
+    if let Some(recovery) = recovery {
+        metrics.iteration_restarts += recovery.iteration_restarts as u64;
+        metrics.substitutions += recovery.substitutions as u64;
+        metrics.heartbeats_sent += recovery.heartbeats_sent;
+        metrics.heartbeats_observed += recovery.heartbeats_observed;
+        metrics.retransmits += recovery.reliable.retransmits;
+        metrics.recoveries += recovery.reliable.recoveries;
+        metrics.acks_sent += recovery.reliable.acks_sent;
+        metrics.duplicates_reacked += recovery.reliable.duplicates_reacked;
+    }
+    if let Some(telemetry) = &spec.telemetry {
+        // The engine's rank threads are joined; stamping the lifecycle
+        // event on stream 0 and re-flushing cannot race anything.
+        match terminal {
+            JobState::Completed => {
+                telemetry.sink(0).record(TelemetryEvent::JobCompleted {
+                    job: id,
+                    iterations: spec.config.iterations as u64,
+                });
+            }
+            JobState::Cancelled => {
+                telemetry
+                    .sink(0)
+                    .record(TelemetryEvent::JobCancelled { job: id });
+            }
+            _ => {}
+        }
+        telemetry.flush_all();
+    }
     state.active -= 1;
     state.fleet.release(id);
     try_admit(&mut state, &shared);

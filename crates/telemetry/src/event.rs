@@ -1,0 +1,210 @@
+//! The structured event model: everything the cluster can report, as one
+//! fixed-size `Copy` enum.
+//!
+//! Every variant carries only plain integers (plus one `f64` cost), so a
+//! [`TelemetryRecord`] can be copied into a preallocated ring buffer without
+//! touching the heap — the property the zero-allocation steady-state gate
+//! pins. Rank-like fields use `u64` (casts from `usize` are lossless on every
+//! supported target).
+//!
+//! Field-space conventions:
+//!
+//! * Comm events (`CommSend`/`CommRecv`/…) name peers in **slot space** — the
+//!   job-local rank indices messages are addressed with.
+//! * Membership events (`RankDead`/`RankSuspected`/`SparePromoted`) name
+//!   **nodes** — physical identities that survive spare substitution.
+//! * Job events carry the service-assigned job id.
+
+/// One observable occurrence inside a run, stamped and stored as a
+/// [`TelemetryRecord`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TelemetryEvent {
+    /// A rank handed a message to the transport (recorded whether or not a
+    /// fault later dropped it; a paired [`TelemetryEvent::CommDrop`] reports
+    /// the loss).
+    CommSend {
+        /// Destination slot.
+        to: u64,
+        /// Message tag as passed to the transport (wire tag under
+        /// `ReliableComm`).
+        tag: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A rank's blocking or polling receive returned a message.
+    CommRecv {
+        /// Source slot.
+        from: u64,
+        /// Message tag as requested from the transport.
+        tag: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// The reliable layer re-sent an unacknowledged message.
+    CommRetransmit {
+        /// Destination slot.
+        to: u64,
+        /// Application-level (base) tag of the retransmitted message.
+        tag: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// The reliable layer acknowledged a received message (including
+    /// re-acknowledged duplicates).
+    CommAck {
+        /// The peer being acknowledged.
+        peer: u64,
+        /// Application-level (base) tag of the acknowledged message.
+        tag: u64,
+    },
+    /// The fault harness dropped an outgoing message.
+    CommDrop {
+        /// Intended destination slot.
+        to: u64,
+        /// Message tag at the faulted layer.
+        tag: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A ring heartbeat control frame was sent.
+    HeartbeatSent {
+        /// Destination slot of the heartbeat.
+        to: u64,
+        /// Iteration the heartbeat covers.
+        iteration: u64,
+    },
+    /// A ring heartbeat control frame was observed after the barrier.
+    HeartbeatObserved {
+        /// Source slot of the heartbeat.
+        from: u64,
+        /// Iteration the heartbeat covers.
+        iteration: u64,
+    },
+    /// A rank reached the per-iteration consistency barrier.
+    BarrierWait {
+        /// The iteration whose barrier is being entered.
+        iteration: u64,
+    },
+    /// A rank started an iteration.
+    IterationBegin {
+        /// Zero-based iteration index.
+        iteration: u64,
+        /// Recovery attempt the iteration runs under (0 = first attempt).
+        attempt: u64,
+    },
+    /// A rank finished an iteration.
+    IterationEnd {
+        /// Zero-based iteration index.
+        iteration: u64,
+        /// Recovery attempt the iteration ran under.
+        attempt: u64,
+        /// The rank's contribution to the iteration cost.
+        cost: f64,
+        /// Cumulative modeled compute nanoseconds on this rank so far.
+        compute_ns: u64,
+        /// Cumulative analytic communication nanoseconds charged to this
+        /// rank so far.
+        comm_ns: u64,
+    },
+    /// A rank saved its per-iteration checkpoint.
+    Checkpoint {
+        /// Iteration the checkpoint covers.
+        iteration: u64,
+    },
+    /// The fault harness killed a node (it stops sending mid-run).
+    RankDead {
+        /// The node that died.
+        node: u64,
+    },
+    /// A heartbeat expected after the barrier did not arrive.
+    RankSuspected {
+        /// The node whose heartbeat is missing.
+        node: u64,
+        /// Iteration at which suspicion was raised.
+        iteration: u64,
+    },
+    /// The recovery driver promoted a standby spare into a dead slot.
+    SparePromoted {
+        /// The slot the spare adopts.
+        slot: u64,
+        /// The node promoted into the slot.
+        node: u64,
+    },
+    /// The job service accepted a submission into the admission queue.
+    JobSubmitted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Admission priority.
+        priority: i64,
+        /// Nodes the job needs.
+        slots: u64,
+    },
+    /// The job service admitted a job (leased nodes, started the run).
+    JobAdmitted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Jobs still waiting after this admission.
+        queue_depth: u64,
+    },
+    /// The job reached a cancelled terminal state.
+    JobCancelled {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// The job completed successfully.
+    JobCompleted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Iterations the reconstruction ran.
+        iterations: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The event's stable schema name (the JSONL `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::CommSend { .. } => "comm_send",
+            TelemetryEvent::CommRecv { .. } => "comm_recv",
+            TelemetryEvent::CommRetransmit { .. } => "comm_retransmit",
+            TelemetryEvent::CommAck { .. } => "comm_ack",
+            TelemetryEvent::CommDrop { .. } => "comm_drop",
+            TelemetryEvent::HeartbeatSent { .. } => "heartbeat_sent",
+            TelemetryEvent::HeartbeatObserved { .. } => "heartbeat_observed",
+            TelemetryEvent::BarrierWait { .. } => "barrier_wait",
+            TelemetryEvent::IterationBegin { .. } => "iteration_begin",
+            TelemetryEvent::IterationEnd { .. } => "iteration_end",
+            TelemetryEvent::Checkpoint { .. } => "checkpoint",
+            TelemetryEvent::RankDead { .. } => "rank_dead",
+            TelemetryEvent::RankSuspected { .. } => "rank_suspected",
+            TelemetryEvent::SparePromoted { .. } => "spare_promoted",
+            TelemetryEvent::JobSubmitted { .. } => "job_submitted",
+            TelemetryEvent::JobAdmitted { .. } => "job_admitted",
+            TelemetryEvent::JobCancelled { .. } => "job_cancelled",
+            TelemetryEvent::JobCompleted { .. } => "job_completed",
+        }
+    }
+}
+
+/// One stamped telemetry event: what happened, on which rank's stream, in
+/// which order, at which simulated time.
+///
+/// `sim_ns` is the rank's **simulated** clock — analytic communication
+/// nanoseconds plus modeled compute nanoseconds — never wall time, so two
+/// identical seeded runs stamp identical times. `seq` is dense per rank and
+/// orders events within a stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TelemetryRecord {
+    /// The stream the event belongs to (slot for comm/iteration events; see
+    /// the module docs for the field-space conventions).
+    pub rank: u64,
+    /// Dense per-rank sequence number (0, 1, 2, …).
+    pub seq: u64,
+    /// Simulated nanoseconds on the rank's clock when the event was
+    /// recorded.
+    pub sim_ns: u64,
+    /// Job id stamp for multi-job trace files (0 when unset).
+    pub job: u64,
+    /// The event itself.
+    pub event: TelemetryEvent,
+}

@@ -1,0 +1,557 @@
+//! JSONL encoding, decoding, and schema validation for telemetry records.
+//!
+//! The build environment is offline, so this is a deliberately small
+//! hand-rolled codec for the one shape we emit: a flat JSON object per line,
+//! string values without escapes, integer and floating-point numbers. The
+//! emitter writes fields in a fixed order (`rank`, `seq`, `sim_ns`, `job`,
+//! `kind`, then the event's own fields in declaration order), which is what
+//! makes two identical seeded runs produce byte-identical trace files.
+
+use crate::event::{TelemetryEvent, TelemetryRecord};
+use std::fmt::Write as _;
+
+/// Appends one record as a JSON line (including the trailing newline).
+///
+/// Costs no allocation beyond growing `out`; flush paths reuse one buffer.
+pub fn emit_record(record: &TelemetryRecord, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"rank\":{},\"seq\":{},\"sim_ns\":{},\"job\":{},\"kind\":\"{}\"",
+        record.rank,
+        record.seq,
+        record.sim_ns,
+        record.job,
+        record.event.kind()
+    );
+    match record.event {
+        TelemetryEvent::CommSend { to, tag, bytes }
+        | TelemetryEvent::CommDrop { to, tag, bytes }
+        | TelemetryEvent::CommRetransmit { to, tag, bytes } => {
+            let _ = write!(out, ",\"to\":{to},\"tag\":{tag},\"bytes\":{bytes}");
+        }
+        TelemetryEvent::CommRecv { from, tag, bytes } => {
+            let _ = write!(out, ",\"from\":{from},\"tag\":{tag},\"bytes\":{bytes}");
+        }
+        TelemetryEvent::CommAck { peer, tag } => {
+            let _ = write!(out, ",\"peer\":{peer},\"tag\":{tag}");
+        }
+        TelemetryEvent::HeartbeatSent { to, iteration } => {
+            let _ = write!(out, ",\"to\":{to},\"iteration\":{iteration}");
+        }
+        TelemetryEvent::HeartbeatObserved { from, iteration } => {
+            let _ = write!(out, ",\"from\":{from},\"iteration\":{iteration}");
+        }
+        TelemetryEvent::BarrierWait { iteration } | TelemetryEvent::Checkpoint { iteration } => {
+            let _ = write!(out, ",\"iteration\":{iteration}");
+        }
+        TelemetryEvent::IterationBegin { iteration, attempt } => {
+            let _ = write!(out, ",\"iteration\":{iteration},\"attempt\":{attempt}");
+        }
+        TelemetryEvent::IterationEnd {
+            iteration,
+            attempt,
+            cost,
+            compute_ns,
+            comm_ns,
+        } => {
+            let _ = write!(
+                out,
+                ",\"iteration\":{iteration},\"attempt\":{attempt},\"cost\":{cost},\
+                 \"compute_ns\":{compute_ns},\"comm_ns\":{comm_ns}"
+            );
+        }
+        TelemetryEvent::RankDead { node } => {
+            let _ = write!(out, ",\"node\":{node}");
+        }
+        TelemetryEvent::RankSuspected { node, iteration } => {
+            let _ = write!(out, ",\"node\":{node},\"iteration\":{iteration}");
+        }
+        TelemetryEvent::SparePromoted { slot, node } => {
+            let _ = write!(out, ",\"slot\":{slot},\"node\":{node}");
+        }
+        TelemetryEvent::JobSubmitted {
+            job,
+            priority,
+            slots,
+        } => {
+            let _ = write!(
+                out,
+                ",\"job_id\":{job},\"priority\":{priority},\"slots\":{slots}"
+            );
+        }
+        TelemetryEvent::JobAdmitted { job, queue_depth } => {
+            let _ = write!(out, ",\"job_id\":{job},\"queue_depth\":{queue_depth}");
+        }
+        TelemetryEvent::JobCancelled { job } => {
+            let _ = write!(out, ",\"job_id\":{job}");
+        }
+        TelemetryEvent::JobCompleted { job, iterations } => {
+            let _ = write!(out, ",\"job_id\":{job},\"iterations\":{iterations}");
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// One record rendered as a standalone JSON line (convenience; flush paths
+/// use [`emit_record`] with a reused buffer instead).
+pub fn record_to_line(record: &TelemetryRecord) -> String {
+    let mut out = String::with_capacity(160);
+    emit_record(record, &mut out);
+    out
+}
+
+/// Why a trace line failed to parse or validate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// The line is not a flat JSON object of the supported shape.
+    Malformed {
+        /// Human-readable description of the first problem found.
+        detail: String,
+    },
+    /// A required field is absent or has the wrong type.
+    MissingField {
+        /// The absent field.
+        field: &'static str,
+        /// The record kind that requires it (empty for envelope fields).
+        kind: String,
+    },
+    /// The `kind` field names no known event.
+    UnknownKind {
+        /// The offending kind string.
+        kind: String,
+    },
+    /// Per-rank stream ordering was violated (sequence not increasing, or
+    /// simulated time moving backwards).
+    StreamOrder {
+        /// The rank whose stream is inconsistent.
+        rank: u64,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { detail } => write!(f, "malformed trace line: {detail}"),
+            ParseError::MissingField { field, kind } if kind.is_empty() => {
+                write!(f, "missing field `{field}`")
+            }
+            ParseError::MissingField { field, kind } => {
+                write!(f, "missing field `{field}` for kind `{kind}`")
+            }
+            ParseError::UnknownKind { kind } => write!(f, "unknown event kind `{kind}`"),
+            ParseError::StreamOrder { rank, detail } => {
+                write!(f, "rank {rank} stream order violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A decoded scalar JSON value.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    /// Any JSON number. Integers up to 2^53 round-trip exactly through f64;
+    /// our emitters stay far below that for every integer field.
+    Num(f64),
+    /// A string without escapes.
+    Str(String),
+}
+
+fn malformed(detail: impl Into<String>) -> ParseError {
+    ParseError::Malformed {
+        detail: detail.into(),
+    }
+}
+
+/// Parses one flat JSON object line into `(key, value)` pairs.
+fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, ParseError> {
+    let line = line.trim();
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'))
+        .ok_or_else(|| malformed("not a JSON object"))?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim_start();
+    while !rest.is_empty() {
+        // Key.
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| malformed("expected a quoted key"))?;
+        let end = rest
+            .find('"')
+            .ok_or_else(|| malformed("unterminated key"))?;
+        let key = rest[..end].to_string();
+        rest = rest[end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| malformed("expected `:` after key"))?
+            .trim_start();
+        // Value: string or number.
+        let value = if let Some(after) = rest.strip_prefix('"') {
+            let end = after
+                .find('"')
+                .ok_or_else(|| malformed("unterminated string value"))?;
+            if after[..end].contains('\\') {
+                return Err(malformed("escape sequences are not supported"));
+            }
+            let value = JsonValue::Str(after[..end].to_string());
+            rest = after[end + 1..].trim_start();
+            value
+        } else {
+            let end = rest.find([',', '}']).unwrap_or(rest.len()).min(rest.len());
+            let token = rest[..end].trim();
+            let number: f64 = token
+                .parse()
+                .map_err(|_| malformed(format!("invalid number `{token}`")))?;
+            rest = rest[end..].trim_start();
+            JsonValue::Num(number)
+        };
+        fields.push((key, value));
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+            if rest.is_empty() {
+                return Err(malformed("trailing comma"));
+            }
+        } else if !rest.is_empty() {
+            return Err(malformed("expected `,` between fields"));
+        }
+    }
+    Ok(fields)
+}
+
+fn get_num(
+    fields: &[(String, JsonValue)],
+    field: &'static str,
+    kind: &str,
+) -> Result<f64, ParseError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == field)
+        .and_then(|(_, v)| match v {
+            JsonValue::Num(n) => Some(*n),
+            JsonValue::Str(_) => None,
+        })
+        .ok_or(ParseError::MissingField {
+            field,
+            kind: kind.to_string(),
+        })
+}
+
+fn get_u64(
+    fields: &[(String, JsonValue)],
+    field: &'static str,
+    kind: &str,
+) -> Result<u64, ParseError> {
+    Ok(get_num(fields, field, kind)? as u64)
+}
+
+fn get_i64(
+    fields: &[(String, JsonValue)],
+    field: &'static str,
+    kind: &str,
+) -> Result<i64, ParseError> {
+    Ok(get_num(fields, field, kind)? as i64)
+}
+
+/// Parses one JSONL line back into a [`TelemetryRecord`].
+pub fn parse_record(line: &str) -> Result<TelemetryRecord, ParseError> {
+    let fields = parse_object(line)?;
+    let rank = get_u64(&fields, "rank", "")?;
+    let seq = get_u64(&fields, "seq", "")?;
+    let sim_ns = get_u64(&fields, "sim_ns", "")?;
+    let job = get_u64(&fields, "job", "")?;
+    let kind = fields
+        .iter()
+        .find(|(k, _)| k == "kind")
+        .and_then(|(_, v)| match v {
+            JsonValue::Str(s) => Some(s.clone()),
+            JsonValue::Num(_) => None,
+        })
+        .ok_or(ParseError::MissingField {
+            field: "kind",
+            kind: String::new(),
+        })?;
+    let event = match kind.as_str() {
+        "comm_send" => TelemetryEvent::CommSend {
+            to: get_u64(&fields, "to", &kind)?,
+            tag: get_u64(&fields, "tag", &kind)?,
+            bytes: get_u64(&fields, "bytes", &kind)?,
+        },
+        "comm_recv" => TelemetryEvent::CommRecv {
+            from: get_u64(&fields, "from", &kind)?,
+            tag: get_u64(&fields, "tag", &kind)?,
+            bytes: get_u64(&fields, "bytes", &kind)?,
+        },
+        "comm_retransmit" => TelemetryEvent::CommRetransmit {
+            to: get_u64(&fields, "to", &kind)?,
+            tag: get_u64(&fields, "tag", &kind)?,
+            bytes: get_u64(&fields, "bytes", &kind)?,
+        },
+        "comm_ack" => TelemetryEvent::CommAck {
+            peer: get_u64(&fields, "peer", &kind)?,
+            tag: get_u64(&fields, "tag", &kind)?,
+        },
+        "comm_drop" => TelemetryEvent::CommDrop {
+            to: get_u64(&fields, "to", &kind)?,
+            tag: get_u64(&fields, "tag", &kind)?,
+            bytes: get_u64(&fields, "bytes", &kind)?,
+        },
+        "heartbeat_sent" => TelemetryEvent::HeartbeatSent {
+            to: get_u64(&fields, "to", &kind)?,
+            iteration: get_u64(&fields, "iteration", &kind)?,
+        },
+        "heartbeat_observed" => TelemetryEvent::HeartbeatObserved {
+            from: get_u64(&fields, "from", &kind)?,
+            iteration: get_u64(&fields, "iteration", &kind)?,
+        },
+        "barrier_wait" => TelemetryEvent::BarrierWait {
+            iteration: get_u64(&fields, "iteration", &kind)?,
+        },
+        "iteration_begin" => TelemetryEvent::IterationBegin {
+            iteration: get_u64(&fields, "iteration", &kind)?,
+            attempt: get_u64(&fields, "attempt", &kind)?,
+        },
+        "iteration_end" => TelemetryEvent::IterationEnd {
+            iteration: get_u64(&fields, "iteration", &kind)?,
+            attempt: get_u64(&fields, "attempt", &kind)?,
+            cost: get_num(&fields, "cost", &kind)?,
+            compute_ns: get_u64(&fields, "compute_ns", &kind)?,
+            comm_ns: get_u64(&fields, "comm_ns", &kind)?,
+        },
+        "checkpoint" => TelemetryEvent::Checkpoint {
+            iteration: get_u64(&fields, "iteration", &kind)?,
+        },
+        "rank_dead" => TelemetryEvent::RankDead {
+            node: get_u64(&fields, "node", &kind)?,
+        },
+        "rank_suspected" => TelemetryEvent::RankSuspected {
+            node: get_u64(&fields, "node", &kind)?,
+            iteration: get_u64(&fields, "iteration", &kind)?,
+        },
+        "spare_promoted" => TelemetryEvent::SparePromoted {
+            slot: get_u64(&fields, "slot", &kind)?,
+            node: get_u64(&fields, "node", &kind)?,
+        },
+        "job_submitted" => TelemetryEvent::JobSubmitted {
+            job: get_u64(&fields, "job_id", &kind)?,
+            priority: get_i64(&fields, "priority", &kind)?,
+            slots: get_u64(&fields, "slots", &kind)?,
+        },
+        "job_admitted" => TelemetryEvent::JobAdmitted {
+            job: get_u64(&fields, "job_id", &kind)?,
+            queue_depth: get_u64(&fields, "queue_depth", &kind)?,
+        },
+        "job_cancelled" => TelemetryEvent::JobCancelled {
+            job: get_u64(&fields, "job_id", &kind)?,
+        },
+        "job_completed" => TelemetryEvent::JobCompleted {
+            job: get_u64(&fields, "job_id", &kind)?,
+            iterations: get_u64(&fields, "iterations", &kind)?,
+        },
+        other => {
+            return Err(ParseError::UnknownKind {
+                kind: other.to_string(),
+            })
+        }
+    };
+    Ok(TelemetryRecord {
+        rank,
+        seq,
+        sim_ns,
+        job,
+        event,
+    })
+}
+
+/// Streaming schema validator: checks every line parses into a known event
+/// and that each `(job, rank)` stream has strictly increasing sequence
+/// numbers and non-decreasing simulated time.
+#[derive(Debug, Default)]
+pub struct SchemaValidator {
+    /// Per-`(job, rank)` last-seen `(seq, sim_ns)`.
+    streams: std::collections::BTreeMap<(u64, u64), (u64, u64)>,
+    /// Lines accepted so far.
+    accepted: u64,
+}
+
+impl SchemaValidator {
+    /// A fresh validator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lines accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Validates one line, updating per-stream state.
+    pub fn check_line(&mut self, line: &str) -> Result<TelemetryRecord, ParseError> {
+        let record = parse_record(line)?;
+        let key = (record.job, record.rank);
+        if let Some(&(last_seq, last_sim)) = self.streams.get(&key) {
+            if record.seq <= last_seq {
+                return Err(ParseError::StreamOrder {
+                    rank: record.rank,
+                    detail: format!("seq {} after seq {last_seq}", record.seq),
+                });
+            }
+            if record.sim_ns < last_sim {
+                return Err(ParseError::StreamOrder {
+                    rank: record.rank,
+                    detail: format!("sim_ns {} after sim_ns {last_sim}", record.sim_ns),
+                });
+            }
+        }
+        self.streams.insert(key, (record.seq, record.sim_ns));
+        self.accepted += 1;
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(event: TelemetryEvent) {
+        let record = TelemetryRecord {
+            rank: 3,
+            seq: 17,
+            sim_ns: 123_456,
+            job: 9,
+            event,
+        };
+        let line = record_to_line(&record);
+        let parsed = parse_record(&line).expect("emitted line must parse");
+        assert_eq!(parsed, record, "round-trip mismatch for {line}");
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        roundtrip(TelemetryEvent::CommSend {
+            to: 1,
+            tag: 0x20,
+            bytes: 4096,
+        });
+        roundtrip(TelemetryEvent::CommRecv {
+            from: 2,
+            tag: 7,
+            bytes: 8,
+        });
+        roundtrip(TelemetryEvent::CommRetransmit {
+            to: 0,
+            tag: 7,
+            bytes: 64,
+        });
+        roundtrip(TelemetryEvent::CommAck { peer: 1, tag: 7 });
+        roundtrip(TelemetryEvent::CommDrop {
+            to: 1,
+            tag: 7,
+            bytes: 64,
+        });
+        roundtrip(TelemetryEvent::HeartbeatSent {
+            to: 1,
+            iteration: 4,
+        });
+        roundtrip(TelemetryEvent::HeartbeatObserved {
+            from: 0,
+            iteration: 4,
+        });
+        roundtrip(TelemetryEvent::BarrierWait { iteration: 4 });
+        roundtrip(TelemetryEvent::IterationBegin {
+            iteration: 4,
+            attempt: 1,
+        });
+        roundtrip(TelemetryEvent::IterationEnd {
+            iteration: 4,
+            attempt: 1,
+            cost: 0.125,
+            compute_ns: 10,
+            comm_ns: 20,
+        });
+        roundtrip(TelemetryEvent::IterationEnd {
+            iteration: 5,
+            attempt: 0,
+            cost: 1.0 / 3.0, // exercises shortest-round-trip float formatting
+            compute_ns: 0,
+            comm_ns: 0,
+        });
+        roundtrip(TelemetryEvent::Checkpoint { iteration: 4 });
+        roundtrip(TelemetryEvent::RankDead { node: 5 });
+        roundtrip(TelemetryEvent::RankSuspected {
+            node: 5,
+            iteration: 2,
+        });
+        roundtrip(TelemetryEvent::SparePromoted { slot: 1, node: 6 });
+        roundtrip(TelemetryEvent::JobSubmitted {
+            job: 42,
+            priority: -2,
+            slots: 4,
+        });
+        roundtrip(TelemetryEvent::JobAdmitted {
+            job: 42,
+            queue_depth: 3,
+        });
+        roundtrip(TelemetryEvent::JobCancelled { job: 42 });
+        roundtrip(TelemetryEvent::JobCompleted {
+            job: 42,
+            iterations: 8,
+        });
+    }
+
+    #[test]
+    fn validator_rejects_unknown_kinds_and_bad_order() {
+        let mut validator = SchemaValidator::new();
+        let good = "{\"rank\":0,\"seq\":0,\"sim_ns\":5,\"job\":0,\"kind\":\"barrier_wait\",\"iteration\":0}";
+        validator.check_line(good).expect("valid line");
+        let unknown =
+            "{\"rank\":0,\"seq\":1,\"sim_ns\":6,\"job\":0,\"kind\":\"mystery\",\"iteration\":0}";
+        assert!(matches!(
+            validator.check_line(unknown),
+            Err(ParseError::UnknownKind { .. })
+        ));
+        let stale = "{\"rank\":0,\"seq\":0,\"sim_ns\":7,\"job\":0,\"kind\":\"barrier_wait\",\"iteration\":1}";
+        assert!(matches!(
+            validator.check_line(stale),
+            Err(ParseError::StreamOrder { .. })
+        ));
+        let backwards_time =
+            "{\"rank\":0,\"seq\":2,\"sim_ns\":1,\"job\":0,\"kind\":\"barrier_wait\",\"iteration\":2}";
+        assert!(matches!(
+            validator.check_line(backwards_time),
+            Err(ParseError::StreamOrder { .. })
+        ));
+        assert_eq!(validator.accepted(), 1);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let line = "{\"rank\":0,\"seq\":0,\"sim_ns\":0,\"job\":0,\"kind\":\"comm_send\",\"to\":1}";
+        assert_eq!(
+            parse_record(line),
+            Err(ParseError::MissingField {
+                field: "tag",
+                kind: "comm_send".into()
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_lines_are_malformed_not_panics() {
+        for line in [
+            "",
+            "{",
+            "{\"rank\":0",
+            "{\"rank\":0,\"seq\":",
+            "{\"rank\":0,\"kind\":\"comm_se",
+        ] {
+            assert!(matches!(
+                parse_record(line),
+                Err(ParseError::Malformed { .. }) | Err(ParseError::MissingField { .. })
+            ));
+        }
+    }
+}

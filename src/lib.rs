@@ -2,7 +2,7 @@
 //!
 //! This repository reproduces Wang et al., *"Image Gradient Decomposition for
 //! Parallel and Memory-Efficient Ptychographic Reconstruction"* (SC 2022) as
-//! a six-crate Rust workspace. This crate is a thin umbrella: it re-exports
+//! a seven-crate Rust workspace. This crate is a thin umbrella: it re-exports
 //! every member so downstream code (and the repository-level integration
 //! tests and examples it hosts) can depend on a single package, and its
 //! module list doubles as the workspace map:
@@ -11,6 +11,8 @@
 //! * [`fft`] — complex arithmetic and radix-2 FFT kernels.
 //! * [`sim`] — electron-optics physics: probes, scans, multi-slice model,
 //!   likelihood gradients, synthetic specimens.
+//! * [`telemetry`] — deterministic observability: the structured event
+//!   model, flight-recorder rings, metrics registry, and trace analysis.
 //! * [`cluster`] — the simulated multi-rank cluster the solvers run on.
 //! * [`core`] — the paper's contribution: gradient-decomposition
 //!   reconstruction and the halo-voxel-exchange baseline.
@@ -43,3 +45,4 @@ pub use ptycho_cluster as cluster;
 pub use ptycho_core as core;
 pub use ptycho_fft as fft;
 pub use ptycho_sim as sim;
+pub use ptycho_telemetry as telemetry;

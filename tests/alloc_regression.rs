@@ -16,10 +16,20 @@
 //! `SharedTile` buffers once their `Arc` strong count returns to 1, so a
 //! steady-state lockstep 2×2 GD iteration allocates nothing either.
 
+//!
+//! ISSUE 7 extends the pin once more: attaching a telemetry flight recorder
+//! must not break it. The per-rank ring buffers are preallocated when the
+//! rank's sink is created (a per-run setup cost identical between the short
+//! and long runs), so recording an event on the steady-state path is a ring
+//! write — zero allocations.
+
 use ptycho_alloc::CountingAllocator;
 use ptycho_cluster::{ClusterTopology, LockstepBackend, SharedTile};
-use ptycho_core::{GradientDecompositionSolver, HaloVoxelExchangeSolver, SolverConfig};
+use ptycho_core::{
+    GradientDecompositionSolver, HaloVoxelExchangeSolver, JobContext, RecoveryPolicy, SolverConfig,
+};
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use ptycho_telemetry::Telemetry;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
@@ -44,6 +54,37 @@ fn gd_run_allocations(dataset: &Dataset, iterations: usize, grid: (usize, usize)
     let result = solver.run(&backend);
     let after = ALLOC.allocations();
     assert!(result.cost_history.final_cost().is_finite());
+    after - before
+}
+
+/// The multi-rank GD measurement with a telemetry flight recorder attached:
+/// every send, receive and iteration event is recorded into the preallocated
+/// per-rank rings. Sink creation (the ring allocations) happens inside the
+/// measured window but costs the same for the short and the long run, so the
+/// `long == short` pin still isolates the steady-state iterations.
+fn gd_traced_allocations(dataset: &Dataset, iterations: usize, grid: (usize, usize)) -> u64 {
+    let config = SolverConfig {
+        iterations,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let backend = LockstepBackend::new(ClusterTopology::summit());
+    let solver = GradientDecompositionSolver::new(dataset, config, grid);
+    // No durable writer: the in-memory recorder alone must be free. (The
+    // JSONL serialisation runs driver-side after the ranks finish and is
+    // allowed to allocate; it is exercised by the telemetry suite.)
+    let telemetry = Telemetry::new();
+    let job = JobContext {
+        telemetry: Some(&telemetry),
+        ..JobContext::default()
+    };
+    let before = ALLOC.allocations();
+    let result = solver
+        .run_job(&backend, RecoveryPolicy::FailFast, &job)
+        .expect("traced run completes");
+    let after = ALLOC.allocations();
+    assert!(result.cost_history.final_cost().is_finite());
+    assert!(telemetry.total_recorded() > 0, "the recorder must be live");
     after - before
 }
 
@@ -90,6 +131,7 @@ fn steady_state_iterations_are_allocation_free() {
     let _ = gd_run_allocations(&dataset, 1, (1, 1));
     let _ = gd_run_allocations(&dataset, 1, (2, 2));
     let _ = hve_run_allocations(&dataset, 1, (1, 1));
+    let _ = gd_traced_allocations(&dataset, 1, (2, 2));
 
     // Single-rank GD (the ISSUE 4 pin).
     assert_steady_state(
@@ -105,6 +147,15 @@ fn steady_state_iterations_are_allocation_free() {
         "GD 2x2",
         gd_run_allocations(&dataset, 2, (2, 2)),
         gd_run_allocations(&dataset, 6, (2, 2)),
+    );
+
+    // Multi-rank GD with the flight recorder on: recording an event is a
+    // write into a preallocated ring, so the steady-state iterations stay
+    // allocation-free with telemetry enabled (ISSUE 7).
+    assert_steady_state(
+        "GD 2x2 + telemetry",
+        gd_traced_allocations(&dataset, 2, (2, 2)),
+        gd_traced_allocations(&dataset, 6, (2, 2)),
     );
 
     // The HVE baseline kernel (single rank: pooled gradient scratch and
