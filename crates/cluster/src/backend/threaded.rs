@@ -252,20 +252,16 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
         if self.dead {
             return Err(CommError::RankDead { rank: self.rank });
         }
-        // Check the stash first (messages that arrived out of order).
-        if let Some(pos) = self
-            .stash
-            .iter()
-            .position(|e| e.from == from && e.tag == tag)
-        {
-            let payload = self.stash.remove(pos).payload;
-            self.note_recv(from, tag, payload.payload_bytes());
-            return Ok(payload);
-        }
-        // About to block: release anything the fault layer was delaying, so a
-        // delayed message can never deadlock its own sender's round-trip.
-        // Flushing can land a delayed *self*-send in the stash, so re-check.
+        // Entering a (potentially) blocking receive: release anything the
+        // fault layer was delaying, so a delayed message can never deadlock
+        // its own sender's round-trip. This must happen unconditionally —
+        // before consulting the stash — because the flush charges this
+        // rank's analytic clock: gating it on whether the wanted message
+        // already arrived would let real thread timing decide *when* the
+        // charge lands, breaking trace determinism. (The flush can also
+        // land a delayed self-send in the stash checked next.)
         self.flush_delayed();
+        // Check the stash (messages that arrived out of order).
         if let Some(pos) = self
             .stash
             .iter()

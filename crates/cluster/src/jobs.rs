@@ -287,6 +287,13 @@ impl JobQueue {
         });
     }
 
+    /// Every waiting job, in submission order (use [`JobQueue::head`] for
+    /// admission order). Lets the service audit the queue, e.g. to fail
+    /// jobs the shrunken fleet can no longer ever serve.
+    pub fn entries(&self) -> &[QueuedJob] {
+        &self.entries
+    }
+
     /// The next job in admission order (highest priority, then FIFO), if any.
     pub fn head(&self) -> Option<&QueuedJob> {
         self.entries

@@ -397,7 +397,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                 if let Some(sink) = &sink {
                     sink.add_compute_ns(kernel.modeled_compute_ns(rank));
                     sink.set_comm_ns(ctx.clock_mut().comm_ns());
-                    let (compute_ns, comm_ns) = sink.sim_parts();
+                    let (comm_ns, compute_ns) = sink.sim_parts();
                     sink.record(TelemetryEvent::IterationEnd {
                         iteration: iteration as u64,
                         attempt: 0,
@@ -567,7 +567,7 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                         if let Some(sink) = &sink {
                             sink.add_compute_ns(kernel.modeled_compute_ns(slot));
                             sink.set_comm_ns(comm.clock_mut().comm_ns());
-                            let (compute_ns, comm_ns) = sink.sim_parts();
+                            let (comm_ns, compute_ns) = sink.sim_parts();
                             sink.record(TelemetryEvent::IterationEnd {
                                 iteration: iteration as u64,
                                 attempt: attempt_number as u64,

@@ -422,12 +422,17 @@ impl JobEngine {
             }
         }
         let mut state = self.lock();
-        if slots > state.fleet.total_nodes() {
+        // Feasibility is judged against the *live* fleet (total minus
+        // retired nodes): a dead node never returns to the free pool, so a
+        // job bigger than the live fleet could never be admitted and —
+        // under strict head-of-line scheduling — would pin the whole queue
+        // forever.
+        let live = state.fleet.total_nodes() - state.fleet.dead_count();
+        if slots > live {
             state.metrics.rejected += 1;
             return Err(JobError::Rejected {
                 reason: format!(
-                    "job needs {slots} node(s) but the fleet only has {}",
-                    state.fleet.total_nodes()
+                    "job needs {slots} node(s) but the fleet only has {live} live node(s)"
                 ),
             });
         }
@@ -604,6 +609,11 @@ impl JobHandle {
             }
             JobState::Running => {
                 record.cancel.store(true, Ordering::Relaxed);
+                // A running job may be parked in the spare_grant condvar
+                // loop (waiting for a shared-pool spare); it only re-reads
+                // the cancel flag after a wakeup, so signal one instead of
+                // leaving cancellation latent until an unrelated event.
+                self.shared.changed.notify_all();
             }
             _ => {}
         }
@@ -643,11 +653,54 @@ impl JobHandle {
     }
 }
 
+/// Fails every queued job whose slot count exceeds the live fleet (total
+/// minus retired nodes). A dead node never returns to the free pool, so
+/// such a job can never be admitted; with strict head-of-line scheduling
+/// it would block the entire queue, and `wait_idle` / `JobHandle::wait`
+/// would hang with no failure path. Called with the state lock held after
+/// every retirement.
+fn fail_unservable_queued(state: &mut ServiceState, shared: &Arc<Shared>) {
+    let live = state.fleet.total_nodes() - state.fleet.dead_count();
+    let doomed: Vec<(JobId, usize)> = state
+        .queue
+        .entries()
+        .iter()
+        .filter(|e| e.slots > live)
+        .map(|e| (e.job, e.slots))
+        .collect();
+    if doomed.is_empty() {
+        return;
+    }
+    for (id, slots) in doomed {
+        state.queue.remove(id);
+        state.pending.remove(&id);
+        let record = state.jobs.get_mut(&id).expect("queued job has a record");
+        record.state = JobState::Failed;
+        record.error = Some(JobError::Rejected {
+            reason: format!(
+                "retirements shrank the fleet below the job's size: needs \
+                 {slots} node(s) but only {live} live node(s) remain"
+            ),
+        });
+        record.finished = Some(Instant::now());
+        state.metrics.failed += 1;
+    }
+    shared.changed.notify_all();
+}
+
 /// Admits queued jobs while the head of the queue fits the free pool,
 /// spawning one runner thread per admission. Called with the state lock
 /// held, everywhere the free pool or the queue grows.
 fn try_admit(state: &mut ServiceState, shared: &Arc<Shared>) {
     if state.paused {
+        return;
+    }
+    // Pending spare grants outrank new admissions: a healing job blocked in
+    // `spare_grant` gets first claim on freed nodes. Admitting here instead
+    // would let a steady stream of admissible queue heads starve the waiter
+    // — or trip its deadlock heuristic and fail a job that was about to
+    // heal. The served waiter re-runs admission for whatever is left over.
+    if state.waiting_for_spare > 0 {
         return;
     }
     while let Some(entry) = state.queue.pop_admissible(state.fleet.free_count()) {
@@ -713,26 +766,33 @@ fn run_job_thread(shared: Arc<Shared>, id: JobId, spec: JobSpec) {
         if guard.fleet.retire(dead_global).is_err() {
             return false;
         }
+        // The retirement just shrank the live fleet: queued jobs bigger
+        // than what remains can never be admitted, and head-of-line
+        // scheduling would let one pin the queue (and `wait_idle`) forever.
+        fail_unservable_queued(&mut guard, &grant_shared);
         // The free pool may be transiently empty when every node is leased
         // out to tenants: block until a neighbouring job releases one. The
         // grant can only fail for good when no other active tenant exists —
         // or every one of them is itself blocked here — so nobody will ever
         // free a node (and when the job was cancelled while waiting).
         loop {
-            let state = &mut *guard;
-            if let Some(replacement) = state.fleet.draw_spare(id) {
-                if let Some(record) = state.jobs.get_mut(&id) {
+            if let Some(replacement) = guard.fleet.draw_spare(id) {
+                if let Some(record) = guard.jobs.get_mut(&id) {
                     // Appended in promotion order: the engine numbers the
                     // k-th promoted spare `slots + k`, which indexes this
                     // entry.
                     record.node_map.push(replacement);
                 }
+                // Grant served: run the admission that `try_admit` deferred
+                // while this job was waiting, so leftover free nodes still
+                // reach the queue.
+                try_admit(&mut guard, &grant_shared);
                 return true;
             }
-            if grant_cancel.load(Ordering::Relaxed) || state.waiting_for_spare + 1 >= state.active {
+            if grant_cancel.load(Ordering::Relaxed) || guard.waiting_for_spare + 1 >= guard.active {
                 return false;
             }
-            state.waiting_for_spare += 1;
+            guard.waiting_for_spare += 1;
             guard = grant_shared
                 .changed
                 .wait(guard)

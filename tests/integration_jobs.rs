@@ -563,3 +563,126 @@ fn one_tenants_rank_death_does_not_perturb_its_neighbours() {
     assert_eq!(engine.free_nodes(), 11);
     assert!(engine.fleet_is_conserved());
 }
+
+/// Retirements permanently shrink the live fleet; a queued job bigger than
+/// what remains can never be admitted and — with strict head-of-line
+/// scheduling — would otherwise pin the queue (and `wait_idle`) forever.
+#[test]
+fn fleet_shrinkage_fails_queued_jobs_it_can_never_serve() {
+    let dataset = tiny();
+    let engine = JobEngine::new(2);
+    // The dying job takes the whole 2-node fleet; the full-width follower
+    // queues behind it. When the dead rank retires a node, one live node
+    // remains: neither the heal nor the follower can ever be served.
+    let a = engine
+        .submit(
+            JobSpec::new(dataset.clone(), tiny_gd_config(2), (2, 1))
+                .with_fault_policy(kill_policy(9)),
+        )
+        .expect("fits the fleet");
+    let b = engine
+        .submit(JobSpec::new(dataset.clone(), tiny_gd_config(2), (2, 1)))
+        .expect("feasible against the live fleet at submission");
+    engine.wait_idle();
+
+    let a = a.wait();
+    assert_eq!(a.state, JobState::Failed, "{:?}", a.error);
+    assert!(
+        matches!(a.error, Some(JobError::Failed(_))),
+        "{:?}",
+        a.error
+    );
+
+    let b = b.wait();
+    assert_eq!(b.state, JobState::Failed);
+    match b.error.expect("failed jobs carry an error") {
+        JobError::Rejected { reason } => {
+            assert!(reason.contains("live"), "self-describing: {reason}")
+        }
+        other => panic!("expected a shrunken-fleet rejection, got {other}"),
+    }
+
+    // A fresh full-width submission is refused outright: feasibility is
+    // judged against live nodes, not the fleet's original size.
+    let c = engine
+        .submit(JobSpec::new(dataset, tiny_gd_config(1), (2, 1)))
+        .expect_err("2 slots cannot fit 1 live node");
+    match &c {
+        JobError::Rejected { reason } => {
+            assert!(reason.contains("live"), "self-describing: {reason}")
+        }
+        other => panic!("expected rejection, got {other}"),
+    }
+
+    assert_eq!(engine.dead_nodes(), 1);
+    assert_eq!(engine.free_nodes(), 1);
+    assert!(engine.fleet_is_conserved());
+}
+
+/// Cancelling a job that is blocked inside the spare-grant wait must wake
+/// it immediately — not leave it parked until some unrelated scheduler
+/// event (like a neighbour finishing) happens to signal the condvar.
+#[test]
+fn cancelling_a_job_blocked_on_a_spare_grant_wakes_it_promptly() {
+    let dataset = tiny();
+    let engine = JobEngine::paused(4);
+    // The long neighbour keeps the pool fully leased, so the dying job's
+    // spare grant blocks after it retires the dead node.
+    let long = engine
+        .submit(JobSpec::new(dataset.clone(), tiny_gd_config(60), (2, 1)))
+        .expect("fits the fleet");
+    let dying = engine
+        .submit(JobSpec::new(dataset, tiny_gd_config(2), (2, 1)).with_fault_policy(kill_policy(7)))
+        .expect("fits the fleet");
+    engine.resume();
+
+    // The retirement happens on the way into the blocking wait; once it is
+    // visible the job is parked (or about to park) on the spare grant.
+    while engine.dead_nodes() == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    dying.cancel();
+    let report = dying.wait();
+    assert_eq!(report.state, JobState::Cancelled, "{:?}", report.error);
+    assert_eq!(
+        long.state(),
+        JobState::Running,
+        "the wakeup must come from the cancel itself, not from the neighbour finishing"
+    );
+    assert_eq!(long.wait().state, JobState::Completed);
+    assert!(engine.fleet_is_conserved());
+}
+
+/// A healing job blocked on a spare grant gets first claim on freed nodes:
+/// admissions are deferred while it waits, and the served waiter re-runs
+/// admission for the remainder, so the queue still drains.
+#[test]
+fn a_blocked_heal_is_served_before_new_admissions_and_the_queue_still_drains() {
+    let dataset = tiny();
+    let engine = JobEngine::paused(4);
+    let dying =
+        JobSpec::new(dataset.clone(), tiny_gd_config(4), (2, 1)).with_fault_policy(kill_policy(5));
+    // A and B fill the fleet; C waits in the queue. A's heal blocks on the
+    // empty pool until B's release frees nodes, which must reach the heal
+    // before C's admission can consume them.
+    let a = engine.submit(dying.clone()).expect("fits the fleet");
+    let b = engine
+        .submit(JobSpec::new(dataset.clone(), tiny_gd_config(1), (2, 1)))
+        .expect("fits the fleet");
+    let c = engine
+        .submit(JobSpec::new(dataset, tiny_gd_config(1), (2, 1)))
+        .expect("queued behind the full fleet");
+    engine.resume();
+    engine.wait_idle();
+
+    let healed = a.wait();
+    assert_eq!(healed.state, JobState::Completed, "{:?}", healed.error);
+    let healed = healed.result.expect("completed jobs carry a result");
+    assert_eq!(healed.recovery.substitutions, 1, "the heal must be served");
+    assert_bit_identical(&solo_run(&dying), &healed);
+    assert_eq!(b.wait().state, JobState::Completed);
+    assert_eq!(c.wait().state, JobState::Completed);
+
+    assert_eq!(engine.dead_nodes(), 1);
+    assert!(engine.fleet_is_conserved());
+}

@@ -19,12 +19,12 @@
 //!    lifecycle events from the multi-tenant engine whose metrics snapshot
 //!    agrees with the trace.
 
-use ptycho_cluster::{FaultInjectionBackend, FaultPolicy};
+use ptycho_cluster::{FaultInjectionBackend, FaultPolicy, HardwareModel};
 use ptycho_core::gradient_decomp::passes::tags;
 use ptycho_core::{
     JobContext, JobEngine, JobSpec, JobState, ReconstructionResult, RecoveryPolicy, SolverConfig,
 };
-use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig, BYTES_PER_COMPLEX};
 use ptycho_telemetry::{SchemaValidator, Telemetry, TelemetryConfig, TelemetryEvent, TraceSummary};
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -277,6 +277,62 @@ fn iteration_events_are_dense_monotonic_and_complete() {
         assert_eq!(ends, iterations, "rank {rank}: one end per iteration");
     }
     assert_eq!(telemetry.total_recorded(), total);
+}
+
+#[test]
+fn iteration_end_pins_compute_and_comm_to_the_modeled_clock() {
+    // Recompute the kernel's per-rank modeled compute constant from the same
+    // public inputs it uses: `compute_ns` must be exactly its cumulative sum
+    // and `comm_ns` the remainder of the stamp. This pins the fields to
+    // their meanings — both are positive and monotone, so weaker assertions
+    // would pass even with the two swapped.
+    let ds = small_problem();
+    let solver = gd_solver(&ds);
+    let telemetry = Telemetry::new();
+    let job = JobContext {
+        telemetry: Some(&telemetry),
+        ..JobContext::default()
+    };
+    solver
+        .run_job(&lockstep(), RecoveryPolicy::FailFast, &job)
+        .expect("run completes");
+
+    let (slices, _, _) = ds.object_shape();
+    let window = ds.model().window_px();
+    for rank in 0..4 {
+        let tile = solver.grid().tile(rank);
+        let working_set = (tile.extended_area() * slices * BYTES_PER_COMPLEX) as f64;
+        let per_probe =
+            HardwareModel::summit_v100().probe_gradient_time(window, slices, working_set);
+        let per_iteration = (tile.owned_locations.len() as f64 * per_probe * 1e9) as u64;
+        assert!(
+            per_iteration > 0,
+            "rank {rank}: the model must charge compute time"
+        );
+        let mut ends = 0u64;
+        for record in telemetry.records(rank) {
+            if let TelemetryEvent::IterationEnd {
+                compute_ns,
+                comm_ns,
+                ..
+            } = record.event
+            {
+                ends += 1;
+                assert_eq!(
+                    compute_ns,
+                    ends * per_iteration,
+                    "rank {rank} iteration {ends}: compute_ns must be the \
+                     cumulative modeled compute (comm/compute swapped?)"
+                );
+                assert_eq!(
+                    compute_ns + comm_ns,
+                    record.sim_ns,
+                    "rank {rank}: the split must sum to the record's simulated stamp"
+                );
+            }
+        }
+        assert!(ends > 0, "rank {rank} must end at least one iteration");
+    }
 }
 
 #[test]
