@@ -50,9 +50,11 @@ fn bench_fft_2d(c: &mut Criterion) {
     // ISSUE 4: in-place transforms over a pre-allocated Fft2Scratch (a fresh
     // copy of the input per iteration, like a propagation step working on a
     // wave buffer). The by-value wrappers are pinned separately in
-    // benches/fft_workspace.rs. 256 sits at the measured parallel crossover
-    // (see PARALLEL_MIN_ELEMS), so multi-core machines show the fan-out win
-    // there while smaller sizes auto-select the serial path.
+    // benches/fft_workspace.rs. 256 sits at the measured scalar parallel
+    // crossover (see PARALLEL_MIN_ELEMS), so multi-core scalar builds show
+    // the fan-out win there while smaller sizes auto-select the serial path
+    // (under `--features simd` the crossover moves to 512, so every size
+    // here auto-serialises and the serial/parallel pair should read equal).
     for &n in &[64usize, 128, 256] {
         let plan = Fft2Plan::new(n, n);
         let data = field(n);

@@ -16,13 +16,14 @@
 //! `PTYCHO_BENCH_GATE_FACTORS`, comma-separated `label=factor` pairs, e.g.
 //! `PTYCHO_BENCH_GATE_FACTORS="jobs_throughput/burst_24_fleet_8=8,payload_clone/deep_vec_1mib=2"`
 //! — see BENCH_baseline.json's documentation in ARCHITECTURE.md for which
-//! keys hold pre-optimisation baselines. Run with `--write-baseline` to
-//! regenerate the baseline file from the current results instead of
-//! comparing.
+//! keys hold pre-optimisation baselines. Those keys already carry built-in
+//! 4× budgets ([`default_per_label_factors`]); the environment variable
+//! overrides them per key. Run with `--write-baseline` to regenerate the
+//! baseline file from the current results instead of comparing.
 
 use ptycho_bench::gate::{
-    evaluate, parse_baseline, parse_factor_overrides, parse_summary_lines, render_baseline,
-    GateConfig,
+    default_per_label_factors, evaluate, parse_baseline, parse_factor_overrides,
+    parse_summary_lines, render_baseline, GateConfig,
 };
 use std::process::ExitCode;
 
@@ -79,7 +80,14 @@ fn main() -> ExitCode {
     let factor = env_or("PTYCHO_BENCH_GATE_FACTOR", "")
         .parse::<f64>()
         .unwrap_or(GateConfig::default().factor);
-    let per_label = parse_factor_overrides(&env_or("PTYCHO_BENCH_GATE_FACTORS", ""));
+    // Built-in budgets for the keys that deliberately hold pre-optimisation
+    // baselines, with operator overrides from the environment layered on top
+    // (an env entry for the same key wins).
+    let mut per_label = default_per_label_factors();
+    per_label.extend(parse_factor_overrides(&env_or(
+        "PTYCHO_BENCH_GATE_FACTORS",
+        "",
+    )));
     let config = GateConfig {
         factor,
         per_label,

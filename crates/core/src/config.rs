@@ -56,6 +56,14 @@ pub struct SolverConfig {
     /// describes independent tile reconstruction followed by exchange,
     /// repeated). `1` exchanges after every iteration.
     pub hve_exchange_period: usize,
+    /// When set, every worker prunes the entry-slice forward FFT to the
+    /// probe's compact-support window: pixels with intensity below
+    /// `threshold × peak` are zeroed out of the probe and the pruned
+    /// [`ptycho_fft::PartialFft2Plan`] skips their butterflies. `Some(0.0)`
+    /// selects the full window (bit-identical to `None` — the degenerate
+    /// pin the equivalence tests use); `None` (the default) keeps the dense
+    /// transforms.
+    pub probe_support_threshold: Option<f64>,
 }
 
 impl Default for SolverConfig {
@@ -68,6 +76,7 @@ impl Default for SolverConfig {
             local_updates: true,
             hve_extra_probe_rows: 2,
             hve_exchange_period: 1,
+            probe_support_threshold: None,
         }
     }
 }
@@ -84,6 +93,7 @@ impl SolverConfig {
             local_updates: true,
             hve_extra_probe_rows: 2,
             hve_exchange_period: 1,
+            probe_support_threshold: None,
         }
     }
 }

@@ -200,7 +200,7 @@ impl SolverKernel for GdKernel<'_> {
             self.dataset,
             &tile,
             self.initial,
-            self.config.step_relaxation,
+            &self.config,
             owned.len(),
             ctx.memory_mut(),
         );
@@ -358,6 +358,39 @@ mod tests {
                 + m.peak_of(ptycho_cluster::MemoryCategory::HaloVoxels);
             assert!(voxel_bytes < full_volume_bytes);
         }
+    }
+
+    #[test]
+    fn zero_support_threshold_is_bit_identical_to_the_dense_path() {
+        // Some(0.0) selects the full probe window: the padded probe and the
+        // pruned entry-slice transform must reproduce the dense solver run
+        // bit for bit.
+        let dataset = tiny_dataset();
+        let dense = GradientDecompositionSolver::new(&dataset, quick_config(2), (1, 2))
+            .run(&Cluster::new(ClusterTopology::summit()));
+        let pruned_config = SolverConfig {
+            probe_support_threshold: Some(0.0),
+            ..quick_config(2)
+        };
+        let pruned = GradientDecompositionSolver::new(&dataset, pruned_config, (1, 2))
+            .run(&Cluster::new(ClusterTopology::summit()));
+        for (a, b) in dense.volume.iter().zip(pruned.volume.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn support_pruned_solver_still_reduces_cost() {
+        let dataset = tiny_dataset();
+        let config = SolverConfig {
+            probe_support_threshold: Some(1e-6),
+            ..quick_config(3)
+        };
+        let solver = GradientDecompositionSolver::new(&dataset, config, (1, 1));
+        let result = solver.run(&Cluster::new(ClusterTopology::summit()));
+        assert!(result.cost_history.is_monotonically_decreasing());
+        assert!(result.cost_history.final_cost() < result.cost_history.initial_cost());
     }
 
     #[test]

@@ -246,7 +246,7 @@ impl SolverKernel for HveKernel<'_> {
             self.dataset,
             &tile,
             self.initial,
-            self.config.step_relaxation,
+            &self.config,
             probes.len(),
             ctx.memory_mut(),
         );

@@ -1,5 +1,6 @@
 //! Per-rank tile state shared by both decomposition solvers.
 
+use crate::config::SolverConfig;
 use crate::tiling::TileInfo;
 use ptycho_array::{Array3, Rect};
 use ptycho_cluster::{MemoryCategory, MemoryTracker};
@@ -7,7 +8,7 @@ use ptycho_fft::{CArray3, Complex64};
 use ptycho_sim::dataset::{Dataset, BYTES_PER_COMPLEX, BYTES_PER_MEASUREMENT};
 use ptycho_sim::gradient::{probe_gradient_into, suggested_step};
 use ptycho_sim::scan::ProbeLocation;
-use ptycho_sim::SimWorkspace;
+use ptycho_sim::{MultisliceModel, SimWorkspace};
 
 /// The state one worker (simulated GPU) keeps for its tile: the halo-extended
 /// sub-volume it reconstructs, the bound forward model, the gradient step,
@@ -25,6 +26,10 @@ pub(crate) struct TileWorker<'a> {
     workspace: SimWorkspace,
     /// Reusable probe-window object patch, refilled per probe location.
     patch: CArray3,
+    /// A support-pruned copy of the dataset's model, built when
+    /// [`SolverConfig::probe_support_threshold`] is set; gradient evaluation
+    /// uses it in place of the dense model.
+    pruned_model: Option<MultisliceModel>,
 }
 
 impl<'a> TileWorker<'a> {
@@ -35,13 +40,23 @@ impl<'a> TileWorker<'a> {
         dataset: &'a Dataset,
         tile: &TileInfo,
         initial: &CArray3,
-        step_relaxation: f64,
+        config: &SolverConfig,
         assigned_probes: usize,
         memory: &mut MemoryTracker,
     ) -> Self {
         let slices = dataset.object_shape().0;
         let volume = initial.extract_region_with_fill(tile.extended, Complex64::ONE);
-        let step = step_relaxation * suggested_step(dataset.model());
+        let step = config.step_relaxation * suggested_step(dataset.model());
+        // Support pruning: pad the probe to its compact-support window and
+        // let the entry-slice FFT skip the butterflies outside it. The
+        // padded interior is bit-identical, so with a zero threshold (full
+        // window) the pruned model reproduces the dense one exactly.
+        let pruned_model = config.probe_support_threshold.map(|threshold| {
+            dataset
+                .model()
+                .clone()
+                .with_probe_support_threshold(threshold)
+        });
 
         // Register what this worker would hold in GPU memory.
         let window = dataset.model().window_px();
@@ -81,6 +96,7 @@ impl<'a> TileWorker<'a> {
             slices,
             workspace,
             patch,
+            pruned_model,
         }
     }
 
@@ -109,8 +125,14 @@ impl<'a> TileWorker<'a> {
         let local_window = self.local_window(loc);
         self.volume
             .extract_region_into(local_window, Complex64::ONE, &mut self.patch);
+        // Direct field borrows keep the model reference disjoint from the
+        // mutable workspace borrow.
+        let model = match &self.pruned_model {
+            Some(pruned) => pruned,
+            None => self.dataset.model(),
+        };
         probe_gradient_into(
-            self.dataset.model(),
+            model,
             &self.patch,
             self.dataset.measurement(loc),
             &mut self.workspace,

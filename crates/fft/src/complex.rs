@@ -9,6 +9,10 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// This type exists so that the workspace has no external numeric dependencies;
 /// it implements exactly the operations the FFT kernels, the multi-slice
 /// propagation model and the gradient computations require.
+// `repr(C)` guarantees the `re, im` field order in memory, so a
+// `&[Complex64]` is exactly a dense `re, im, re, im, …` f64 sequence — the
+// layout the SIMD butterfly kernels load two lanes at a time.
+#[repr(C)]
 #[derive(Clone, Copy, PartialEq, Default)]
 pub struct Complex64 {
     /// Real part.

@@ -1,5 +1,6 @@
 //! Radix-2 decimation-in-time FFT plans for power-of-two lengths.
 
+use crate::simd::{self, SimdLevel};
 use crate::Complex64;
 use std::f64::consts::PI;
 
@@ -23,14 +24,32 @@ pub struct FftPlan {
     forward_stages: Vec<Vec<Complex64>>,
     /// The same tables conjugated (exact), for the inverse direction.
     inverse_stages: Vec<Vec<Complex64>>,
+    /// The SIMD tier the butterfly loop dispatches to, fixed at construction
+    /// (see [`SimdLevel::detect`]).
+    level: SimdLevel,
 }
 
 impl FftPlan {
-    /// Creates a plan for transforms of length `len`.
+    /// Creates a plan for transforms of length `len`, dispatching the
+    /// butterfly loop at the best SIMD tier this machine supports.
     ///
     /// # Panics
     /// Panics if `len` is zero or not a power of two.
     pub fn new(len: usize) -> Self {
+        Self::with_simd_level(len, SimdLevel::detect())
+    }
+
+    /// Creates a plan pinned to a specific SIMD tier — the bench/test entry
+    /// point for comparing tiers on one machine. Prefer [`FftPlan::new`].
+    ///
+    /// # Panics
+    /// Panics if `len` is invalid or `level` is not available on this
+    /// machine/build (e.g. `Avx2` without the `simd` feature).
+    pub fn with_simd_level(len: usize, level: SimdLevel) -> Self {
+        assert!(
+            level.is_available(),
+            "SIMD level {level:?} is not available on this machine/build"
+        );
         assert!(len > 0, "FFT length must be non-zero");
         assert!(
             len.is_power_of_two(),
@@ -65,12 +84,18 @@ impl FftPlan {
             bit_rev,
             forward_stages,
             inverse_stages,
+            level,
         }
     }
 
     /// Transform length this plan was built for.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// The SIMD tier this plan's butterflies run at.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.level
     }
 
     /// True only for the degenerate length-0 plan (which cannot be constructed);
@@ -115,38 +140,45 @@ impl FftPlan {
             self.len,
             data.len()
         );
-        let n = self.len;
-        if n == 1 {
+        if self.len == 1 {
             return;
         }
 
-        // Bit-reversal permutation.
-        for i in 0..n {
-            let j = self.bit_rev[i] as usize;
-            if i < j {
-                data.swap(i, j);
-            }
-        }
+        self.permute(data);
 
         // Iterative Cooley-Tukey butterflies. Each stage walks its
-        // precomputed twiddle table sequentially; the split/zip iteration
-        // lets the compiler drop the bounds checks from the innermost loop.
+        // precomputed twiddle table sequentially; the kernel is dispatched
+        // once per stage at the tier fixed at plan construction (see the
+        // `simd` module for the per-tier numerics contract).
         let stages = match direction {
             Direction::Forward => &self.forward_stages,
             Direction::Inverse => &self.inverse_stages,
         };
         let mut size = 2usize;
         for stage in stages {
-            for chunk in data.chunks_exact_mut(size) {
-                let (lo, hi) = chunk.split_at_mut(size / 2);
-                for ((a, b), tw) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
-                    let t = *b * *tw;
-                    let u = *a;
-                    *a = u + t;
-                    *b = u - t;
-                }
-            }
+            simd::butterfly_pass(self.level, data, size, stage);
             size *= 2;
+        }
+    }
+
+    /// Applies the bit-reversal permutation — shared with the pruned partial
+    /// plans, which interleave their own stage loop.
+    pub(crate) fn permute(&self, data: &mut [Complex64]) {
+        for i in 0..self.len {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    /// Per-stage twiddle tables for the given direction (stage `s` holds
+    /// `2^s` entries) — shared with the pruned partial plans.
+    pub(crate) fn stages(&self, forward: bool) -> &[Vec<Complex64>] {
+        if forward {
+            &self.forward_stages
+        } else {
+            &self.inverse_stages
         }
     }
 }
@@ -336,6 +368,86 @@ mod tests {
         let plan = FftPlan::new(8);
         let mut data = vec![Complex64::ZERO; 4];
         plan.forward(&mut data);
+    }
+
+    #[test]
+    fn sse2_plan_bit_identical_to_scalar_plan() {
+        if !SimdLevel::Sse2.is_available() {
+            return;
+        }
+        for &n in &[2usize, 8, 64, 256, 1024] {
+            let scalar_plan = FftPlan::with_simd_level(n, SimdLevel::Scalar);
+            let sse2_plan = FftPlan::with_simd_level(n, SimdLevel::Sse2);
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.83).sin(), (i as f64 * 0.19).cos()))
+                .collect();
+            let mut a = input.clone();
+            let mut b = input.clone();
+            scalar_plan.forward(&mut a);
+            sse2_plan.forward(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+            scalar_plan.inverse(&mut a);
+            sse2_plan.inverse(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_plan_matches_scalar_within_documented_ulp_bound() {
+        if !SimdLevel::Avx2.is_available() {
+            return;
+        }
+        for &n in &[4usize, 16, 256, 1024] {
+            let scalar_plan = FftPlan::with_simd_level(n, SimdLevel::Scalar);
+            let avx2_plan = FftPlan::with_simd_level(n, SimdLevel::Avx2);
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.83).sin(), (i as f64 * 0.19).cos()))
+                .collect();
+            let mut a = input.clone();
+            let mut b = input.clone();
+            scalar_plan.forward(&mut a);
+            avx2_plan.forward(&mut b);
+            // The documented bound from the `simd` module: 8·log2(n)·ε·M.
+            let max_mag = a.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+            let tol = 8.0 * (n as f64).log2() * f64::EPSILON * max_mag.max(1.0);
+            for (x, y) in a.iter().zip(&b) {
+                assert!(
+                    (*x - *y).abs() <= tol,
+                    "n={n}: {x:?} vs {y:?} (tol {tol:e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detected_level_roundtrip_recovers_signal() {
+        let n = 512;
+        let plan = FftPlan::new(n);
+        assert_eq!(plan.simd_level(), SimdLevel::detect());
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i % 37) as f64 / 37.0, (i % 11) as f64 / 11.0))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn unavailable_level_panics() {
+        if SimdLevel::Avx2.is_available() {
+            // Can't demonstrate on this machine; fake the expected panic so
+            // the #[should_panic] contract still holds.
+            panic!("SIMD level Avx2 is not available on this machine/build");
+        }
+        let _ = FftPlan::with_simd_level(8, SimdLevel::Avx2);
     }
 
     #[test]

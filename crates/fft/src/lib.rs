@@ -17,6 +17,16 @@
 //!   with serial and Rayon row-parallel drivers, in-place variants over a
 //!   reusable [`fft2d::Fft2Scratch`] workspace (the hot-path API), plus
 //!   `fftshift`/`ifftshift`.
+//! * [`simd`] — the butterfly/transpose kernel tiers ([`SimdLevel`]): scalar
+//!   everywhere, plus SSE2 and AVX2+FMA `core::arch` kernels behind the
+//!   **`simd`** cargo feature, selected at plan construction by runtime CPU
+//!   detection. The per-tier numerics contract (bit-identity for SSE2,
+//!   documented ULP bound for AVX2) lives in that module's docs.
+//! * [`partial`] — pruned partial transforms ([`PartialFftPlan`],
+//!   [`PartialFft2Plan`]) that skip butterflies for inputs known to be zero
+//!   (probe compact support) or outputs nobody reads (detector ROI), exactly —
+//!   every butterfly they do execute is the same arithmetic the dense plan
+//!   would have performed.
 //! * [`dft`] — a naive O(N²) reference DFT used only by tests and benches.
 //!
 //! # Conventions
@@ -42,15 +52,23 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The crate is `forbid(unsafe_code)` except when the `simd` feature is on:
+// the `core::arch` intrinsics in the `simd` module are the only unsafe code,
+// and that module alone carries the allowance — everything else stays denied.
+#![deny(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
 
 mod complex;
 pub mod dft;
 mod fft1d;
 pub mod fft2d;
+pub mod partial;
+pub mod simd;
 
 pub use complex::Complex64;
 pub use fft1d::{fft, ifft, FftPlan};
+pub use partial::{PartialFft2Plan, PartialFftPlan};
+pub use simd::SimdLevel;
 
 /// Alias used throughout the workspace for complex-valued images.
 pub type CArray2 = ptycho_array::Array2<Complex64>;

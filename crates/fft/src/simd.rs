@@ -1,0 +1,516 @@
+//! Explicit SIMD kernels for the radix-2 butterfly loop and the blocked
+//! transpose, with runtime dispatch.
+//!
+//! # Dispatch tiers
+//!
+//! * [`SimdLevel::Scalar`] — the portable loop, identical to the pre-SIMD
+//!   code. The only tier on non-x86_64 targets or when the `simd` feature is
+//!   disabled.
+//! * [`SimdLevel::Sse2`] — one `Complex64` per `__m128d`. SSE2 is part of the
+//!   x86_64 baseline, so this tier needs no runtime check. The complex
+//!   multiply is expressed as the *same* IEEE operations in the same order as
+//!   the scalar `Mul` impl (two multiplies and an add/subtract per component;
+//!   the subtract is an add of the negation, which IEEE 754 defines as exact),
+//!   so this tier is **bit-identical** to scalar and is pinned with `to_bits`
+//!   identity tests.
+//! * [`SimdLevel::Avx2`] — two `Complex64` per `__m256d`, selected at plan
+//!   construction via `is_x86_feature_detected!("avx2")` + `("fma")`. The
+//!   complex multiply uses `vfmaddsub231pd`, which fuses the multiply and the
+//!   add/subtract into one rounding. No accumulation is *reordered* — each
+//!   butterfly still computes `t = b·w; a' = a + t; b' = a − t` — but the
+//!   fused product drops one rounding per component, so results differ from
+//!   scalar by bounded rounding noise and are pinned with ULP-bounded tests
+//!   instead (see [`ULP-bound`](#ulp-bound) below).
+//!
+//! # ULP bound
+//!
+//! For the AVX2/FMA tier, each butterfly output component differs from its
+//! scalar counterpart by at most one rounding of the fused product, i.e. a
+//! relative perturbation of at most `2ε` per stage survived. An FFT of length
+//! `n` runs `log2(n)` stages, so the accumulated difference is bounded by
+//! `|simd − scalar| ≤ 4·log2(n)·ε·M` where `M = max|scalar output|` over the
+//! transform and `ε = f64::EPSILON`. Tests assert the doubled budget
+//! `8·log2(n)·ε·M` to stay robust to the (pessimistic) worst-case analysis
+//! while still catching any real kernel bug, which shows up orders of
+//! magnitude above that line.
+
+// The intrinsics in the x86 module below are the one sanctioned use of
+// `unsafe` in this crate (the crate root carries `deny(unsafe_code)`, and
+// `forbid(unsafe_code)` whenever the `simd` feature is off). Safety rests on
+// two invariants, both enforced here: every kernel is only dispatched after
+// its CPU feature is statically (SSE2) or dynamically (AVX2+FMA) confirmed,
+// and every pointer stays inside the bounds of the slices passed in
+// (`Complex64` is `#[repr(C)]`, so a `&[Complex64]` is exactly a dense
+// `re, im` f64 sequence).
+#![cfg_attr(feature = "simd", allow(unsafe_code))]
+
+use crate::Complex64;
+
+/// The instruction-set tier a plan's butterfly and transpose kernels run at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar loop (always available; bit-identity reference).
+    Scalar,
+    /// SSE2 `f64x2` kernels, one complex value per vector — bit-identical to
+    /// scalar (x86_64 with the `simd` feature only).
+    Sse2,
+    /// AVX2+FMA `f64x4` kernels, two complex values per vector — ULP-bounded
+    /// against scalar (x86_64 with the `simd` feature, runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// The best tier available on this machine. `Scalar` unless the `simd`
+    /// feature is enabled and the target is x86_64; `Avx2` only when the CPU
+    /// reports both `avx2` and `fma` at runtime.
+    pub fn detect() -> Self {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                SimdLevel::Avx2
+            } else {
+                SimdLevel::Sse2
+            }
+        }
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        SimdLevel::Scalar
+    }
+
+    /// Whether this tier can run on this machine/build.
+    pub fn is_available(self) -> bool {
+        self <= Self::detect()
+    }
+
+    /// Stable lowercase name, used for bench keys (`fft_simd/{label}_{n}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Every tier available on this machine, in ascending order (always
+    /// starts with `Scalar`).
+    pub fn available_levels() -> Vec<SimdLevel> {
+        [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+            .into_iter()
+            .filter(|level| level.is_available())
+            .collect()
+    }
+}
+
+/// One full butterfly stage: splits `data` into `size`-length blocks and
+/// applies the butterflies of `stage` (a `size/2`-entry twiddle table) to
+/// each, at the given tier.
+pub(crate) fn butterfly_pass(
+    level: SimdLevel,
+    data: &mut [Complex64],
+    size: usize,
+    stage: &[Complex64],
+) {
+    debug_assert_eq!(stage.len(), size / 2);
+    match level {
+        SimdLevel::Scalar => {
+            for chunk in data.chunks_exact_mut(size) {
+                let (lo, hi) = chunk.split_at_mut(size / 2);
+                scalar_range(lo, hi, stage);
+            }
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        SimdLevel::Sse2 => unsafe { x86::sse2_pass(data, size, stage) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        SimdLevel::Avx2 => unsafe { x86::avx2_pass(data, size, stage) },
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        _ => {
+            for chunk in data.chunks_exact_mut(size) {
+                let (lo, hi) = chunk.split_at_mut(size / 2);
+                scalar_range(lo, hi, stage);
+            }
+        }
+    }
+}
+
+/// Butterflies over an arbitrary aligned sub-range of one block: used by the
+/// pruned partial plans, where only a slice of a block's butterflies is
+/// needed. `lo`, `hi` and `tw` must have equal lengths and correspond to the
+/// same butterfly indices.
+pub(crate) fn butterfly_range(
+    level: SimdLevel,
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    tw: &[Complex64],
+) {
+    debug_assert_eq!(lo.len(), hi.len());
+    debug_assert_eq!(lo.len(), tw.len());
+    match level {
+        SimdLevel::Scalar => scalar_range(lo, hi, tw),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        SimdLevel::Sse2 => unsafe { x86::sse2_range(lo, hi, tw) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        SimdLevel::Avx2 => unsafe { x86::avx2_range(lo, hi, tw) },
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        _ => scalar_range(lo, hi, tw),
+    }
+}
+
+/// Cache-blocked transpose of the `rows × cols` row-major `src` into `dst`
+/// (`cols × rows`), at the given tier. Pure data movement — every tier is
+/// bit-identical.
+pub(crate) fn transpose_into(
+    level: SimdLevel,
+    src: &[Complex64],
+    rows: usize,
+    cols: usize,
+    dst: &mut [Complex64],
+) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    match level {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        SimdLevel::Avx2 => unsafe { x86::avx2_transpose(src, rows, cols, dst) },
+        // The SSE2 tier shares the scalar blocked loop: a Complex64 copy is
+        // already one 16-byte move, so there is nothing to vectorise below
+        // the 2×2 AVX2 micro-kernel.
+        _ => transpose_blocked(src, rows, cols, dst),
+    }
+}
+
+/// Square tile side for the blocked transpose: 16×16 complex values are 4 KiB
+/// of source plus 4 KiB of destination, comfortably inside L1 on every
+/// current x86 part, while keeping the row stride short enough that the
+/// destination writes stay in a handful of cache lines.
+const TRANSPOSE_BLOCK: usize = 16;
+
+fn transpose_blocked(src: &[Complex64], rows: usize, cols: usize, dst: &mut [Complex64]) {
+    for rb in (0..rows).step_by(TRANSPOSE_BLOCK) {
+        let r_end = (rb + TRANSPOSE_BLOCK).min(rows);
+        for cb in (0..cols).step_by(TRANSPOSE_BLOCK) {
+            let c_end = (cb + TRANSPOSE_BLOCK).min(cols);
+            for r in rb..r_end {
+                for c in cb..c_end {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// The portable butterfly loop — the exact operation sequence of the pre-SIMD
+/// code (`t = b·w; a' = a + t; b' = a − t`), kept as the bit-identity
+/// reference for every other tier.
+fn scalar_range(lo: &mut [Complex64], hi: &mut [Complex64], tw: &[Complex64]) {
+    for ((a, b), w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
+        let t = *b * *w;
+        let u = *a;
+        *a = u + t;
+        *b = u - t;
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use super::Complex64;
+    use core::arch::x86_64::*;
+
+    /// `[-0.0, 0.0]`: XORing flips the sign of lane 0 only, turning a
+    /// two-lane add into `[x0 − y0, x1 + y1]` (IEEE subtraction *is* addition
+    /// of the negation, so this is bit-identical to the scalar subtract).
+    #[inline(always)]
+    unsafe fn addsub_mask() -> __m128d {
+        _mm_set_pd(0.0, -0.0)
+    }
+
+    /// One complex butterfly in SSE2 registers. Replicates the scalar complex
+    /// multiply `(b.re·w.re − b.im·w.im, b.re·w.im + b.im·w.re)` with the
+    /// same two multiplies and one add/subtract per lane — bit-identical.
+    ///
+    /// # Safety
+    /// `lp`, `hp`, `wp` must point at least `2·(k+1)` f64s into valid
+    /// storage. SSE2 is statically available on x86_64.
+    #[inline(always)]
+    unsafe fn sse2_butterfly(lp: *mut f64, hp: *mut f64, wp: *const f64, k: usize) {
+        let a = _mm_loadu_pd(lp.add(2 * k));
+        let b = _mm_loadu_pd(hp.add(2 * k));
+        let w = _mm_loadu_pd(wp.add(2 * k));
+        let bre = _mm_unpacklo_pd(b, b); // [b.re, b.re]
+        let bim = _mm_unpackhi_pd(b, b); // [b.im, b.im]
+        let wsw = _mm_shuffle_pd(w, w, 0b01); // [w.im, w.re]
+                                              // [b.re·w.re, b.re·w.im] -+ [b.im·w.im, b.im·w.re]
+        let prod_im = _mm_xor_pd(_mm_mul_pd(bim, wsw), addsub_mask());
+        let t = _mm_add_pd(_mm_mul_pd(bre, w), prod_im);
+        _mm_storeu_pd(lp.add(2 * k), _mm_add_pd(a, t));
+        _mm_storeu_pd(hp.add(2 * k), _mm_sub_pd(a, t));
+    }
+
+    /// # Safety
+    /// `lo`, `hi`, `tw` must have equal lengths (checked by the dispatcher).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sse2_range(lo: &mut [Complex64], hi: &mut [Complex64], tw: &[Complex64]) {
+        let lp = lo.as_mut_ptr() as *mut f64;
+        let hp = hi.as_mut_ptr() as *mut f64;
+        let wp = tw.as_ptr() as *const f64;
+        for k in 0..lo.len() {
+            sse2_butterfly(lp, hp, wp, k);
+        }
+    }
+
+    /// # Safety
+    /// `stage.len() == size / 2` and `size` divides `data.len()` block layout
+    /// (checked by the dispatcher).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sse2_pass(data: &mut [Complex64], size: usize, stage: &[Complex64]) {
+        let half = size / 2;
+        let wp = stage.as_ptr() as *const f64;
+        for chunk in data.chunks_exact_mut(size) {
+            let lp = chunk.as_mut_ptr() as *mut f64;
+            let hp = lp.add(2 * half);
+            for k in 0..half {
+                sse2_butterfly(lp, hp, wp, k);
+            }
+        }
+    }
+
+    /// Two complex butterflies per iteration in AVX2 registers, with the
+    /// multiply + add/subtract fused by `vfmaddsub` (one fewer rounding than
+    /// scalar — the ULP-bounded tier).
+    ///
+    /// # Safety
+    /// `lp`, `hp`, `wp` must point at least `4·(k+1)` f64s into valid
+    /// storage, and the caller must have confirmed `avx2` + `fma`.
+    #[inline(always)]
+    unsafe fn avx2_butterfly_pair(lp: *mut f64, hp: *mut f64, wp: *const f64, k: usize) {
+        let a = _mm256_loadu_pd(lp.add(4 * k));
+        let b = _mm256_loadu_pd(hp.add(4 * k));
+        let w = _mm256_loadu_pd(wp.add(4 * k));
+        let bre = _mm256_movedup_pd(b); // [b0.re, b0.re, b1.re, b1.re]
+        let bim = _mm256_permute_pd(b, 0b1111); // [b0.im, b0.im, b1.im, b1.im]
+        let wsw = _mm256_permute_pd(w, 0b0101); // [w0.im, w0.re, w1.im, w1.re]
+                                                // even lanes: b.re·w.re − b.im·w.im, odd lanes: b.re·w.im + b.im·w.re
+        let t = _mm256_fmaddsub_pd(bre, w, _mm256_mul_pd(bim, wsw));
+        _mm256_storeu_pd(lp.add(4 * k), _mm256_add_pd(a, t));
+        _mm256_storeu_pd(hp.add(4 * k), _mm256_sub_pd(a, t));
+    }
+
+    /// # Safety
+    /// `lo`, `hi`, `tw` must have equal lengths, and the caller must have
+    /// confirmed `avx2` + `fma` at runtime.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn avx2_range(lo: &mut [Complex64], hi: &mut [Complex64], tw: &[Complex64]) {
+        let n = lo.len();
+        let lp = lo.as_mut_ptr() as *mut f64;
+        let hp = hi.as_mut_ptr() as *mut f64;
+        let wp = tw.as_ptr() as *const f64;
+        let pairs = n / 2;
+        for k in 0..pairs {
+            avx2_butterfly_pair(lp, hp, wp, k);
+        }
+        if n % 2 == 1 {
+            // Odd tail: one SSE2-width butterfly. Note this makes the AVX2
+            // tier's *tail* element bit-identical to scalar — the ULP bound
+            // only ever applies to the fused pairs.
+            sse2_butterfly(lp, hp, wp, n - 1);
+        }
+    }
+
+    /// # Safety
+    /// `stage.len() == size / 2`; caller confirmed `avx2` + `fma`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn avx2_pass(data: &mut [Complex64], size: usize, stage: &[Complex64]) {
+        let half = size / 2;
+        let wp = stage.as_ptr() as *const f64;
+        if half < 2 {
+            // Stage 0 (size 2): one butterfly per block, below vector width.
+            for chunk in data.chunks_exact_mut(size) {
+                let lp = chunk.as_mut_ptr() as *mut f64;
+                sse2_butterfly(lp, lp.add(2 * half), wp, 0);
+            }
+            return;
+        }
+        let pairs = half / 2;
+        for chunk in data.chunks_exact_mut(size) {
+            let lp = chunk.as_mut_ptr() as *mut f64;
+            let hp = lp.add(2 * half);
+            for k in 0..pairs {
+                avx2_butterfly_pair(lp, hp, wp, k);
+            }
+            if half % 2 == 1 {
+                sse2_butterfly(lp, hp, wp, half - 1);
+            }
+        }
+    }
+
+    /// Blocked transpose with a 2×2 complex (4×4 f64) AVX2 micro-kernel: two
+    /// 256-bit loads, two cross-lane shuffles, two stores move a 2×2 tile.
+    /// Pure data movement — bit-identical to the scalar transpose.
+    ///
+    /// # Safety
+    /// `src.len() == dst.len() == rows·cols` (checked by the dispatcher);
+    /// caller confirmed `avx2`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_transpose(
+        src: &[Complex64],
+        rows: usize,
+        cols: usize,
+        dst: &mut [Complex64],
+    ) {
+        let sp = src.as_ptr() as *const f64;
+        let dp = dst.as_mut_ptr() as *mut f64;
+        let r2 = rows & !1;
+        let c2 = cols & !1;
+        for rb in (0..rows).step_by(super::TRANSPOSE_BLOCK) {
+            let r_end = (rb + super::TRANSPOSE_BLOCK).min(rows);
+            for cb in (0..cols).step_by(super::TRANSPOSE_BLOCK) {
+                let c_end = (cb + super::TRANSPOSE_BLOCK).min(cols);
+                let mut r = rb;
+                while r < r_end.min(r2) {
+                    let mut c = cb;
+                    while c < c_end.min(c2) {
+                        // rows r, r+1 × cols c, c+1 of src.
+                        let a = _mm256_loadu_pd(sp.add(2 * (r * cols + c)));
+                        let b = _mm256_loadu_pd(sp.add(2 * ((r + 1) * cols + c)));
+                        // dst row c gets [src[r][c], src[r+1][c]] …
+                        let lo = _mm256_permute2f128_pd(a, b, 0x20);
+                        // … and dst row c+1 gets [src[r][c+1], src[r+1][c+1]].
+                        let hi = _mm256_permute2f128_pd(a, b, 0x31);
+                        _mm256_storeu_pd(dp.add(2 * (c * rows + r)), lo);
+                        _mm256_storeu_pd(dp.add(2 * ((c + 1) * rows + r)), hi);
+                        c += 2;
+                    }
+                    // Odd trailing column of this block row.
+                    for c in c.max(cb)..c_end {
+                        *dst.get_unchecked_mut(c * rows + r) = *src.get_unchecked(r * cols + c);
+                        *dst.get_unchecked_mut(c * rows + r + 1) =
+                            *src.get_unchecked((r + 1) * cols + c);
+                    }
+                    r += 2;
+                }
+                // Odd trailing row of this block.
+                for r in r.max(rb)..r_end {
+                    for c in cb..c_end {
+                        *dst.get_unchecked_mut(c * rows + r) = *src.get_unchecked(r * cols + c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_data(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.61).sin(), (i as f64 * 0.37).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(SimdLevel::Scalar.is_available());
+        assert_eq!(SimdLevel::available_levels()[0], SimdLevel::Scalar);
+        assert!(SimdLevel::detect().is_available());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SimdLevel::Scalar.label(), "scalar");
+        assert_eq!(SimdLevel::Sse2.label(), "sse2");
+        assert_eq!(SimdLevel::Avx2.label(), "avx2");
+    }
+
+    #[test]
+    fn sse2_butterflies_bit_identical_to_scalar() {
+        if !SimdLevel::Sse2.is_available() {
+            return;
+        }
+        for &(size, blocks) in &[(2usize, 8usize), (8, 4), (16, 2), (64, 1)] {
+            let stage = test_data(size / 2);
+            let mut scalar = test_data(size * blocks);
+            let mut simd = scalar.clone();
+            butterfly_pass(SimdLevel::Scalar, &mut scalar, size, &stage);
+            butterfly_pass(SimdLevel::Sse2, &mut simd, size, &stage);
+            for (a, b) in scalar.iter().zip(&simd) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_butterflies_within_ulp_budget() {
+        if !SimdLevel::Avx2.is_available() {
+            return;
+        }
+        for &(size, blocks) in &[(2usize, 8usize), (4, 4), (8, 4), (16, 2), (64, 1), (6, 2)] {
+            let stage = test_data(size / 2);
+            let mut scalar = test_data(size * blocks);
+            let mut simd = scalar.clone();
+            butterfly_pass(SimdLevel::Scalar, &mut scalar, size, &stage);
+            butterfly_pass(SimdLevel::Avx2, &mut simd, size, &stage);
+            let max_mag = scalar.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+            // A single stage: one fused rounding of budget.
+            let tol = 8.0 * f64::EPSILON * max_mag.max(1.0);
+            for (a, b) in scalar.iter().zip(&simd) {
+                assert!((*a - *b).abs() <= tol, "{a:?} vs {b:?} (tol {tol:e})");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_range_matches_pass_on_full_range() {
+        for level in SimdLevel::available_levels() {
+            let size = 32;
+            let stage = test_data(size / 2);
+            let mut via_pass = test_data(size);
+            butterfly_pass(level, &mut via_pass, size, &stage);
+            let mut via_range = test_data(size);
+            {
+                let (lo, hi) = via_range.split_at_mut(size / 2);
+                butterfly_range(level, lo, hi, &stage);
+            }
+            for (a, b) in via_pass.iter().zip(&via_range) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_all_levels_bit_identical() {
+        // Exercise square, rectangular, odd, and sub-block shapes: the AVX2
+        // 2×2 micro-kernel has row/column tails on every odd dimension.
+        for &(rows, cols) in &[
+            (1usize, 1usize),
+            (2, 2),
+            (3, 5),
+            (16, 16),
+            (17, 33),
+            (32, 8),
+            (8, 32),
+            (31, 2),
+        ] {
+            let src = test_data(rows * cols);
+            let mut reference = vec![Complex64::ZERO; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    reference[c * rows + r] = src[r * cols + c];
+                }
+            }
+            for level in SimdLevel::available_levels() {
+                let mut dst = vec![Complex64::ZERO; rows * cols];
+                transpose_into(level, &src, rows, cols, &mut dst);
+                for (i, (a, b)) in reference.iter().zip(&dst).enumerate() {
+                    assert_eq!(
+                        (a.re.to_bits(), a.im.to_bits()),
+                        (b.re.to_bits(), b.im.to_bits()),
+                        "{level:?} transpose {rows}x{cols} mismatch at {i}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,9 +1,9 @@
 //! Property-based tests for the FFT kernels.
 
 use proptest::prelude::*;
-use ptycho_array::Array2;
+use ptycho_array::{Array2, Rect};
 use ptycho_fft::fft2d::{fft2, fftshift, ifft2, ifftshift, Fft2Plan};
-use ptycho_fft::{dft, Complex64, FftPlan};
+use ptycho_fft::{dft, Complex64, FftPlan, PartialFft2Plan, SimdLevel};
 
 fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex64>> {
     prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), len).prop_map(|v| {
@@ -115,6 +115,106 @@ proptest! {
         let field: Array2<f64> = Array2::from_fn(rows, cols, |r, c| (r * cols + c) as f64);
         prop_assert_eq!(ifftshift(&fftshift(&field)), field.clone());
         prop_assert_eq!(fftshift(&ifftshift(&field)), field);
+    }
+
+    #[test]
+    fn partial_fft2_equals_dense_bitwise_on_supported_input(
+        rexp in 2u32..7, cexp in 2u32..7,
+        r0_seed in 0usize..1024, rl_seed in 0usize..1024,
+        c0_seed in 0usize..1024, cl_seed in 0usize..1024,
+    ) {
+        let rows = 1usize << rexp;
+        let cols = 1usize << cexp;
+        // Arbitrary non-empty support window, derived from the seeds by
+        // modular clamping so every seed combination is valid.
+        let r0 = r0_seed % rows;
+        let rl = 1 + rl_seed % (rows - r0);
+        let c0 = c0_seed % cols;
+        let cl = 1 + cl_seed % (cols - c0);
+        let support = Rect::new(r0 as i64, c0 as i64, rl as i64, cl as i64);
+
+        let field = Array2::from_fn(rows, cols, |r, c| {
+            if support.contains(r as i64, c as i64) {
+                Complex64::new((r as f64 * 0.9 + c as f64 * 0.3).sin(), (r as f64 - c as f64) * 0.01)
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let dense = Fft2Plan::new(rows, cols).forward(&field);
+        let pruned = PartialFft2Plan::new(rows, cols)
+            .with_input_support(support)
+            .forward(&field);
+        for (a, b) in dense.as_slice().iter().zip(pruned.as_slice()) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn partial_fft2_roi_matches_dense_inside_and_zero_outside(
+        rexp in 2u32..6, cexp in 2u32..6,
+        r0_seed in 0usize..1024, rl_seed in 0usize..1024,
+        c0_seed in 0usize..1024, cl_seed in 0usize..1024,
+    ) {
+        let rows = 1usize << rexp;
+        let cols = 1usize << cexp;
+        let r0 = r0_seed % rows;
+        let rl = 1 + rl_seed % (rows - r0);
+        let c0 = c0_seed % cols;
+        let cl = 1 + cl_seed % (cols - c0);
+        let roi = Rect::new(r0 as i64, c0 as i64, rl as i64, cl as i64);
+
+        let field = Array2::from_fn(rows, cols, |r, c| {
+            Complex64::new(((r * 3 + c) as f64 * 0.17).cos(), ((r + c * 5) as f64 * 0.41).sin())
+        });
+        let dense = Fft2Plan::new(rows, cols).forward(&field);
+        let pruned = PartialFft2Plan::new(rows, cols)
+            .with_output_roi(roi)
+            .forward(&field);
+        for r in 0..rows {
+            for c in 0..cols {
+                let (a, b) = (dense[(r, c)], pruned[(r, c)]);
+                if roi.contains(r as i64, c as i64) {
+                    prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+                } else {
+                    prop_assert_eq!(b, Complex64::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_roundtrip_matches_scalar_roundtrip_within_ulp_bound(exp in 1u32..11) {
+        let len = 1usize << exp;
+        let data: Vec<Complex64> = (0..len)
+            .map(|i| Complex64::new((i as f64 * 0.61).sin(), (i as f64 * 0.23).cos()))
+            .collect();
+        let scalar_plan = FftPlan::with_simd_level(len, SimdLevel::Scalar);
+        let mut reference = data.clone();
+        scalar_plan.forward(&mut reference);
+        scalar_plan.inverse(&mut reference);
+        let max_mag = reference.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        // The documented per-transform bound from the `simd` module docs is
+        // 4·log2(n)·ε·M; a roundtrip chains two transforms, so double it,
+        // then double again for test headroom (the same budget the unit
+        // tests use).
+        let tol = 16.0 * (len as f64).log2().max(1.0) * f64::EPSILON * max_mag.max(1.0);
+        for level in SimdLevel::available_levels() {
+            let plan = FftPlan::with_simd_level(len, level);
+            let mut work = data.clone();
+            plan.forward(&mut work);
+            plan.inverse(&mut work);
+            for (a, b) in work.iter().zip(&reference) {
+                if level <= SimdLevel::Sse2 {
+                    // Scalar and SSE2 are bit-identical by contract.
+                    prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+                } else {
+                    prop_assert!((*a - *b).abs() <= tol, "{a:?} vs {b:?} at {level:?} (tol {tol:e})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -139,8 +139,14 @@ pub fn probe_gradient_into(
     // Back through the far-field FFT: the adjoint of the unnormalised forward
     // transform is the unnormalised inverse transform. F^H = N · F^{-1}; the
     // plan's inverse applies 1/N per axis, so multiply back by the element
-    // count.
-    model.plan().fft().inverse_in_place(back, fft_scratch);
+    // count. With a detector ROI the residual is exactly zero outside it
+    // (the pruned far field is zero there, and the loss formula maps zero
+    // amplitude to a zero residual), so the pruned inverse — which treats the
+    // ROI as its input support — is bit-identical to the dense one.
+    match model.far_partial() {
+        Some(partial) => partial.inverse_in_place(back, fft_scratch),
+        None => model.plan().fft().inverse_in_place(back, fft_scratch),
+    }
     let scale = (n * n) as f64;
     back.map_inplace(|v| *v = v.scale(scale));
 
@@ -365,6 +371,60 @@ mod tests {
             mean(&illuminated),
             mean(&dark)
         );
+    }
+
+    #[test]
+    fn pruned_model_gradient_is_bit_identical_to_dense_on_padded_probe() {
+        let pruned = small_model(2).with_probe_support_threshold(1e-6);
+        // Dense reference over the same padded probe.
+        let dense = crate::multislice::MultisliceModel::new(pruned.probe().clone(), 2);
+        let truth = phase_object(2, 16, 0.3);
+        let measured = dense.simulate_amplitude(&truth);
+        let guess = phase_object(2, 16, 0.1);
+        let a = probe_gradient(&dense, &guess, &measured);
+        let b = probe_gradient(&pruned, &guess, &measured);
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        for (x, y) in a.gradient.iter().zip(b.gradient.iter()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn roi_model_gradient_matches_finite_differences() {
+        use ptycho_array::Rect;
+        // With a detector ROI the loss only responds to the spectrum inside
+        // the ROI (the rest contributes a constant), and the pruned adjoint
+        // must still be the exact gradient of that loss.
+        let model = small_model(2).with_detector_roi(Rect::new(4, 4, 8, 8));
+        let truth = phase_object(2, 16, 0.3);
+        let measured = model.simulate_amplitude(&truth);
+        let guess = phase_object(2, 16, 0.1);
+        let result = probe_gradient(&model, &guess, &measured);
+
+        let eps = 1e-6;
+        for &(s, r, c) in &[(0usize, 8usize, 8usize), (1, 4, 11)] {
+            let g = result.gradient[(s, r, c)];
+
+            let mut perturbed = guess.clone();
+            perturbed[(s, r, c)] += Complex64::new(eps, 0.0);
+            let d_re = (probe_loss(&model, &perturbed, &measured) - result.loss) / eps;
+
+            let mut perturbed = guess.clone();
+            perturbed[(s, r, c)] += Complex64::new(0.0, eps);
+            let d_im = (probe_loss(&model, &perturbed, &measured) - result.loss) / eps;
+
+            assert!(
+                (d_re - 2.0 * g.re).abs() < 1e-3 * (1.0 + d_re.abs()),
+                "re mismatch at ({s},{r},{c}): fd={d_re}, grad={}",
+                2.0 * g.re
+            );
+            assert!(
+                (d_im - 2.0 * g.im).abs() < 1e-3 * (1.0 + d_im.abs()),
+                "im mismatch at ({s},{r},{c}): fd={d_im}, grad={}",
+                2.0 * g.im
+            );
+        }
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! identifies as the source of super-linear strong scaling (Sec. VI-C).
 
 use crate::probe::Probe;
-use ptycho_array::Array2;
+use ptycho_array::{Array2, Rect};
 use ptycho_fft::fft2d::{Fft2Plan, Fft2Scratch};
-use ptycho_fft::{CArray2, CArray3, Complex64};
+use ptycho_fft::{CArray2, CArray3, Complex64, PartialFft2Plan};
 use std::f64::consts::PI;
 
 /// Precomputed Fresnel propagator and FFT plan for a probe window.
@@ -102,6 +102,21 @@ impl PropagationPlan {
         wave.zip_apply(&self.conj_transfer, |w, h| *w *= *h);
         self.fft.inverse_in_place(wave, scratch);
     }
+
+    /// In-place propagation whose forward FFT is the pruned `partial` plan —
+    /// used for the entry slice, where the wave still has the probe's compact
+    /// support. The inverse stays dense (propagation spreads the wave).
+    /// Zero heap allocations.
+    pub fn propagate_pruned_in_place(
+        &self,
+        wave: &mut CArray2,
+        scratch: &mut Fft2Scratch,
+        partial: &PartialFft2Plan,
+    ) {
+        partial.forward_in_place(wave, scratch);
+        wave.zip_apply(&self.transfer, |w, h| *w *= *h);
+        self.fft.inverse_in_place(wave, scratch);
+    }
 }
 
 /// Reusable per-worker buffers for the forward model and its adjoint: the
@@ -180,11 +195,32 @@ impl ForwardPass {
 }
 
 /// The multi-slice model bound to a probe and a propagation plan.
+///
+/// By default every transform is dense. Two opt-in builders swap hot
+/// transforms for pruned [`PartialFft2Plan`]s (see the `ptycho_fft::partial`
+/// docs for the exactness argument):
+///
+/// * [`with_probe_support_threshold`](Self::with_probe_support_threshold) —
+///   zero-pads the probe outside its compact-support window and prunes the
+///   entry slice's forward FFT by that window (bit-identical output).
+/// * [`with_detector_roi`](Self::with_detector_roi) — prunes the far-field
+///   transform to the detector's region of interest (bit-identical inside
+///   the ROI, exact zeros outside — the pixels the detector never reads).
 #[derive(Clone, Debug)]
 pub struct MultisliceModel {
     probe: Probe,
     plan: PropagationPlan,
     slices: usize,
+    /// Probe compact-support window, when support pruning is enabled.
+    probe_support: Option<Rect>,
+    /// Detector region of interest, when ROI pruning is enabled (clamped).
+    detector_roi: Option<Rect>,
+    /// Pruned forward-FFT plan for the entry slice's propagation (the wave
+    /// still has the probe's support there).
+    entry_partial: Option<PartialFft2Plan>,
+    /// Pruned plan for the far-field transform (output pruned to the ROI)
+    /// and its adjoint in the gradient's backpropagation.
+    far_partial: Option<PartialFft2Plan>,
 }
 
 impl MultisliceModel {
@@ -203,12 +239,68 @@ impl MultisliceModel {
             probe,
             plan,
             slices,
+            probe_support: None,
+            detector_roi: None,
+            entry_partial: None,
+            far_partial: None,
         }
+    }
+
+    /// Enables probe-support pruning: the probe field is zeroed outside the
+    /// bounding box of pixels with intensity ≥ `rel_threshold` × peak (kept
+    /// bit-identical inside), and the entry slice's forward FFT skips the
+    /// butterflies that provably touch only those zeros.
+    ///
+    /// `rel_threshold <= 0` selects the full window — the padded probe and
+    /// the pruned transform are then bit-identical to the defaults.
+    pub fn with_probe_support_threshold(mut self, rel_threshold: f64) -> Self {
+        let support = self.probe.support_window(rel_threshold);
+        self.probe = self.probe.support_padded(&support);
+        let n = self.probe.window_px();
+        self.entry_partial = Some(
+            PartialFft2Plan::with_simd_level(n, n, self.plan.fft.simd_level())
+                .with_input_support(support),
+        );
+        self.probe_support = Some(support);
+        self
+    }
+
+    /// Enables detector-ROI pruning: the far-field transform only produces
+    /// the `roi` window of the spectrum (bit-identical to dense there) and
+    /// writes exact zeros elsewhere — the simulated detector reads nothing
+    /// outside its region of interest, and the gradient backpropagation
+    /// prunes its inverse transform the same way.
+    ///
+    /// # Panics
+    /// Panics if `roi` (clamped to the window) is empty.
+    pub fn with_detector_roi(mut self, roi: Rect) -> Self {
+        let n = self.probe.window_px();
+        let partial =
+            PartialFft2Plan::with_simd_level(n, n, self.plan.fft.simd_level()).with_output_roi(roi);
+        self.detector_roi = partial.output_roi();
+        self.far_partial = Some(partial);
+        self
     }
 
     /// The probe this model simulates.
     pub fn probe(&self) -> &Probe {
         &self.probe
+    }
+
+    /// The probe compact-support window, when support pruning is enabled.
+    pub fn probe_support(&self) -> Option<Rect> {
+        self.probe_support
+    }
+
+    /// The detector region of interest, when ROI pruning is enabled.
+    pub fn detector_roi(&self) -> Option<Rect> {
+        self.detector_roi
+    }
+
+    /// The pruned far-field plan, when ROI pruning is enabled — the gradient
+    /// backpropagation shares it for the adjoint (inverse) transform.
+    pub(crate) fn far_partial(&self) -> Option<&PartialFft2Plan> {
+        self.far_partial.as_ref()
     }
 
     /// The propagation plan (FFT + Fresnel transfer function).
@@ -287,10 +379,23 @@ impl MultisliceModel {
             for ((dst, src), t) in next.iter_mut().zip(psi).zip(t_s) {
                 *dst = *src * *t;
             }
-            self.plan.propagate_in_place(&mut after[0], fft_scratch);
+            // The entry slice's wave is probe ⊙ t_0, which inherits the
+            // probe's compact support — prune its forward FFT when a support
+            // window is declared. Propagation spreads the wave, so every
+            // later slice is dense.
+            match (s, &self.entry_partial) {
+                (0, Some(partial)) => {
+                    self.plan
+                        .propagate_pruned_in_place(&mut after[0], fft_scratch, partial)
+                }
+                _ => self.plan.propagate_in_place(&mut after[0], fft_scratch),
+            }
         }
         far_field.copy_from(&incident[self.slices]);
-        self.plan.fft.forward_in_place(far_field, fft_scratch);
+        match &self.far_partial {
+            Some(partial) => partial.forward_in_place(far_field, fft_scratch),
+            None => self.plan.fft.forward_in_place(far_field, fft_scratch),
+        }
     }
 
     /// Convenience wrapper returning only the diffraction amplitude.
@@ -474,6 +579,87 @@ mod tests {
         let probe = test_probe(16);
         let model = MultisliceModel::new(probe, 2);
         let _ = model.forward(&vacuum(3, 16));
+    }
+
+    #[test]
+    fn support_pruned_forward_is_bit_identical_to_dense_on_padded_probe() {
+        let probe = test_probe(32);
+        let pruned_model = MultisliceModel::new(probe, 2).with_probe_support_threshold(1e-6);
+        // The reference: a plain dense model built from the *same padded*
+        // probe, so both runs see identical inputs.
+        let dense_model = MultisliceModel::new(pruned_model.probe().clone(), 2);
+        let object = Array3::from_fn(2, 32, 32, |s, r, c| {
+            Complex64::cis(0.2 * ((s + r * 3 + c) as f64).sin())
+        });
+        let a = dense_model.forward(&object);
+        let b = pruned_model.forward(&object);
+        for s in 0..=2 {
+            for (x, y) in a.incident[s]
+                .as_slice()
+                .iter()
+                .zip(b.incident[s].as_slice())
+            {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
+        for (x, y) in a.far_field.as_slice().iter().zip(b.far_field.as_slice()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_support_threshold_degenerates_to_the_dense_model() {
+        let probe = test_probe(16);
+        let plain = MultisliceModel::new(probe.clone(), 2);
+        let pruned = MultisliceModel::new(probe, 2).with_probe_support_threshold(0.0);
+        assert_eq!(pruned.probe_support(), Some(Rect::of_shape(16, 16)));
+        // The padded probe is the original probe, bit for bit.
+        for (x, y) in plain
+            .probe()
+            .field()
+            .as_slice()
+            .iter()
+            .zip(pruned.probe().field().as_slice())
+        {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        let object = Array3::from_fn(2, 16, 16, |s, r, c| {
+            Complex64::cis(0.1 * ((s + r + 2 * c) as f64).cos())
+        });
+        let a = plain.forward(&object);
+        let b = pruned.forward(&object);
+        for (x, y) in a.far_field.as_slice().iter().zip(b.far_field.as_slice()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn detector_roi_far_field_matches_dense_inside_and_is_zero_outside() {
+        let probe = test_probe(32);
+        let dense_model = MultisliceModel::new(probe.clone(), 2);
+        let roi = Rect::new(8, 8, 16, 16);
+        let roi_model = MultisliceModel::new(probe, 2).with_detector_roi(roi);
+        assert_eq!(roi_model.detector_roi(), Some(roi));
+        let object = Array3::from_fn(2, 32, 32, |s, r, c| {
+            Complex64::cis(0.15 * ((2 * s + r + c) as f64).sin())
+        });
+        let a = dense_model.forward(&object);
+        let b = roi_model.forward(&object);
+        for r in 0..32 {
+            for c in 0..32 {
+                let (x, y) = (a.far_field[(r, c)], b.far_field[(r, c)]);
+                if roi.contains(r as i64, c as i64) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits());
+                    assert_eq!(x.im.to_bits(), y.im.to_bits());
+                } else {
+                    assert_eq!(y, Complex64::ZERO, "({r},{c}) should be zeroed");
+                }
+            }
+        }
     }
 
     #[test]
