@@ -1,0 +1,129 @@
+//! Durability benchmarks: what the checkpoint layer costs.
+//!
+//! `durability/checkpoint_persist` times a full 2-iteration job with durable
+//! checkpointing enabled — every consistency barrier serializes all four
+//! rank slots plus the manifest through the write-temp / fsync / atomic
+//! rename protocol. Compare against `jobs_p50_latency/single_job_gd_2x2`
+//! (the same job without a store) to read off the persistence overhead.
+//!
+//! `durability/resume_cold` times the cold-start path a restarted process
+//! pays: open the store, scan and checksum the epochs, decode the job spec,
+//! resynthesize the dataset, prefill the solver state from the checkpoint
+//! and run the job to completion. The store under test holds a job killed
+//! at its first commit, so the resumed run does real remaining work rather
+//! than returning a finished volume.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptycho_cluster::{CommError, CrashPhase, FaultPolicy};
+use ptycho_core::{JobEngine, JobError, JobSpec, JobState, SolverConfig};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tiny_config() -> SolverConfig {
+    SolverConfig {
+        iterations: 2,
+        halo_px: 20,
+        ..SolverConfig::default()
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ptycho-bench-durability-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+/// Copies a prepared checkpoint store (epoch dirs of flat files) so each
+/// resume sample starts from the identical killed-at-first-commit state.
+fn copy_store(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create store copy");
+    for entry in std::fs::read_dir(from).expect("read store") {
+        let entry = entry.expect("store entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_store(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).expect("copy checkpoint file");
+        }
+    }
+}
+
+fn bench_checkpoint_persist(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+    let dir = scratch("persist");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut group = c.benchmark_group("durability");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("checkpoint_persist", |b| {
+        // The store is reused across samples: each run reopens it, commits
+        // two fresh epochs and prunes the stale ones, so the directory stays
+        // bounded and every sample pays the same open + persist + prune cost.
+        b.iter(|| {
+            let engine = JobEngine::new(4);
+            let spec =
+                JobSpec::new(dataset.clone(), tiny_config(), (2, 2)).with_checkpoint_dir(&dir);
+            let report = engine.submit(spec).expect("fits the fleet").wait();
+            assert_eq!(report.state, JobState::Completed);
+            report
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_resume_cold(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(SyntheticConfig::tiny());
+
+    // Prepare the template store once: a 2-iteration job killed right after
+    // its first durable commit, leaving epoch 0 on disk.
+    let template = scratch("resume-template");
+    let _ = std::fs::remove_dir_all(&template);
+    let engine = JobEngine::new(4);
+    let spec = JobSpec::new(dataset.clone(), tiny_config(), (2, 2))
+        .with_checkpoint_dir(&template)
+        .with_fault_policy(
+            FaultPolicy::reliable(11).kill_process_at_barrier(0, CrashPhase::AfterRename),
+        );
+    let report = engine.submit(spec).expect("fits the fleet").wait();
+    assert!(
+        matches!(
+            &report.error,
+            Some(JobError::Failed(failure))
+                if matches!(failure.error, CommError::ProcessKilled { seq: 0, .. })
+        ),
+        "template job must die at its first commit"
+    );
+
+    let work = scratch("resume-work");
+    let mut group = c.benchmark_group("durability");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("resume_cold", |b| {
+        // Restoring the template (a handful of small files) is part of each
+        // sample so every resume starts from the identical killed store; its
+        // cost is negligible against the recover + decode + re-run it gates.
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&work);
+            copy_store(&template, &work);
+            let engine = JobEngine::new(4);
+            let report = engine
+                .resume(&work)
+                .expect("store has a valid epoch")
+                .wait();
+            assert_eq!(report.state, JobState::Completed);
+            report
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&template);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+criterion_group!(benches, bench_checkpoint_persist, bench_resume_cold);
+criterion_main!(benches);

@@ -47,7 +47,7 @@ fn bench_jobs_throughput(c: &mut Criterion) {
                 }
                 handles.push(engine.submit(spec).expect("fits the fleet"));
             }
-            engine.resume();
+            engine.start_admitting();
             engine.wait_idle();
             for handle in &handles {
                 assert_eq!(handle.wait().state, JobState::Completed);

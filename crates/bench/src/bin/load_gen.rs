@@ -22,14 +22,28 @@
 //!   with `trace_dump`.
 //! * `--metrics` — print the engine's end-of-run metrics snapshot: the
 //!   Prometheus-style registry plus a retransmit/heal/queue-depth summary.
+//! * `--checkpoint-dir <dir>` — durably checkpoint every job into
+//!   `<dir>/job-<i>`, and print the FNV-64 volume hash of the designated
+//!   *probe* job (submission index `jobs / 2`, forced to 2 iterations) for
+//!   kill/resume comparison across processes.
+//! * `--kill-at-barrier N` — arm a whole-process kill on the probe job at
+//!   the `N`-th durable checkpoint commit (requires `--checkpoint-dir`).
+//!   The burst still drains; the run then exits non-zero, exactly like the
+//!   `kill -9` it simulates. Resume the killed job with `--resume`.
+//! * `--resume <dir>` — standalone mode: resume one killed job from its
+//!   checkpoint directory (`<dir>` is the per-job `.../job-<i>` path),
+//!   wait for it, and print its FNV-64 volume hash. CI asserts this hash
+//!   equals the clean run's probe hash — the cross-process bit-identity
+//!   contract.
 //!
 //! The workload mirrors the scheduler-soak suite: tiny-dataset Gradient
 //! Decomposition jobs over three grid shapes and five priority levels, with
 //! every 25th job losing a rank to a seeded kill so the run exercises the
 //! shared spare pool under load.
 
-use ptycho_cluster::FaultPolicy;
-use ptycho_core::{JobEngine, JobSpec, JobState, SolverConfig};
+use ptycho_cluster::{CommError, CrashPhase, FaultPolicy};
+use ptycho_core::durability::{fnv1a64, ByteWriter, CheckpointPayload};
+use ptycho_core::{JobEngine, JobError, JobSpec, JobState, ReconstructionResult, SolverConfig};
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
 use ptycho_telemetry::{Telemetry, TelemetryConfig};
 use std::fs::File;
@@ -63,6 +77,9 @@ struct Args {
     smoke: bool,
     telemetry: Option<String>,
     metrics: bool,
+    checkpoint_dir: Option<String>,
+    kill_at_barrier: Option<u64>,
+    resume: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +90,9 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         telemetry: None,
         metrics: false,
+        checkpoint_dir: None,
+        kill_at_barrier: None,
+        resume: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -88,8 +108,15 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = take("--seed")?,
             "--smoke" => args.smoke = true,
             "--metrics" => args.metrics = true,
+            "--kill-at-barrier" => args.kill_at_barrier = Some(take("--kill-at-barrier")?),
             "--telemetry" => {
                 args.telemetry = Some(iter.next().ok_or("--telemetry needs a path")?);
+            }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(iter.next().ok_or("--checkpoint-dir needs a path")?);
+            }
+            "--resume" => {
+                args.resume = Some(iter.next().ok_or("--resume needs a path")?);
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -100,7 +127,18 @@ fn parse_args() -> Result<Args, String> {
     if args.fleet < 4 {
         return Err("--fleet must be at least 4 (the largest grid needs 4 nodes)".into());
     }
+    if args.kill_at_barrier.is_some() && args.checkpoint_dir.is_none() {
+        return Err("--kill-at-barrier requires --checkpoint-dir".into());
+    }
     Ok(args)
+}
+
+/// The FNV-64 hash of a reconstruction's exact volume bytes — the token two
+/// processes compare to prove bit-identity across a kill/resume cycle.
+fn volume_hash(result: &ReconstructionResult) -> u64 {
+    let mut w = ByteWriter::new();
+    result.volume.encode(&mut w);
+    fnv1a64(&w.into_bytes())
 }
 
 /// The deterministic burst workload: job `i` of `n` under `seed`.
@@ -147,11 +185,42 @@ fn main() -> ExitCode {
             eprintln!("load_gen: {message}");
             eprintln!(
                 "usage: load_gen [--jobs N] [--fleet M] [--seed S] [--smoke] \
-                 [--telemetry <path.jsonl>] [--metrics]"
+                 [--telemetry <path.jsonl>] [--metrics] [--checkpoint-dir <dir>] \
+                 [--kill-at-barrier N] [--resume <dir>/job-<i>]"
             );
             return ExitCode::FAILURE;
         }
     };
+
+    // Standalone resume mode: bring one killed job back from its checkpoint
+    // directory and report its volume hash.
+    if let Some(dir) = &args.resume {
+        let engine = JobEngine::new(args.fleet);
+        let handle = match engine.resume(dir) {
+            Ok(handle) => handle,
+            Err(error) => {
+                eprintln!("load_gen: resume from {dir} refused: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = handle.wait();
+        return match (report.state, report.result) {
+            (JobState::Completed, Some(result)) => {
+                println!("load_gen: resume OK");
+                println!("  volume fnv=0x{:016x}", volume_hash(&result));
+                ExitCode::SUCCESS
+            }
+            (state, _) => {
+                eprintln!(
+                    "load_gen: resumed job ended {state:?}: {}",
+                    report
+                        .error
+                        .map_or_else(|| "no error".into(), |e| e.to_string())
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let writer = match &args.telemetry {
         Some(path) => match File::create(path) {
@@ -167,11 +236,34 @@ fn main() -> ExitCode {
     let dataset = Dataset::synthesize(SyntheticConfig::tiny());
     let engine = JobEngine::paused(args.fleet);
 
+    // The probe job: the one whose volume hash the kill/resume smoke
+    // compares across processes. Forced to 2 iterations and a fixed grid so
+    // it crosses at least two consistency barriers and is cheap to resume.
+    let probe = args.checkpoint_dir.as_ref().map(|_| args.jobs / 2);
+
     let mut handles = Vec::with_capacity(args.jobs);
     let mut submitted = Vec::with_capacity(args.jobs);
     let mut expected_kills = 0usize;
     for i in 0..args.jobs {
         let mut spec = job_spec(&dataset, i, args.seed);
+        if probe == Some(i) {
+            let config = SolverConfig {
+                iterations: 2,
+                halo_px: 20,
+                ..SolverConfig::default()
+            };
+            let priority = spec.priority;
+            spec = JobSpec::new(dataset.clone(), config, (2, 2)).with_priority(priority);
+            if let Some(barrier) = args.kill_at_barrier {
+                spec = spec.with_fault_policy(
+                    FaultPolicy::reliable(args.seed)
+                        .kill_process_at_barrier(barrier, CrashPhase::AfterRename),
+                );
+            }
+        }
+        if let Some(dir) = &args.checkpoint_dir {
+            spec = spec.with_checkpoint_dir(format!("{dir}/job-{i}"));
+        }
         if let Some(writer) = &writer {
             // One recorder per job, stamped with the submission index, all
             // draining into the shared JSONL file.
@@ -184,7 +276,7 @@ fn main() -> ExitCode {
                 Box::new(writer.clone()),
             )));
         }
-        if spec.fault_policy.is_some() {
+        if spec.fault_policy.as_ref().is_some_and(|p| p.kill.is_some()) {
             expected_kills += 1;
         }
         let priority = spec.priority;
@@ -201,7 +293,7 @@ fn main() -> ExitCode {
     }
 
     let start = Instant::now();
-    engine.resume();
+    engine.start_admitting();
     engine.wait_idle();
     let wall = start.elapsed().as_secs_f64();
 
@@ -243,6 +335,50 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.telemetry {
         println!("  telemetry:    {path}");
+    }
+
+    if let Some(i) = probe {
+        let report = &reports[i];
+        if let Some(result) = &report.result {
+            println!("  probe job {i}: volume fnv=0x{:016x}", volume_hash(result));
+        }
+        if let Some(barrier) = args.kill_at_barrier {
+            // Kill mode: the probe must have died at its armed barrier with
+            // the typed process-kill error; everything else must drain. The
+            // run then exits non-zero, like the `kill -9` it simulates.
+            let killed = matches!(
+                &report.error,
+                Some(JobError::Failed(failure))
+                    if matches!(
+                        failure.error,
+                        CommError::ProcessKilled { seq, .. } if seq == barrier
+                    )
+            );
+            if !killed {
+                eprintln!(
+                    "load_gen: FAILED — probe job {i} was armed to die at barrier \
+                     {barrier} but ended {:?}: {}",
+                    report.state,
+                    report
+                        .error
+                        .as_ref()
+                        .map_or_else(|| "no error".into(), |e| e.to_string())
+                );
+                return ExitCode::FAILURE;
+            }
+            if completed != args.jobs - 1 {
+                eprintln!(
+                    "load_gen: FAILED — the burst did not drain around the killed \
+                     probe ({completed}/{} completed)",
+                    args.jobs
+                );
+                return ExitCode::FAILURE;
+            }
+            let dir = args.checkpoint_dir.as_deref().unwrap_or(".");
+            println!("load_gen: probe job {i} killed at barrier {barrier} as armed");
+            println!("  resume with: load_gen --resume {dir}/job-{i}");
+            return ExitCode::FAILURE;
+        }
     }
 
     if args.metrics {

@@ -46,6 +46,31 @@ pub enum FaultAction {
     Kill,
 }
 
+/// Where, relative to the checkpoint manifest's atomic rename, a simulated
+/// whole-process kill strikes (see [`FaultPolicy::kill_process_at_barrier`]).
+///
+/// The durability layer's commit protocol is write-temp → fsync → rename;
+/// each phase leaves a different on-disk state for recovery to handle:
+///
+/// * `BeforeRename` — the per-rank checkpoint files are durable but the
+///   manifest never appears, so the epoch is invisible and resume falls back
+///   to the previous barrier.
+/// * `DuringRename` — the manifest appears torn (a partial write at the
+///   final path, as a non-atomic filesystem would leave it); recovery must
+///   reject it via its checksum and fall back, never trust it.
+/// * `AfterRename` — the commit completed before the death, so resume
+///   continues from exactly this barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// Die after the checkpoint files are durable but before the manifest
+    /// rename: the epoch never becomes visible.
+    BeforeRename,
+    /// Die mid-manifest-write, leaving a torn manifest at the final path.
+    DuringRename,
+    /// Die immediately after the atomic rename: the epoch is committed.
+    AfterRename,
+}
+
 /// A seeded, deterministic fault model.
 ///
 /// Probabilities are evaluated in the order drop → duplicate → delay against
@@ -73,6 +98,14 @@ pub struct FaultPolicy {
     /// stream the node sends on) come out as [`FaultAction::Kill`]. Keyed by
     /// node identity, not rank slot — see [`FaultHarness::set_node`].
     pub kill: Option<(usize, u64)>,
+    /// When set, kills the *whole process* at the `barrier`-th durable
+    /// checkpoint commit (the store's monotonic epoch sequence number), in
+    /// the given [`CrashPhase`] relative to the manifest's atomic rename.
+    /// Unlike [`FaultPolicy::kill`] this is not a per-node message fault:
+    /// every rank of the job dies at once, exactly as a `kill -9` on the
+    /// hosting process would. The fault layer only carries the knob; the
+    /// durability layer in `ptycho-core` enacts it at commit time.
+    pub process_kill: Option<(u64, CrashPhase)>,
 }
 
 impl FaultPolicy {
@@ -86,6 +119,7 @@ impl FaultPolicy {
             only_tag: None,
             drop_exact: None,
             kill: None,
+            process_kill: None,
         }
     }
 
@@ -127,6 +161,17 @@ impl FaultPolicy {
     /// [`FaultAction::Kill`].
     pub fn kill_rank(mut self, node: usize, after_sends: u64) -> Self {
         self.kill = Some((node, after_sends));
+        self
+    }
+
+    /// Kills the whole process at the `barrier`-th durable checkpoint commit
+    /// (the checkpoint store's epoch sequence number), in the given
+    /// [`CrashPhase`] relative to the manifest's atomic rename. Used by the
+    /// resume tests and the `load_gen --kill-at-barrier` CI smoke; a run
+    /// without a checkpoint store never reaches a commit, so the knob is
+    /// inert there.
+    pub fn kill_process_at_barrier(mut self, barrier: u64, phase: CrashPhase) -> Self {
+        self.process_kill = Some((barrier, phase));
         self
     }
 
@@ -240,6 +285,21 @@ enum HarnessMode {
     Replay(Arc<DecisionMap>),
 }
 
+/// A snapshot of one rank's fault-decision counters: the total-send clock
+/// the rank-death fault fires on plus every per-`(to, tag)` stream sequence
+/// number. The durability layer persists this at each consistency barrier and
+/// restores it on process resume, so a resumed process's fault decisions
+/// continue from where the killed process left off instead of replaying the
+/// decision stream from zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultCursor {
+    /// Total send decisions made, across every stream.
+    pub total_sends: u64,
+    /// Per-stream counters as `(to, tag, next_seq)`, in canonical
+    /// `(to, tag)` order so two snapshots of the same state compare equal.
+    pub streams: Vec<(usize, u64, u64)>,
+}
+
 /// The per-rank fault filter a backend routes its sends through.
 ///
 /// Created by [`FaultInjectionBackend`] and installed into each rank's comm
@@ -266,6 +326,30 @@ impl FaultHarness {
     /// node.
     pub fn set_node(&mut self, node: usize) {
         self.node = node;
+    }
+
+    /// Snapshots the harness's decision counters (see [`FaultCursor`]).
+    pub fn cursor(&self) -> FaultCursor {
+        let mut streams: Vec<(usize, u64, u64)> = self
+            .seq
+            .iter()
+            .map(|(&(to, tag), &next)| (to, tag, next))
+            .collect();
+        streams.sort_unstable();
+        FaultCursor {
+            total_sends: self.total_sends,
+            streams,
+        }
+    }
+
+    /// Restores the harness's decision counters from a persisted snapshot.
+    pub fn set_cursor(&mut self, cursor: &FaultCursor) {
+        self.total_sends = cursor.total_sends;
+        self.seq = cursor
+            .streams
+            .iter()
+            .map(|&(to, tag, next)| ((to, tag), next))
+            .collect();
     }
 
     /// Decides the fate of one outgoing message and records it in the trace.

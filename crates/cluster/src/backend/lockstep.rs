@@ -481,6 +481,16 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
     fn set_telemetry(&mut self, sink: ptycho_telemetry::RankSink) {
         self.telemetry = Some(sink);
     }
+
+    fn fault_cursor(&self) -> Option<super::fault::FaultCursor> {
+        self.harness.as_ref().map(|h| h.cursor())
+    }
+
+    fn set_fault_cursor(&mut self, cursor: &super::fault::FaultCursor) {
+        if let Some(harness) = self.harness.as_mut() {
+            harness.set_cursor(cursor);
+        }
+    }
 }
 
 /// The deterministic cooperative backend.

@@ -31,7 +31,9 @@ pub mod threaded;
 use crate::clock::RankClock;
 use crate::memory::MemoryTracker;
 
-pub use fault::{CommTrace, FaultAction, FaultInjectionBackend, FaultPolicy, TraceEvent};
+pub use fault::{
+    CommTrace, CrashPhase, FaultAction, FaultCursor, FaultInjectionBackend, FaultPolicy, TraceEvent,
+};
 pub use lockstep::{LockstepBackend, LockstepComm};
 pub use pool::TilePayloadPool;
 pub use reliable::{ReliableComm, ReliableConfig, ReliableStats};
@@ -234,6 +236,26 @@ pub enum CommError {
         /// The rank that observed the cancellation.
         rank: usize,
     },
+    /// The whole hosting process died (simulated via
+    /// [`FaultPolicy::kill_process_at_barrier`](fault::FaultPolicy::kill_process_at_barrier)):
+    /// every rank terminates at once at a durable checkpoint commit. Not a
+    /// per-rank fault — no restart budget or spare can heal it in-process;
+    /// only an out-of-process resume from the on-disk checkpoint can.
+    ProcessKilled {
+        /// The rank reporting the death.
+        rank: usize,
+        /// The checkpoint-store epoch sequence number the kill struck at.
+        seq: u64,
+    },
+    /// The run was preempted cooperatively at an iteration barrier so the
+    /// job service can splice newly ingested scan positions into the dataset
+    /// and restart the solve over the enlarged problem. Like `Cancelled`,
+    /// this is not a fault — the recovery machinery must surface it
+    /// immediately instead of trying to heal it.
+    Preempted {
+        /// The rank that observed the preemption.
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -279,6 +301,16 @@ impl std::fmt::Display for CommError {
             CommError::Cancelled { rank } => write!(
                 f,
                 "rank {rank}: the job was cancelled cooperatively at an iteration barrier"
+            ),
+            CommError::ProcessKilled { rank, seq } => write!(
+                f,
+                "rank {rank}: the hosting process was killed at durable checkpoint \
+                 commit {seq}; resume from the checkpoint directory to continue"
+            ),
+            CommError::Preempted { rank } => write!(
+                f,
+                "rank {rank}: the run was preempted at an iteration barrier to splice \
+                 newly ingested scan positions"
             ),
         }
     }
@@ -396,6 +428,21 @@ pub trait RankComm<M: Payload> {
     /// inward. Defaults to a no-op so trivial test doubles stay trivial.
     fn set_telemetry(&mut self, sink: ptycho_telemetry::RankSink) {
         let _ = sink;
+    }
+
+    /// Snapshots the installed fault harness's decision counters, if a
+    /// harness is installed (see [`fault::FaultCursor`]). The durability
+    /// layer persists the cursor with each checkpoint so a resumed process
+    /// continues the fault-decision stream instead of replaying it from
+    /// zero. Defaults to `None` for backends without fault support.
+    fn fault_cursor(&self) -> Option<fault::FaultCursor> {
+        None
+    }
+
+    /// Restores the installed fault harness's decision counters from a
+    /// persisted snapshot. A no-op when no harness is installed.
+    fn set_fault_cursor(&mut self, cursor: &fault::FaultCursor) {
+        let _ = cursor;
     }
 }
 

@@ -462,6 +462,14 @@ where
         self.inner.set_telemetry(sink.clone());
         self.telemetry = Some(sink);
     }
+
+    fn fault_cursor(&self) -> Option<super::fault::FaultCursor> {
+        self.inner.fault_cursor()
+    }
+
+    fn set_fault_cursor(&mut self, cursor: &super::fault::FaultCursor) {
+        self.inner.set_fault_cursor(cursor);
+    }
 }
 
 #[cfg(test)]

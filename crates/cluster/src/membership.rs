@@ -163,6 +163,38 @@ impl MembershipView {
         }
     }
 
+    /// Rebuilds a table from its persisted parts — the inverse of reading
+    /// [`MembershipView::epoch`] / [`MembershipView::assignment`] /
+    /// [`MembershipView::spare_nodes`] / [`MembershipView::dead_nodes`].
+    /// Used by the durability layer to restore the membership state a killed
+    /// process had committed, substitutions included, so a resumed run
+    /// neither re-promotes an already-promoted spare nor re-runs a dead node.
+    ///
+    /// # Panics
+    /// Panics when the parts are inconsistent: an empty assignment, or a
+    /// node appearing in more than one of assignment/spares/dead.
+    pub fn from_parts(
+        epoch: u64,
+        assignment: Vec<NodeId>,
+        spares: Vec<NodeId>,
+        dead: Vec<NodeId>,
+    ) -> Self {
+        assert!(!assignment.is_empty(), "need at least one slot");
+        let mut seen = std::collections::HashSet::new();
+        for &node in assignment.iter().chain(spares.iter()).chain(dead.iter()) {
+            assert!(
+                seen.insert(node),
+                "node {node} appears in more than one membership role"
+            );
+        }
+        Self {
+            epoch,
+            assignment,
+            spares: spares.into(),
+            dead,
+        }
+    }
+
     /// Number of tile slots (logical ranks).
     pub fn slots(&self) -> usize {
         self.assignment.len()
@@ -194,6 +226,11 @@ impl MembershipView {
     /// Number of spares still standing by.
     pub fn spares_remaining(&self) -> usize {
         self.spares.len()
+    }
+
+    /// The standby nodes in promotion order (lowest-id first).
+    pub fn spare_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.spares.iter().copied()
     }
 
     /// Nodes retired by failure-detector verdicts, in verdict order.

@@ -1,5 +1,7 @@
 //! Solver configuration shared by both decomposition methods.
 
+use ptycho_array::Rect;
+
 /// How often the accumulated-gradient buffers are synchronised between tiles
 /// (the parameter `T` of Algorithm 1, expressed in the units the paper uses in
 /// Fig. 9).
@@ -64,6 +66,13 @@ pub struct SolverConfig {
     /// pin the equivalence tests use); `None` (the default) keeps the dense
     /// transforms.
     pub probe_support_threshold: Option<f64>,
+    /// When set, every worker restricts the far-field diffraction pattern to
+    /// this detector region of interest (window-local coordinates): the
+    /// inverse entry FFT only reconstructs the pruned output rows, matching
+    /// [`ptycho_sim::MultisliceModel::with_detector_roi`]. The full-window
+    /// ROI is bit-identical to `None` — the degenerate pin the equivalence
+    /// tests use. `None` (the default) keeps the dense detector.
+    pub detector_roi: Option<Rect>,
 }
 
 impl Default for SolverConfig {
@@ -77,6 +86,7 @@ impl Default for SolverConfig {
             hve_extra_probe_rows: 2,
             hve_exchange_period: 1,
             probe_support_threshold: None,
+            detector_roi: None,
         }
     }
 }
@@ -94,6 +104,7 @@ impl SolverConfig {
             hve_extra_probe_rows: 2,
             hve_exchange_period: 1,
             probe_support_threshold: None,
+            detector_roi: None,
         }
     }
 }

@@ -53,16 +53,22 @@
 //! [`CommError::SparesExhausted`]: ptycho_cluster::CommError::SparesExhausted
 
 use crate::convergence::CostHistory;
+use crate::durability::{
+    ByteReader, ByteWriter, CheckpointPayload, CheckpointStore, DurabilityError, EpochManifest,
+    RecoveredEpoch, SlotRecord,
+};
 use crate::stitch::stitch_tiles;
 use crate::tiling::TileGrid;
 use ptycho_array::Rect;
 use ptycho_cluster::membership::frames;
 use ptycho_cluster::{
-    CommBackend, CommError, MembershipError, MembershipView, MemoryTracker, RankComm, RankFailure,
-    RankOutcome, ReliableComm, ReliableConfig, ReliableStats, SharedTile, TimeBreakdown,
+    CommBackend, CommError, CrashPhase, MembershipError, MembershipView, MemoryTracker, RankComm,
+    RankFailure, RankOutcome, ReliableComm, ReliableConfig, ReliableStats, SharedTile,
+    TimeBreakdown,
 };
 use ptycho_fft::CArray3;
 use ptycho_telemetry::{Telemetry, TelemetryEvent};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -207,6 +213,13 @@ pub struct IterationProgress {
 pub struct JobContext<'a> {
     /// Raised by the job's owner to request cooperative cancellation.
     pub cancel: Option<&'a AtomicBool>,
+    /// Raised by the job's owner to preempt the run at the next iteration
+    /// boundary — same poll points as `cancel`, but surfaced as
+    /// [`CommError::Preempted`] so the owner can splice newly ingested scan
+    /// positions into the dataset and re-run, instead of tearing the job
+    /// down. Like cancellation it is not a fault: the recovery machinery
+    /// never spends restart budget or spares on it.
+    pub preempt: Option<&'a AtomicBool>,
     /// Sink for per-iteration progress events.
     pub progress: Option<&'a (dyn Fn(IterationProgress) + Sync)>,
     /// External spare-pool arbiter: `grant(dead_local_node) -> granted`.
@@ -216,12 +229,55 @@ pub struct JobContext<'a> {
     /// stream (simulated clock, never wall time) and flushes the durable
     /// sink at every consistency barrier.
     pub telemetry: Option<&'a Telemetry>,
+    /// Durable checkpointing: when present, every consistency barrier also
+    /// persists each rank's checkpoint to the [`CheckpointStore`] and
+    /// commits the epoch with an atomic manifest rename (see
+    /// [`DurabilityHook`]). Requires a recovering policy — the barrier the
+    /// store piggybacks on does not exist under
+    /// [`RecoveryPolicy::FailFast`].
+    pub durability: Option<DurabilityHook<'a>>,
+}
+
+/// Wires one engine run to an on-disk [`CheckpointStore`].
+///
+/// Persistence rides the existing consistency barrier: after every rank has
+/// passed iteration `i`'s barrier, each rank durably writes its slot file, a
+/// second barrier proves all slot files are on disk, rank 0 commits the
+/// epoch manifest (the atomic rename that makes the epoch visible), and a
+/// third barrier publishes the commit before any rank starts iteration
+/// `i + 1`. The extra barriers cost only simulated time — they change no
+/// message payloads, so the reconstruction stays bit-identical to a run
+/// without the hook.
+#[derive(Clone, Copy)]
+pub struct DurabilityHook<'a> {
+    /// The store epochs are committed to.
+    pub store: &'a CheckpointStore,
+    /// A previously recovered epoch to resume from: the engine prefills
+    /// every rank's checkpoint slot, membership table, and recovery
+    /// counters from it before the first attempt, so the resumed run
+    /// continues exactly where the killed process left off.
+    pub resume: Option<&'a RecoveredEpoch>,
+    /// Fault injection: simulate a whole-process kill when committing the
+    /// epoch with this store sequence number, at the given phase relative
+    /// to the manifest rename. The run surfaces
+    /// [`CommError::ProcessKilled`] on every rank.
+    pub kill: Option<(u64, CrashPhase)>,
+    /// The service-level job spec, already encoded; embedded opaquely in
+    /// every manifest so `JobEngine::resume(dir)` can rebuild the job from
+    /// the directory alone.
+    pub spec: &'a [u8],
 }
 
 impl JobContext<'_> {
     /// True once the owner has requested cancellation.
     pub fn cancelled(&self) -> bool {
         self.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// True once the owner has requested an iteration-boundary preemption.
+    pub fn preempted(&self) -> bool {
+        self.preempt
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     fn emit(&self, event: IterationProgress) {
@@ -235,9 +291,11 @@ impl std::fmt::Debug for JobContext<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobContext")
             .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field("preempt", &self.preempt.map(|c| c.load(Ordering::Relaxed)))
             .field("progress", &self.progress.is_some())
             .field("spare_grant", &self.spare_grant.is_some())
             .field("telemetry", &self.telemetry.is_some())
+            .field("durability", &self.durability.is_some())
             .finish()
     }
 }
@@ -254,8 +312,11 @@ pub trait SolverKernel: Sync {
         Self: 'k;
 
     /// A lightweight snapshot of the mutable part of [`Self::State`], taken
-    /// at iteration boundaries (for both methods: the tile volume).
-    type Checkpoint: Send;
+    /// at iteration boundaries (for both methods: the tile volume). The
+    /// [`CheckpointPayload`] bound is what lets the durability layer write
+    /// the snapshot to disk and restore it bit-identically in a resumed
+    /// process.
+    type Checkpoint: Send + CheckpointPayload;
 
     /// The tile decomposition (one rank per tile).
     fn grid(&self) -> &TileGrid;
@@ -370,6 +431,15 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
         backend: &B,
         job: &JobContext<'_>,
     ) -> Result<ReconstructionResult, RankFailure> {
+        // Durable checkpoints piggyback on the recovering path's consistency
+        // barrier; the fail-fast path has no barrier to hang them on, so a
+        // silent no-op here would look like durability while providing none.
+        assert!(
+            job.durability.is_none(),
+            "durable checkpoints require a recovering policy \
+             (RetransmitThenRestart or SubstituteSpare): the fail-fast path \
+             has no consistency barrier to persist at"
+        );
         let kernel = self.kernel;
         let iterations = kernel.iterations();
         let outcomes = backend.run::<SharedTile, RankRun, _>(kernel.grid().num_tiles(), |ctx| {
@@ -383,6 +453,9 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
             for iteration in 0..iterations {
                 if job.cancelled() {
                     return Err(CommError::Cancelled { rank: ctx.rank() });
+                }
+                if job.preempted() {
+                    return Err(CommError::Preempted { rank: ctx.rank() });
                 }
                 if let Some(sink) = &sink {
                     sink.record_at_comm_ns(
@@ -482,6 +555,50 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
         let mut restarts = 0usize;
         let mut substitutions = 0usize;
         let mut attempt_index = 0usize;
+        // Resuming from disk: prefill every rank's checkpoint slot, the
+        // membership table, and the recovery counters from the recovered
+        // epoch, so the existing restore-from-slot path picks the run up
+        // exactly where the killed process committed it. Fault cursors are
+        // handed to each rank once (first post-resume attempt) so seeded
+        // fault decisions that already fired before the kill do not re-fire.
+        let resume_seq = job.durability.as_ref().and_then(|hook| {
+            let epoch = hook.resume?;
+            assert_eq!(
+                epoch.slots.len(),
+                ranks,
+                "recovered epoch has {} slots but the decomposition has {} ranks",
+                epoch.slots.len(),
+                ranks
+            );
+            for (slot, record) in epoch.slots.iter().enumerate() {
+                let mut reader = ByteReader::new(&record.state, Path::new("recovered slot state"));
+                let state = K::Checkpoint::decode(&mut reader)
+                    .expect("recovered checkpoint state does not decode for this kernel");
+                *slots[slot].lock().expect("checkpoint slot poisoned") = Some(CheckpointSlot {
+                    iteration: record.iteration,
+                    costs: record.costs.clone(),
+                    state,
+                });
+            }
+            if membership.is_some() {
+                membership = Some(epoch.manifest.membership.clone());
+            }
+            restarts = epoch.manifest.restarts;
+            substitutions = epoch.manifest.substitutions;
+            attempt_index = epoch.manifest.attempt_index as usize;
+            Some(epoch.manifest.seq)
+        });
+        let resume_cursors: Vec<Mutex<Option<ptycho_cluster::FaultCursor>>> = (0..ranks)
+            .map(|slot| {
+                Mutex::new(
+                    job.durability
+                        .as_ref()
+                        .and_then(|hook| hook.resume)
+                        .and_then(|epoch| epoch.slots[slot].cursor.clone()),
+                )
+            })
+            .collect();
+        let start_attempt = attempt_index;
         loop {
             // The wire epoch (and the heartbeat tags' attempt field) is 8
             // bits wide; make the ceiling explicit instead of letting the
@@ -512,6 +629,19 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
             let assignment_ref = &assignment;
             let dead_ref = &dead_nodes;
             let attempt_number = attempt_index;
+            // Counters and membership as the manifest must record them: the
+            // state a resumed process needs to continue this attempt.
+            let restarts_now = restarts;
+            let substitutions_now = substitutions;
+            let view_snapshot = membership.clone();
+            let view_ref = &view_snapshot;
+            // Set by rank 0 when a simulated process kill strikes its commit;
+            // every rank observes it after the commit barrier and unwinds
+            // together, so the "process" dies as a unit.
+            let killed = AtomicBool::new(false);
+            let killed_ref = &killed;
+            let durability = job.durability;
+            let resume_cursors_ref = &resume_cursors;
             let attempt = backend.run::<SharedTile, RankRun, _>(ranks, |ctx| {
                 let slot = ctx.rank();
                 let node = assignment_ref.as_ref().map_or(slot, |a| a[slot]);
@@ -540,6 +670,29 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                         None => (Vec::with_capacity(iterations), 0),
                     }
                 };
+                // First attempt of a resumed process: hand the rank its
+                // persisted fault cursor (so seeded fault decisions continue
+                // where the killed process stopped, instead of re-firing)
+                // and record the restore. The cell is taken once — later
+                // attempts start fresh harnesses exactly as they would in an
+                // uninterrupted run.
+                if let Some(seq) = resume_seq {
+                    if let Some(cursor) = resume_cursors_ref[slot]
+                        .lock()
+                        .expect("resume cursor poisoned")
+                        .take()
+                    {
+                        comm.set_fault_cursor(&cursor);
+                    }
+                    if attempt_number == start_attempt {
+                        if let Some(sink) = &sink {
+                            sink.record(TelemetryEvent::CheckpointRestored {
+                                iteration: start as u64,
+                                seq,
+                            });
+                        }
+                    }
+                }
                 let heartbeats = assignment_ref.is_some() && ranks > 1;
                 let mut heartbeats_sent = 0u64;
                 let mut heartbeats_observed = 0u64;
@@ -553,6 +706,12 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                         // cancelled (not faulted) run by the failure branch.
                         if job.cancelled() {
                             return Err(CommError::Cancelled { rank: slot });
+                        }
+                        // The ingestion preemption point: like cancellation,
+                        // but the owner intends to splice new scan positions
+                        // and re-run rather than tear the job down.
+                        if job.preempted() {
+                            return Err(CommError::Preempted { rank: slot });
                         }
                         if let Some(sink) = &sink {
                             sink.record_at_comm_ns(
@@ -660,11 +819,74 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                                 );
                             }
                         }
+                        let snapshot = kernel.checkpoint(&state);
+                        // Durable persistence rides the barrier just crossed:
+                        // every rank's in-flight state for iteration
+                        // `iteration` is final, so the slot files written now
+                        // form a globally consistent cut. Two more barriers
+                        // order (a) all slot files before the manifest commit
+                        // and (b) the commit before anyone proceeds — they
+                        // carry no payloads, so the reconstruction stays
+                        // bit-identical to an undurable run.
+                        if let Some(hook) = &durability {
+                            let seq = hook.store.next_seq();
+                            let mut encoded = ByteWriter::new();
+                            snapshot.encode(&mut encoded);
+                            let record = SlotRecord {
+                                iteration: iteration + 1,
+                                costs: costs.clone(),
+                                cursor: comm.fault_cursor(),
+                                state: encoded.into_bytes(),
+                            };
+                            let bytes = hook
+                                .store
+                                .write_slot(seq, slot, &record)
+                                .unwrap_or_else(|e| panic!("checkpoint slot write failed: {e}"));
+                            comm.barrier()?;
+                            if slot == 0 {
+                                let manifest = EpochManifest {
+                                    seq,
+                                    iteration: iteration + 1,
+                                    attempt_index: attempt_number as u8,
+                                    restarts: restarts_now,
+                                    substitutions: substitutions_now,
+                                    membership: view_ref
+                                        .clone()
+                                        .unwrap_or_else(|| MembershipView::new(ranks, 0)),
+                                    spec: hook.spec.to_vec(),
+                                };
+                                let crash = hook
+                                    .kill
+                                    .filter(|&(kill_seq, _)| kill_seq == seq)
+                                    .map(|(_, phase)| phase);
+                                match hook.store.commit(&manifest, crash) {
+                                    Ok(()) => {}
+                                    Err(DurabilityError::SimulatedCrash { .. }) => {
+                                        killed_ref.store(true, Ordering::SeqCst);
+                                    }
+                                    Err(e) => panic!("checkpoint commit failed: {e}"),
+                                }
+                            }
+                            comm.barrier()?;
+                            if killed_ref.load(Ordering::SeqCst) {
+                                return Err(CommError::ProcessKilled { rank: slot, seq });
+                            }
+                            if let Some(sink) = &sink {
+                                sink.record_at_comm_ns(
+                                    comm.clock_mut().comm_ns(),
+                                    TelemetryEvent::CheckpointPersisted {
+                                        iteration: (iteration + 1) as u64,
+                                        seq,
+                                        bytes,
+                                    },
+                                );
+                            }
+                        }
                         *slots_ref[slot].lock().expect("checkpoint slot poisoned") =
                             Some(CheckpointSlot {
                                 iteration: iteration + 1,
                                 costs: costs.clone(),
-                                state: kernel.checkpoint(&state),
+                                state: snapshot,
                             });
                         if let Some(sink) = &sink {
                             sink.record_at_comm_ns(
@@ -746,6 +968,27 @@ impl<'k, K: SolverKernel> IterationEngine<'k, K> {
                         return Err(RankFailure {
                             rank: failure.rank,
                             error: CommError::Cancelled { rank: failure.rank },
+                            failed_ranks: failure.failed_ranks,
+                        });
+                    }
+                    // A simulated process kill is terminal by definition:
+                    // the "process" is dead, and resuming it is the caller's
+                    // job (`JobEngine::resume(dir)`), not this loop's.
+                    if let CommError::ProcessKilled { .. } = failure.error {
+                        flush_telemetry();
+                        return Err(failure);
+                    }
+                    // Preemption mirrors cancellation: the owner raised the
+                    // flag to splice ingested scan positions, so the run is
+                    // over here and the owner re-runs it. Ranks that were
+                    // already parked in a receive or barrier when the flag
+                    // went up fail with a timeout instead — map those back
+                    // to the preemption that caused them.
+                    if job.preempted() || matches!(failure.error, CommError::Preempted { .. }) {
+                        flush_telemetry();
+                        return Err(RankFailure {
+                            rank: failure.rank,
+                            error: CommError::Preempted { rank: failure.rank },
                             failed_ranks: failure.failed_ranks,
                         });
                     }

@@ -394,6 +394,41 @@ mod tests {
     }
 
     #[test]
+    fn full_window_detector_roi_is_bit_identical_to_the_dense_path() {
+        // The degenerate ROI covering the whole detector window selects the
+        // dense far-field transform again, so the configured seam must
+        // reproduce the dense solver run bit for bit — the pin that keeps
+        // the `SolverConfig::detector_roi` wiring honest.
+        let dataset = tiny_dataset();
+        let window = dataset.model().window_px() as i64;
+        let dense = GradientDecompositionSolver::new(&dataset, quick_config(2), (1, 2))
+            .run(&Cluster::new(ClusterTopology::summit()));
+        let roi_config = SolverConfig {
+            detector_roi: Some(ptycho_array::Rect::new(0, 0, window, window)),
+            ..quick_config(2)
+        };
+        let restricted = GradientDecompositionSolver::new(&dataset, roi_config, (1, 2))
+            .run(&Cluster::new(ClusterTopology::summit()));
+        for (a, b) in dense.volume.iter().zip(restricted.volume.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn detector_roi_solver_still_reduces_cost() {
+        let dataset = tiny_dataset();
+        let config = SolverConfig {
+            detector_roi: Some(ptycho_array::Rect::new(8, 8, 16, 16)),
+            ..quick_config(3)
+        };
+        let solver = GradientDecompositionSolver::new(&dataset, config, (1, 1));
+        let result = solver.run(&Cluster::new(ClusterTopology::summit()));
+        assert!(result.cost_history.final_cost() < result.cost_history.initial_cost());
+        assert!(result.cost_history.final_cost().is_finite());
+    }
+
+    #[test]
     fn decomposed_matches_serial_when_updates_are_synchronous() {
         // With local updates disabled and one pass per iteration, the parallel
         // method is exactly synchronous full-gradient descent, so any tile

@@ -57,6 +57,7 @@
 
 pub mod config;
 pub mod convergence;
+pub mod durability;
 pub mod engine;
 pub mod gradient_decomp;
 pub mod halo_exchange;
@@ -70,9 +71,13 @@ mod worker;
 
 pub use config::SolverConfig;
 pub use convergence::CostHistory;
+pub use durability::{
+    CheckpointPayload, CheckpointStore, DurabilityError, EpochManifest, RecoveredEpoch, Recovery,
+    SlotRecord,
+};
 pub use engine::{
-    IterationEngine, IterationProgress, JobContext, ReconstructionResult, RecoveryPolicy,
-    RecoveryReport, SolverKernel,
+    DurabilityHook, IterationEngine, IterationProgress, JobContext, ReconstructionResult,
+    RecoveryPolicy, RecoveryReport, SolverKernel,
 };
 pub use gradient_decomp::solver::GradientDecompositionSolver;
 pub use halo_exchange::solver::HaloVoxelExchangeSolver;

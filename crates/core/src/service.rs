@@ -37,17 +37,22 @@
 //! [`JobQueue`]: ptycho_cluster::JobQueue
 //! [`RecoveryReport`]: crate::engine::RecoveryReport
 
-use crate::config::SolverConfig;
-use crate::engine::{IterationProgress, JobContext, ReconstructionResult, RecoveryPolicy};
+use crate::config::{PassFrequency, SolverConfig};
+use crate::durability::{ByteReader, ByteWriter, CheckpointStore, DurabilityError, RecoveredEpoch};
+use crate::engine::{
+    DurabilityHook, IterationProgress, JobContext, ReconstructionResult, RecoveryPolicy,
+};
 use crate::gradient_decomp::solver::GradientDecompositionSolver;
 use crate::halo_exchange::solver::HaloVoxelExchangeSolver;
+use ptycho_array::Rect;
 use ptycho_cluster::{
-    Cluster, ClusterTopology, CommBackend, CommError, FaultInjectionBackend, FaultPolicy,
-    FleetView, JobId, JobQueue, LockstepBackend, NodeId, RankFailure,
+    Cluster, ClusterTopology, CommBackend, CommError, CrashPhase, FaultInjectionBackend,
+    FaultPolicy, FleetView, JobId, JobQueue, LockstepBackend, NodeId, RankFailure,
 };
-use ptycho_sim::dataset::Dataset;
+use ptycho_sim::dataset::{Dataset, ScanFrame, SyntheticConfig};
 use ptycho_telemetry::{Histogram, MetricsRegistry, Telemetry, TelemetryEvent};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -102,6 +107,15 @@ pub struct JobSpec {
     /// Optional flight recorder: comm, iteration, recovery, and job
     /// lifecycle events stream into it (and its durable sink, if any).
     pub telemetry: Option<Arc<Telemetry>>,
+    /// When set, every consistency barrier durably checkpoints the job into
+    /// a [`CheckpointStore`] rooted at this directory, and
+    /// [`JobEngine::resume`] can rebuild the job from the directory alone
+    /// after a process kill.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// A recovered on-disk epoch to resume from (set by
+    /// [`JobEngine::resume`]; the engine prefills rank state, membership,
+    /// and recovery counters from it).
+    pub resume_from: Option<Arc<RecoveredEpoch>>,
 }
 
 impl JobSpec {
@@ -124,6 +138,8 @@ impl JobSpec {
             fault_policy: None,
             backend: ServiceBackend::Lockstep,
             telemetry: None,
+            checkpoint_dir: None,
+            resume_from: None,
         }
     }
 
@@ -160,6 +176,16 @@ impl JobSpec {
     /// Attaches a flight recorder to the job.
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Durably checkpoints the job into a [`CheckpointStore`] rooted at
+    /// `dir`, making it resumable with [`JobEngine::resume`] after a
+    /// process kill. Requires a recovering [`RecoveryPolicy`] (the default)
+    /// — the consistency barrier persistence rides does not exist under
+    /// [`RecoveryPolicy::FailFast`].
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
         self
     }
 
@@ -257,6 +283,13 @@ pub struct JobReport {
 struct JobRecord {
     state: JobState,
     cancel: Arc<AtomicBool>,
+    /// Raised by [`JobHandle::ingest`]: asks the running job to stop at the
+    /// next iteration boundary so newly arrived scan positions can be
+    /// spliced in. Lowered by the runner once the splice happens.
+    preempt: Arc<AtomicBool>,
+    /// Scan frames queued by [`JobHandle::ingest`], consumed by the runner
+    /// at the next splice point.
+    ingest: Arc<Mutex<Vec<ScanFrame>>>,
     /// Job-local node id → fleet node. Indices `0..slots` are the initial
     /// lease; each drawn spare is appended in promotion order, mirroring the
     /// engine's `slots + k` numbering for the k-th promotion.
@@ -364,8 +397,8 @@ impl JobEngine {
     }
 
     /// An engine that holds every submission in the queue until
-    /// [`JobEngine::resume`] — for deterministic burst submission (load
-    /// generators, scheduler tests).
+    /// [`JobEngine::start_admitting`] — for deterministic burst submission
+    /// (load generators, scheduler tests).
     pub fn paused(fleet_nodes: usize) -> Self {
         Self::build(fleet_nodes, true)
     }
@@ -392,11 +425,57 @@ impl JobEngine {
 
     /// Starts admitting queued jobs (no-op unless built with
     /// [`JobEngine::paused`]).
-    pub fn resume(&self) {
+    pub fn start_admitting(&self) {
         let mut state = self.lock();
         state.paused = false;
         try_admit(&mut state, &self.shared);
         self.shared.changed.notify_all();
+    }
+
+    /// Resumes a killed job from its checkpoint directory.
+    ///
+    /// Scans the [`CheckpointStore`] rooted at `dir` for the newest epoch
+    /// that verifies end to end (torn or corrupted epochs are skipped with
+    /// a typed reason, never trusted), decodes the job spec embedded in its
+    /// manifest, rebuilds the dataset from the synthesis recipe and the
+    /// checkpointed scan length, and submits the job with every rank
+    /// prefilled from the on-disk state. The resumed run continues at the
+    /// checkpointed iteration and finishes **bit-identical** to the same
+    /// job never having been killed.
+    ///
+    /// The resumed job is a fresh submission: new id, no telemetry recorder
+    /// (attach one to the returned spec path by submitting manually if
+    /// needed), and the same checkpoint directory — its epochs continue the
+    /// store's sequence numbering.
+    pub fn resume(&self, dir: impl Into<PathBuf>) -> Result<JobHandle, JobError> {
+        let dir = dir.into();
+        let reject = |error: DurabilityError| JobError::Rejected {
+            reason: format!("checkpoint recovery failed: {error}"),
+        };
+        let store = CheckpointStore::open(&dir).map_err(reject)?;
+        let recovery = store.recover().map_err(reject)?;
+        let Some(epoch) = recovery.epoch else {
+            let rejected: Vec<String> = recovery
+                .rejected
+                .iter()
+                .map(|(seq, reason)| format!("epoch {seq}: {reason}"))
+                .collect();
+            return Err(JobError::Rejected {
+                reason: format!(
+                    "no valid checkpoint epoch under {} ({})",
+                    dir.display(),
+                    if rejected.is_empty() {
+                        "the store is empty".to_string()
+                    } else {
+                        rejected.join("; ")
+                    }
+                ),
+            });
+        };
+        let mut spec = decode_spec(&epoch.manifest.spec, &dir).map_err(reject)?;
+        spec.checkpoint_dir = Some(dir);
+        spec.resume_from = Some(Arc::new(epoch));
+        self.submit(spec)
     }
 
     /// Submits a job. Specs that can never run — an empty grid, more slots
@@ -408,6 +487,17 @@ impl JobEngine {
             self.lock().metrics.rejected += 1;
             return Err(JobError::Rejected {
                 reason: "the tile grid is empty (zero slots)".into(),
+            });
+        }
+        if spec.checkpoint_dir.is_some() && spec.recovery == RecoveryPolicy::FailFast {
+            // Persistence rides the consistency barrier, which the fail-fast
+            // path never reaches; refuse the combination instead of letting
+            // the engine assert on it mid-run.
+            self.lock().metrics.rejected += 1;
+            return Err(JobError::Rejected {
+                reason: "durable checkpointing requires a recovering policy \
+                         (the fail-fast path has no consistency barrier to persist at)"
+                    .into(),
             });
         }
         if spec.method == SolverMethod::HaloVoxelExchange {
@@ -443,6 +533,8 @@ impl JobEngine {
             JobRecord {
                 state: JobState::Queued,
                 cancel: Arc::new(AtomicBool::new(false)),
+                preempt: Arc::new(AtomicBool::new(false)),
+                ingest: Arc::new(Mutex::new(Vec::new())),
                 node_map: Vec::new(),
                 progress: Vec::new(),
                 result: None,
@@ -636,6 +728,35 @@ impl JobHandle {
         }
     }
 
+    /// Streams newly acquired scan positions into the job.
+    ///
+    /// Frames are queued; a running job is preempted at its next iteration
+    /// boundary, splices every queued frame into its dataset with
+    /// deterministic re-partitioning, and re-runs over the enlarged
+    /// dataset. A queued job splices before its first iteration. The final
+    /// volume is **bit-identical** to submitting the full dataset up
+    /// front — the streamed-ingestion tests pin this. Frames must continue
+    /// the scan contiguously ([`ScanFrame`]s from
+    /// [`Dataset::frames_after`]). Frames ingested after the job reached a
+    /// terminal state are dropped; returns `false` in that case.
+    pub fn ingest(&self, frames: Vec<ScanFrame>) -> bool {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        let record = state.jobs.get(&self.id).expect("job record missing");
+        if record.state.is_terminal() {
+            return false;
+        }
+        record
+            .ingest
+            .lock()
+            .expect("ingest queue poisoned")
+            .extend(frames);
+        // Raise preempt *after* the frames are visible: the runner always
+        // lowers the flag before draining the queue, so a raised flag
+        // implies the frames it announces are already there.
+        record.preempt.store(true, Ordering::Release);
+        true
+    }
+
     /// The progress events emitted so far.
     pub fn progress(&self) -> Vec<JobProgress> {
         self.record(|record| record.progress.clone())
@@ -733,11 +854,17 @@ fn try_admit(state: &mut ServiceState, shared: &Arc<Shared>) {
 }
 
 /// The per-job runner: builds the job's own backend, wires the job-context
-/// hooks into the shared state, runs the solver, and completes the job.
-fn run_job_thread(shared: Arc<Shared>, id: JobId, spec: JobSpec) {
-    let cancel = {
+/// hooks into the shared state, runs the solver (re-running after every
+/// scan-ingestion splice), and completes the job.
+fn run_job_thread(shared: Arc<Shared>, id: JobId, mut spec: JobSpec) {
+    let (cancel, preempt, ingest) = {
         let state = shared.state.lock().expect("service state poisoned");
-        Arc::clone(&state.jobs.get(&id).expect("job record missing").cancel)
+        let record = state.jobs.get(&id).expect("job record missing");
+        (
+            Arc::clone(&record.cancel),
+            Arc::clone(&record.preempt),
+            Arc::clone(&record.ingest),
+        )
     };
     let progress_shared = Arc::clone(&shared);
     let progress = move |event: IterationProgress| {
@@ -800,15 +927,99 @@ fn run_job_thread(shared: Arc<Shared>, id: JobId, spec: JobSpec) {
             guard.waiting_for_spare -= 1;
         }
     };
-    let job = JobContext {
-        cancel: Some(&cancel),
-        progress: Some(&progress),
-        spare_grant: Some(&spare_grant),
-        telemetry: spec.telemetry.as_deref(),
+    // The store opens once per job: every splice round and the kill/resume
+    // cycle continue the same monotonic epoch sequence.
+    let store = match spec.checkpoint_dir.clone() {
+        None => Ok(None),
+        Some(dir) => CheckpointStore::open(&dir)
+            .map(Some)
+            .map_err(|error| JobError::Rejected {
+                reason: format!("checkpoint store at {}: {error}", dir.display()),
+            }),
     };
-    let outcome = run_spec(&spec, &job);
+    let mut resume_epoch: Option<Arc<RecoveredEpoch>> = spec.resume_from.take();
+    let outcome: Result<ReconstructionResult, JobError> = match store {
+        Err(error) => Err(error),
+        Ok(store) => loop {
+            // Splice point. Lower the preempt flag *before* draining the
+            // queue: any frame queued after the drain was published before
+            // its raise, so it either lands in this drain or leaves the
+            // flag raised for the engine's next boundary poll — no frame is
+            // ever silently stranded.
+            preempt.store(false, Ordering::Release);
+            let pending: Vec<ScanFrame> =
+                std::mem::take(&mut *ingest.lock().expect("ingest queue poisoned"));
+            if !pending.is_empty() {
+                let added = pending.len() as u64;
+                spec.dataset.ingest(pending);
+                if let Some(telemetry) = &spec.telemetry {
+                    telemetry.sink(0).record(TelemetryEvent::ScanIngested {
+                        job: id,
+                        positions: added,
+                        total: spec.dataset.scan().len() as u64,
+                    });
+                }
+                // The baseline's decomposition constraint was checked at
+                // submission against the pre-splice scan; re-check it
+                // against the enlarged one instead of panicking mid-run.
+                if spec.method == SolverMethod::HaloVoxelExchange {
+                    if let Err(error) =
+                        HaloVoxelExchangeSolver::new(&spec.dataset, spec.config, spec.grid)
+                    {
+                        break Err(JobError::Rejected {
+                            reason: format!("ingested scan broke the decomposition: {error}"),
+                        });
+                    }
+                }
+            }
+            let spec_bytes = encode_spec(&spec);
+            let durability = store.as_ref().map(|store| DurabilityHook {
+                store,
+                resume: resume_epoch.as_deref(),
+                kill: spec.fault_policy.as_ref().and_then(|p| p.process_kill),
+                spec: &spec_bytes,
+            });
+            let job = JobContext {
+                cancel: Some(&cancel),
+                preempt: Some(&preempt),
+                progress: Some(&progress),
+                spare_grant: Some(&spare_grant),
+                telemetry: spec.telemetry.as_deref(),
+                durability,
+            };
+            let round = run_spec(&spec, &job);
+            let cancelled = cancel.load(Ordering::Relaxed);
+            match round {
+                Err(failure)
+                    if matches!(failure.error, CommError::Preempted { .. }) && !cancelled =>
+                {
+                    // An ingestion splice interrupted the run: restart from
+                    // the initial guess over the (about to be) enlarged
+                    // dataset. The final round is a full deterministic run
+                    // over the final dataset, so the result is bit-identical
+                    // to a batch submission; the on-disk resume state is
+                    // from the pre-splice dataset and no longer applies.
+                    resume_epoch = None;
+                }
+                Ok(result) => {
+                    if !cancelled && !ingest.lock().expect("ingest queue poisoned").is_empty() {
+                        // Frames landed after the run's last boundary poll:
+                        // the job is not done with the data it was promised.
+                        resume_epoch = None;
+                        continue;
+                    }
+                    break Ok(result);
+                }
+                Err(failure)
+                    if cancelled || matches!(failure.error, CommError::Cancelled { .. }) =>
+                {
+                    break Err(JobError::Cancelled);
+                }
+                Err(failure) => break Err(JobError::Failed(failure)),
+            }
+        },
+    };
     let mut state = shared.state.lock().expect("service state poisoned");
-    let cancelled = cancel.load(Ordering::Relaxed);
     let record = state.jobs.get_mut(&id).expect("job record missing");
     let mut recovery = None;
     match outcome {
@@ -817,13 +1028,13 @@ fn run_job_thread(shared: Arc<Shared>, id: JobId, spec: JobSpec) {
             recovery = Some(result.recovery);
             record.result = Some(result);
         }
-        Err(failure) if cancelled || matches!(failure.error, CommError::Cancelled { .. }) => {
+        Err(JobError::Cancelled) => {
             record.state = JobState::Cancelled;
             record.error = Some(JobError::Cancelled);
         }
-        Err(failure) => {
+        Err(error) => {
             record.state = JobState::Failed;
-            record.error = Some(JobError::Failed(failure));
+            record.error = Some(error);
         }
     }
     record.finished = Some(Instant::now());
@@ -898,6 +1109,305 @@ fn run_spec(spec: &JobSpec, job: &JobContext<'_>) -> Result<ReconstructionResult
             job,
         ),
     }
+}
+
+/// Current encoding version of the manifest-embedded job spec.
+const SPEC_VERSION: u8 = 1;
+
+fn put_opt_f64(w: &mut ByteWriter, value: Option<f64>) {
+    match value {
+        None => w.put_u8(0),
+        Some(v) => {
+            w.put_u8(1);
+            w.put_f64(v);
+        }
+    }
+}
+
+fn get_opt_f64(r: &mut ByteReader<'_>) -> Result<Option<f64>, DurabilityError> {
+    Ok(match r.get_u8()? {
+        0 => None,
+        _ => Some(r.get_f64()?),
+    })
+}
+
+/// Encodes everything [`JobEngine::resume`] needs to rebuild the job from
+/// the checkpoint directory alone. The dataset is stored as its synthesis
+/// recipe plus the current scan length — the synthesized acquisition is
+/// deterministic, so the recipe *is* the data. Embedded opaquely in every
+/// [`EpochManifest`](crate::durability::EpochManifest).
+fn encode_spec(spec: &JobSpec) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(SPEC_VERSION);
+    let synth = spec.dataset.synthetic_config();
+    w.put_u64(synth.object_px as u64);
+    w.put_u64(synth.slices as u64);
+    w.put_u64(synth.scan_grid.0 as u64);
+    w.put_u64(synth.scan_grid.1 as u64);
+    w.put_u64(synth.window_px as u64);
+    put_opt_f64(&mut w, synth.dose);
+    w.put_f64(synth.defocus_pm);
+    w.put_u64(synth.seed);
+    w.put_u64(spec.dataset.scan().len() as u64);
+    let c = &spec.config;
+    w.put_u64(c.iterations as u64);
+    w.put_f64(c.step_relaxation);
+    w.put_u64(c.halo_px as u64);
+    match c.pass_frequency {
+        PassFrequency::EveryProbe => {
+            w.put_u8(0);
+            w.put_u64(0);
+        }
+        PassFrequency::PerIteration(times) => {
+            w.put_u8(1);
+            w.put_u64(times as u64);
+        }
+    }
+    w.put_u8(c.local_updates as u8);
+    w.put_u64(c.hve_extra_probe_rows as u64);
+    w.put_u64(c.hve_exchange_period as u64);
+    put_opt_f64(&mut w, c.probe_support_threshold);
+    match c.detector_roi {
+        None => w.put_u8(0),
+        Some(roi) => {
+            w.put_u8(1);
+            // i64 coordinates round-trip through their two's-complement
+            // bit patterns.
+            w.put_u64(roi.row0 as u64);
+            w.put_u64(roi.row1 as u64);
+            w.put_u64(roi.col0 as u64);
+            w.put_u64(roi.col1 as u64);
+        }
+    }
+    w.put_u64(spec.grid.0 as u64);
+    w.put_u64(spec.grid.1 as u64);
+    w.put_u8(match spec.method {
+        SolverMethod::GradientDecomposition => 0,
+        SolverMethod::HaloVoxelExchange => 1,
+    });
+    w.put_u64(spec.priority as i64 as u64);
+    match spec.recovery {
+        RecoveryPolicy::FailFast => {
+            w.put_u8(0);
+            w.put_u64(0);
+            w.put_u64(0);
+        }
+        RecoveryPolicy::RetransmitThenRestart {
+            max_iteration_restarts,
+        } => {
+            w.put_u8(1);
+            w.put_u64(max_iteration_restarts as u64);
+            w.put_u64(0);
+        }
+        RecoveryPolicy::SubstituteSpare {
+            spares,
+            max_iteration_restarts,
+        } => {
+            w.put_u8(2);
+            w.put_u64(max_iteration_restarts as u64);
+            w.put_u64(spares as u64);
+        }
+    }
+    match &spec.fault_policy {
+        None => w.put_u8(0),
+        Some(policy) => {
+            w.put_u8(1);
+            w.put_u64(policy.seed);
+            w.put_f64(policy.drop_probability);
+            w.put_f64(policy.duplicate_probability);
+            w.put_f64(policy.delay_probability);
+            match policy.only_tag {
+                None => w.put_u8(0),
+                Some(tag) => {
+                    w.put_u8(1);
+                    w.put_u64(tag);
+                }
+            }
+            match policy.drop_exact {
+                None => w.put_u8(0),
+                Some((from, to, tag, seq)) => {
+                    w.put_u8(1);
+                    w.put_u64(from as u64);
+                    w.put_u64(to as u64);
+                    w.put_u64(tag);
+                    w.put_u64(seq);
+                }
+            }
+            match policy.kill {
+                None => w.put_u8(0),
+                Some((node, after_sends)) => {
+                    w.put_u8(1);
+                    w.put_u64(node as u64);
+                    w.put_u64(after_sends);
+                }
+            }
+            match policy.process_kill {
+                None => w.put_u8(0),
+                Some((seq, phase)) => {
+                    w.put_u8(1);
+                    w.put_u64(seq);
+                    w.put_u8(match phase {
+                        CrashPhase::BeforeRename => 0,
+                        CrashPhase::DuringRename => 1,
+                        CrashPhase::AfterRename => 2,
+                    });
+                }
+            }
+        }
+    }
+    match spec.backend {
+        ServiceBackend::Lockstep => {
+            w.put_u8(0);
+            w.put_u64(0);
+        }
+        ServiceBackend::Threaded { recv_timeout } => {
+            w.put_u8(1);
+            w.put_u64(recv_timeout.as_nanos() as u64);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a manifest-embedded spec back into a submittable [`JobSpec`]
+/// (telemetry, checkpoint directory, and resume state are not part of the
+/// encoding; the caller attaches them). `path` labels decode errors.
+fn decode_spec(bytes: &[u8], path: &std::path::Path) -> Result<JobSpec, DurabilityError> {
+    let corrupt = |detail: String| DurabilityError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut r = ByteReader::new(bytes, path);
+    let version = r.get_u8()?;
+    if version != SPEC_VERSION {
+        return Err(corrupt(format!(
+            "unsupported spec version {version} (expected {SPEC_VERSION})"
+        )));
+    }
+    let synth = SyntheticConfig {
+        object_px: r.get_u64()? as usize,
+        slices: r.get_u64()? as usize,
+        scan_grid: (r.get_u64()? as usize, r.get_u64()? as usize),
+        window_px: r.get_u64()? as usize,
+        dose: get_opt_f64(&mut r)?,
+        defocus_pm: r.get_f64()?,
+        seed: r.get_u64()?,
+    };
+    let scan_len = r.get_u64()? as usize;
+    let config = SolverConfig {
+        iterations: r.get_u64()? as usize,
+        step_relaxation: r.get_f64()?,
+        halo_px: r.get_u64()? as usize,
+        pass_frequency: match (r.get_u8()?, r.get_u64()?) {
+            (0, _) => PassFrequency::EveryProbe,
+            (1, times) => PassFrequency::PerIteration(times as usize),
+            (tag, _) => return Err(corrupt(format!("unknown pass-frequency tag {tag}"))),
+        },
+        local_updates: r.get_u8()? != 0,
+        hve_extra_probe_rows: r.get_u64()? as usize,
+        hve_exchange_period: r.get_u64()? as usize,
+        probe_support_threshold: get_opt_f64(&mut r)?,
+        detector_roi: match r.get_u8()? {
+            0 => None,
+            _ => Some(Rect {
+                row0: r.get_u64()? as i64,
+                row1: r.get_u64()? as i64,
+                col0: r.get_u64()? as i64,
+                col1: r.get_u64()? as i64,
+            }),
+        },
+    };
+    let grid = (r.get_u64()? as usize, r.get_u64()? as usize);
+    let method = match r.get_u8()? {
+        0 => SolverMethod::GradientDecomposition,
+        1 => SolverMethod::HaloVoxelExchange,
+        tag => return Err(corrupt(format!("unknown solver-method tag {tag}"))),
+    };
+    let priority = r.get_u64()? as i64 as i32;
+    let recovery = match (r.get_u8()?, r.get_u64()? as usize, r.get_u64()? as usize) {
+        (0, _, _) => RecoveryPolicy::FailFast,
+        (1, max_iteration_restarts, _) => RecoveryPolicy::RetransmitThenRestart {
+            max_iteration_restarts,
+        },
+        (2, max_iteration_restarts, spares) => RecoveryPolicy::SubstituteSpare {
+            spares,
+            max_iteration_restarts,
+        },
+        (tag, _, _) => return Err(corrupt(format!("unknown recovery-policy tag {tag}"))),
+    };
+    let fault_policy = match r.get_u8()? {
+        0 => None,
+        _ => Some(FaultPolicy {
+            seed: r.get_u64()?,
+            drop_probability: r.get_f64()?,
+            duplicate_probability: r.get_f64()?,
+            delay_probability: r.get_f64()?,
+            only_tag: match r.get_u8()? {
+                0 => None,
+                _ => Some(r.get_u64()?),
+            },
+            drop_exact: match r.get_u8()? {
+                0 => None,
+                _ => Some((
+                    r.get_u64()? as usize,
+                    r.get_u64()? as usize,
+                    r.get_u64()?,
+                    r.get_u64()?,
+                )),
+            },
+            kill: match r.get_u8()? {
+                0 => None,
+                _ => Some((r.get_u64()? as usize, r.get_u64()?)),
+            },
+            process_kill: match r.get_u8()? {
+                0 => None,
+                _ => Some((
+                    r.get_u64()?,
+                    match r.get_u8()? {
+                        0 => CrashPhase::BeforeRename,
+                        1 => CrashPhase::DuringRename,
+                        2 => CrashPhase::AfterRename,
+                        tag => return Err(corrupt(format!("unknown crash-phase tag {tag}"))),
+                    },
+                )),
+            },
+        }),
+    };
+    let backend = match (r.get_u8()?, r.get_u64()?) {
+        (0, _) => ServiceBackend::Lockstep,
+        (1, nanos) => ServiceBackend::Threaded {
+            recv_timeout: Duration::from_nanos(nanos),
+        },
+        (tag, _) => return Err(corrupt(format!("unknown backend tag {tag}"))),
+    };
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes after the job spec".to_string()));
+    }
+    // The synthesized acquisition is deterministic: re-running the recipe
+    // and trimming to the checkpointed scan length reproduces the exact
+    // dataset the killed process was reconstructing (including every
+    // ingested splice, because splices come from the same recipe).
+    let full = Dataset::synthesize(synth);
+    if scan_len > full.scan().len() {
+        return Err(corrupt(format!(
+            "checkpointed scan length {scan_len} exceeds the {} positions the \
+             synthesis recipe produces",
+            full.scan().len()
+        )));
+    }
+    let dataset = full.with_scan_prefix(scan_len);
+    Ok(JobSpec {
+        dataset,
+        config,
+        grid,
+        method,
+        priority,
+        recovery,
+        fault_policy,
+        backend,
+        telemetry: None,
+        checkpoint_dir: None,
+        resume_from: None,
+    })
 }
 
 fn run_method<B: CommBackend>(

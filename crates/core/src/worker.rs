@@ -26,9 +26,10 @@ pub(crate) struct TileWorker<'a> {
     workspace: SimWorkspace,
     /// Reusable probe-window object patch, refilled per probe location.
     patch: CArray3,
-    /// A support-pruned copy of the dataset's model, built when
-    /// [`SolverConfig::probe_support_threshold`] is set; gradient evaluation
-    /// uses it in place of the dense model.
+    /// A pruned copy of the dataset's model, built when
+    /// [`SolverConfig::probe_support_threshold`] and/or
+    /// [`SolverConfig::detector_roi`] is set; gradient evaluation uses it in
+    /// place of the dense model.
     pruned_model: Option<MultisliceModel>,
 }
 
@@ -50,13 +51,23 @@ impl<'a> TileWorker<'a> {
         // Support pruning: pad the probe to its compact-support window and
         // let the entry-slice FFT skip the butterflies outside it. The
         // padded interior is bit-identical, so with a zero threshold (full
-        // window) the pruned model reproduces the dense one exactly.
-        let pruned_model = config.probe_support_threshold.map(|threshold| {
-            dataset
-                .model()
-                .clone()
-                .with_probe_support_threshold(threshold)
-        });
+        // window) the pruned model reproduces the dense one exactly. The
+        // detector ROI composes on the same pruned copy: the far-field
+        // transform only materialises the ROI rows (full-window ROI is the
+        // dense transform again).
+        let pruned_model =
+            if config.probe_support_threshold.is_some() || config.detector_roi.is_some() {
+                let mut model = dataset.model().clone();
+                if let Some(threshold) = config.probe_support_threshold {
+                    model = model.with_probe_support_threshold(threshold);
+                }
+                if let Some(roi) = config.detector_roi {
+                    model = model.with_detector_roi(roi);
+                }
+                Some(model)
+            } else {
+                None
+            };
 
         // Register what this worker would hold in GPU memory.
         let window = dataset.model().window_px();

@@ -158,6 +158,34 @@ pub enum TelemetryEvent {
         /// Iterations the reconstruction ran.
         iterations: u64,
     },
+    /// A rank's consistency-barrier checkpoint was made durable on disk and
+    /// the epoch's manifest committed (atomic rename).
+    CheckpointPersisted {
+        /// Iteration the durable checkpoint covers (first not-yet-run).
+        iteration: u64,
+        /// The checkpoint store's monotonic epoch sequence number.
+        seq: u64,
+        /// Size of this rank's checkpoint file in bytes.
+        bytes: u64,
+    },
+    /// A rank restored its state from an on-disk checkpoint epoch at process
+    /// resume.
+    CheckpointRestored {
+        /// Iteration the restored checkpoint covers.
+        iteration: u64,
+        /// The checkpoint store epoch the state came from.
+        seq: u64,
+    },
+    /// The job service spliced newly ingested scan positions into the
+    /// job's dataset at an iteration boundary.
+    ScanIngested {
+        /// Service-assigned job id.
+        job: u64,
+        /// Scan positions added by this splice.
+        positions: u64,
+        /// Total scan positions in the dataset after the splice.
+        total: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -182,6 +210,9 @@ impl TelemetryEvent {
             TelemetryEvent::JobAdmitted { .. } => "job_admitted",
             TelemetryEvent::JobCancelled { .. } => "job_cancelled",
             TelemetryEvent::JobCompleted { .. } => "job_completed",
+            TelemetryEvent::CheckpointPersisted { .. } => "checkpoint_persisted",
+            TelemetryEvent::CheckpointRestored { .. } => "checkpoint_restored",
+            TelemetryEvent::ScanIngested { .. } => "scan_ingested",
         }
     }
 }

@@ -88,6 +88,29 @@ pub fn emit_record(record: &TelemetryRecord, out: &mut String) {
         TelemetryEvent::JobCompleted { job, iterations } => {
             let _ = write!(out, ",\"job_id\":{job},\"iterations\":{iterations}");
         }
+        TelemetryEvent::CheckpointPersisted {
+            iteration,
+            seq,
+            bytes,
+        } => {
+            let _ = write!(
+                out,
+                ",\"iteration\":{iteration},\"epoch_seq\":{seq},\"bytes\":{bytes}"
+            );
+        }
+        TelemetryEvent::CheckpointRestored { iteration, seq } => {
+            let _ = write!(out, ",\"iteration\":{iteration},\"epoch_seq\":{seq}");
+        }
+        TelemetryEvent::ScanIngested {
+            job,
+            positions,
+            total,
+        } => {
+            let _ = write!(
+                out,
+                ",\"job_id\":{job},\"positions\":{positions},\"total\":{total}"
+            );
+        }
     }
     out.push_str("}\n");
 }
@@ -351,6 +374,20 @@ pub fn parse_record(line: &str) -> Result<TelemetryRecord, ParseError> {
             job: get_u64(&fields, "job_id", &kind)?,
             iterations: get_u64(&fields, "iterations", &kind)?,
         },
+        "checkpoint_persisted" => TelemetryEvent::CheckpointPersisted {
+            iteration: get_u64(&fields, "iteration", &kind)?,
+            seq: get_u64(&fields, "epoch_seq", &kind)?,
+            bytes: get_u64(&fields, "bytes", &kind)?,
+        },
+        "checkpoint_restored" => TelemetryEvent::CheckpointRestored {
+            iteration: get_u64(&fields, "iteration", &kind)?,
+            seq: get_u64(&fields, "epoch_seq", &kind)?,
+        },
+        "scan_ingested" => TelemetryEvent::ScanIngested {
+            job: get_u64(&fields, "job_id", &kind)?,
+            positions: get_u64(&fields, "positions", &kind)?,
+            total: get_u64(&fields, "total", &kind)?,
+        },
         other => {
             return Err(ParseError::UnknownKind {
                 kind: other.to_string(),
@@ -499,6 +536,20 @@ mod tests {
         roundtrip(TelemetryEvent::JobCompleted {
             job: 42,
             iterations: 8,
+        });
+        roundtrip(TelemetryEvent::CheckpointPersisted {
+            iteration: 4,
+            seq: 9,
+            bytes: 4096,
+        });
+        roundtrip(TelemetryEvent::CheckpointRestored {
+            iteration: 4,
+            seq: 9,
+        });
+        roundtrip(TelemetryEvent::ScanIngested {
+            job: 42,
+            positions: 8,
+            total: 16,
         });
     }
 

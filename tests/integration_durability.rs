@@ -1,0 +1,454 @@
+//! Durability integration tests: process-kill restart and live ingestion.
+//!
+//! The contract under test extends the recovery suite's bit-identity rule
+//! across a **process boundary**: a job whose whole process dies at a
+//! durable checkpoint commit, resumed from the on-disk store by a fresh
+//! engine via [`JobEngine::resume`], must finish **bit-identical** to the
+//! same job never having been killed — at every barrier, in every crash
+//! phase, on both solvers and both backends, and through a mid-substitution
+//! kill (the adopted spare's checkpoint round-trips through disk). On the
+//! same splice seam, scan positions streamed into a running job via
+//! [`JobHandle::ingest`] must converge to the batch run over the final
+//! dataset, bit for bit.
+
+use ptycho_cluster::{CommError, CrashPhase, FaultPolicy};
+use ptycho_core::{
+    CheckpointStore, JobEngine, JobError, JobReport, JobSpec, JobState, ReconstructionResult,
+    ServiceBackend, SolverConfig, SolverMethod,
+};
+use ptycho_sim::dataset::{Dataset, SyntheticConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+mod common;
+use common::assert_bit_identical;
+
+/// A fresh scratch directory for one test's checkpoint store.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ptycho-durable-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny() -> Dataset {
+    Dataset::synthesize(SyntheticConfig::tiny())
+}
+
+/// A 2-iteration spec for `method` on `backend` over the tiny dataset —
+/// two consistency barriers, so the store commits epochs 0 and 1.
+fn spec_for(method: SolverMethod, backend: ServiceBackend) -> JobSpec {
+    let config = match method {
+        SolverMethod::GradientDecomposition => SolverConfig {
+            iterations: 2,
+            halo_px: 20,
+            ..SolverConfig::default()
+        },
+        SolverMethod::HaloVoxelExchange => SolverConfig {
+            iterations: 2,
+            hve_extra_probe_rows: 1,
+            ..SolverConfig::default()
+        },
+    };
+    JobSpec::new(tiny(), config, (2, 2))
+        .with_method(method)
+        .with_backend(backend)
+}
+
+/// Runs `spec` to completion on a dedicated engine and returns the result —
+/// the uninterrupted baseline every kill/resume cycle must reproduce.
+fn uninterrupted(spec: JobSpec) -> ReconstructionResult {
+    let report = JobEngine::new(8)
+        .submit(spec)
+        .expect("fits the fleet")
+        .wait();
+    assert_eq!(report.state, JobState::Completed);
+    report.result.expect("completed")
+}
+
+fn assert_process_killed(report: &JobReport, expect_seq: u64) {
+    assert_eq!(report.state, JobState::Failed);
+    match report.error.as_ref().expect("killed jobs carry an error") {
+        JobError::Failed(failure) => match failure.error {
+            CommError::ProcessKilled { seq, .. } => {
+                assert_eq!(seq, expect_seq, "kill must strike the armed barrier")
+            }
+            ref other => panic!("expected ProcessKilled, got {other:?}"),
+        },
+        other => panic!("expected JobError::Failed, got {other}"),
+    }
+}
+
+/// The tentpole matrix: kill the process at **every** barrier (epoch 0 and
+/// epoch 1 of a 2-iteration run), for both solvers on both backends, and
+/// pin each resumed run bit-identical to the uninterrupted one.
+#[test]
+fn kill_at_every_barrier_resumes_bit_identical_for_both_solvers_and_backends() {
+    let backends = [
+        ("lockstep", ServiceBackend::Lockstep),
+        (
+            "threaded",
+            ServiceBackend::Threaded {
+                recv_timeout: Duration::from_millis(500),
+            },
+        ),
+    ];
+    for (method_label, method) in [
+        ("gd", SolverMethod::GradientDecomposition),
+        ("hve", SolverMethod::HaloVoxelExchange),
+    ] {
+        for (backend_label, backend) in backends {
+            let baseline = uninterrupted(spec_for(method, backend));
+            for kill_seq in 0..2u64 {
+                let label = format!("{method_label}/{backend_label}/seq{kill_seq}");
+                let dir = scratch(&label.replace('/', "-"));
+                let engine = JobEngine::new(8);
+                let killed = engine
+                    .submit(
+                        spec_for(method, backend)
+                            .with_checkpoint_dir(&dir)
+                            .with_fault_policy(
+                                FaultPolicy::reliable(7)
+                                    .kill_process_at_barrier(kill_seq, CrashPhase::AfterRename),
+                            ),
+                    )
+                    .expect("fits the fleet")
+                    .wait();
+                assert_process_killed(&killed, kill_seq);
+
+                let resumed = engine.resume(&dir).expect("resumable").wait();
+                assert_eq!(resumed.state, JobState::Completed, "{label}");
+                assert_bit_identical(&baseline, resumed.result.as_ref().unwrap());
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+/// Each crash phase leaves the documented on-disk state — `BeforeRename`
+/// and `DuringRename` fall back to the previous epoch (the torn manifest is
+/// rejected by checksum with a typed reason, never trusted), `AfterRename`
+/// resumes from the committed one — and every phase's resume is
+/// bit-identical to the uninterrupted run.
+#[test]
+fn every_crash_phase_resumes_bit_identical() {
+    let baseline = uninterrupted(spec_for(
+        SolverMethod::GradientDecomposition,
+        ServiceBackend::Lockstep,
+    ));
+    for (phase, surviving_seq) in [
+        (CrashPhase::BeforeRename, 0),
+        (CrashPhase::DuringRename, 0),
+        (CrashPhase::AfterRename, 1),
+    ] {
+        let dir = scratch(&format!("phase-{phase:?}"));
+        let engine = JobEngine::new(8);
+        let killed = engine
+            .submit(
+                spec_for(
+                    SolverMethod::GradientDecomposition,
+                    ServiceBackend::Lockstep,
+                )
+                .with_checkpoint_dir(&dir)
+                .with_fault_policy(FaultPolicy::reliable(3).kill_process_at_barrier(1, phase)),
+            )
+            .expect("fits the fleet")
+            .wait();
+        assert_process_killed(&killed, 1);
+
+        // The store sees exactly what the phase documents.
+        let recovery = CheckpointStore::open(&dir)
+            .expect("store reopens")
+            .recover()
+            .expect("scan succeeds");
+        let epoch = recovery.epoch.expect("an epoch survives every phase");
+        assert_eq!(epoch.manifest.seq, surviving_seq, "phase {phase:?}");
+        match phase {
+            CrashPhase::AfterRename => assert!(recovery.rejected.is_empty()),
+            CrashPhase::DuringRename => {
+                assert_eq!(recovery.rejected.len(), 1);
+                assert!(
+                    recovery.rejected[0].1.contains("checksum mismatch"),
+                    "torn manifests must be rejected by checksum, got: {}",
+                    recovery.rejected[0].1
+                );
+            }
+            CrashPhase::BeforeRename => assert_eq!(recovery.rejected.len(), 1),
+        }
+
+        let resumed = engine.resume(&dir).expect("resumable").wait();
+        assert_eq!(resumed.state, JobState::Completed, "phase {phase:?}");
+        assert_bit_identical(&baseline, resumed.result.as_ref().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Torn-write tolerance at the service level: truncating the newest
+/// manifest mid-byte makes resume fall back to the previous epoch (and
+/// still finish bit-identical); corrupting the fallback too yields a typed
+/// rejection listing every bad epoch — never a panic, never a silent wrong
+/// resume.
+#[test]
+fn torn_newest_checkpoint_falls_back_and_total_corruption_is_a_typed_error() {
+    let spec = spec_for(
+        SolverMethod::GradientDecomposition,
+        ServiceBackend::Lockstep,
+    );
+    let baseline = uninterrupted(spec.clone());
+
+    let dir = scratch("torn");
+    let engine = JobEngine::new(8);
+    let clean = engine
+        .submit(spec.with_checkpoint_dir(&dir))
+        .expect("fits the fleet")
+        .wait();
+    assert_eq!(clean.state, JobState::Completed);
+    assert_bit_identical(&baseline, clean.result.as_ref().unwrap());
+
+    // Tear the newest manifest mid-byte, as a crash mid-write would.
+    let newest = dir.join("epoch-0000000001").join("manifest.ckpt");
+    let bytes = std::fs::read(&newest).expect("newest manifest exists");
+    std::fs::write(&newest, &bytes[..bytes.len() - 3]).expect("truncate");
+
+    let resumed = engine.resume(&dir).expect("falls back to epoch 0").wait();
+    assert_eq!(resumed.state, JobState::Completed);
+    assert_bit_identical(&baseline, resumed.result.as_ref().unwrap());
+
+    // The resumed run committed epoch 2 and pruned epoch 0, leaving the
+    // torn epoch 1 plus the fresh epoch 2. Flip a byte in epoch 2's slot
+    // file too: now no epoch verifies, and resume must refuse with every
+    // rejection reason — never panic, never trust a bad byte.
+    let slot = dir.join("epoch-0000000002").join("slot-0.ckpt");
+    let mut bytes = std::fs::read(&slot).expect("newest slot exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&slot, &bytes).expect("corrupt");
+    match JobEngine::new(8).resume(&dir) {
+        Err(JobError::Rejected { reason }) => {
+            assert!(
+                reason.contains("no valid checkpoint epoch"),
+                "got: {reason}"
+            );
+            assert!(reason.contains("checksum mismatch"), "got: {reason}");
+        }
+        Ok(_) => panic!("fully corrupted store must not resume"),
+        Err(other) => panic!("expected Rejected, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A mid-substitution kill: rank 1's node dies early (healed by promoting a
+/// shared-pool spare), then the whole process is killed at the first barrier
+/// the substituted attempt commits. The resumed run must adopt the
+/// checkpointed membership — the spare's slot state round-trips through
+/// disk — and finish bit-identical to the same job killed never.
+#[test]
+fn mid_substitution_kill_round_trips_the_adopted_checkpoint() {
+    let node_death = FaultPolicy::reliable(5).kill_rank(1, 1);
+    let spec = spec_for(
+        SolverMethod::GradientDecomposition,
+        ServiceBackend::Lockstep,
+    )
+    .with_fault_policy(node_death.clone());
+    let baseline = {
+        let report = JobEngine::new(8)
+            .submit(spec.clone())
+            .expect("fits the fleet")
+            .wait();
+        assert_eq!(report.state, JobState::Completed);
+        let result = report.result.expect("healed");
+        assert_eq!(result.recovery.substitutions, 1, "the death must heal");
+        result
+    };
+
+    let dir = scratch("mid-substitution");
+    let engine = JobEngine::new(8);
+    let killed = engine
+        .submit(
+            spec.clone()
+                .with_checkpoint_dir(&dir)
+                .with_fault_policy(node_death.kill_process_at_barrier(0, CrashPhase::AfterRename)),
+        )
+        .expect("fits the fleet")
+        .wait();
+    assert_process_killed(&killed, 0);
+
+    // The surviving epoch was committed by the substituted attempt: its
+    // membership has already promoted the spare.
+    let epoch = CheckpointStore::open(&dir)
+        .expect("store reopens")
+        .recover()
+        .expect("scan succeeds")
+        .epoch
+        .expect("epoch 0 committed");
+    assert_eq!(epoch.manifest.substitutions, 1);
+
+    let resumed = engine.resume(&dir).expect("resumable").wait();
+    assert_eq!(resumed.state, JobState::Completed);
+    let resumed = resumed.result.expect("completed");
+    assert_eq!(resumed.recovery.substitutions, 1);
+    assert_bit_identical(&baseline, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Live ingestion, splice-before-start: frames streamed into a still-queued
+/// job are spliced in before its first iteration, and the run over the
+/// grown dataset is bit-identical to the batch run over the full one.
+#[test]
+fn frames_ingested_before_admission_match_the_batch_run() {
+    let full = tiny();
+    let batch = uninterrupted(JobSpec::new(
+        full.clone(),
+        SolverConfig {
+            iterations: 2,
+            halo_px: 20,
+            ..SolverConfig::default()
+        },
+        (2, 2),
+    ));
+
+    let prefix = 5;
+    let engine = JobEngine::paused(8);
+    let job = engine
+        .submit(JobSpec::new(
+            full.clone().with_scan_prefix(prefix),
+            SolverConfig {
+                iterations: 2,
+                halo_px: 20,
+                ..SolverConfig::default()
+            },
+            (2, 2),
+        ))
+        .expect("fits the fleet");
+    assert!(job.ingest(full.frames_after(prefix)), "job is live");
+    engine.start_admitting();
+    let report = job.wait();
+    assert_eq!(report.state, JobState::Completed);
+    assert_bit_identical(&batch, report.result.as_ref().unwrap());
+}
+
+/// Live ingestion against a running job: whenever the frames land — before
+/// the first boundary poll, mid-run (surfacing as a preemption and re-run),
+/// or after the last one (caught by the post-completion pending check) —
+/// the final volume is bit-identical to the batch run.
+#[test]
+fn frames_ingested_mid_run_match_the_batch_run() {
+    let full = tiny();
+    let config = SolverConfig {
+        iterations: 4,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let batch = uninterrupted(JobSpec::new(full.clone(), config, (2, 2)));
+
+    let prefix = 7;
+    let engine = JobEngine::new(8);
+    let job = engine
+        .submit(JobSpec::new(
+            full.clone().with_scan_prefix(prefix),
+            config,
+            (2, 2),
+        ))
+        .expect("fits the fleet");
+    // Deliberately racing the run: every interleaving must converge to the
+    // same bits.
+    assert!(job.ingest(full.frames_after(prefix)), "job is live");
+    let report = job.wait();
+    assert_eq!(report.state, JobState::Completed);
+    assert_bit_identical(&batch, report.result.as_ref().unwrap());
+}
+
+/// Ingestion and durable checkpointing compose: a streamed job that is
+/// killed after its splice resumes from disk — the resumed spec carries the
+/// enlarged scan — and still matches the batch run.
+#[test]
+fn ingested_then_killed_job_resumes_over_the_grown_dataset() {
+    let full = tiny();
+    let config = SolverConfig {
+        iterations: 2,
+        halo_px: 20,
+        ..SolverConfig::default()
+    };
+    let batch = uninterrupted(JobSpec::new(full.clone(), config, (2, 2)));
+
+    let prefix = 6;
+    let dir = scratch("ingest-kill");
+    let engine = JobEngine::paused(8);
+    let job = engine
+        .submit(
+            JobSpec::new(full.clone().with_scan_prefix(prefix), config, (2, 2))
+                .with_checkpoint_dir(&dir)
+                .with_fault_policy(
+                    FaultPolicy::reliable(11).kill_process_at_barrier(0, CrashPhase::AfterRename),
+                ),
+        )
+        .expect("fits the fleet");
+    assert!(job.ingest(full.frames_after(prefix)), "job is live");
+    engine.start_admitting();
+    assert_process_killed(&job.wait(), 0);
+
+    let resumed = engine.resume(&dir).expect("resumable").wait();
+    assert_eq!(resumed.state, JobState::Completed);
+    assert_bit_identical(&batch, resumed.result.as_ref().unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpointing is invisible in the numbers: the extra persistence
+/// barriers change no message payloads, so a checkpointed run equals the
+/// plain one bit for bit (already implied by the kill matrix, pinned
+/// directly here for both solvers).
+#[test]
+fn checkpointing_does_not_perturb_the_reconstruction() {
+    for method in [
+        SolverMethod::GradientDecomposition,
+        SolverMethod::HaloVoxelExchange,
+    ] {
+        let plain = uninterrupted(spec_for(method, ServiceBackend::Lockstep));
+        let dir = scratch(&format!("invisible-{method:?}"));
+        let checkpointed =
+            uninterrupted(spec_for(method, ServiceBackend::Lockstep).with_checkpoint_dir(&dir));
+        assert_bit_identical(&plain, &checkpointed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Durable checkpointing requires a barrier to ride: the fail-fast policy
+/// has none, and the service refuses the combination at submission.
+#[test]
+fn fail_fast_with_a_checkpoint_dir_is_rejected_at_submission() {
+    let dir = scratch("failfast");
+    let spec = spec_for(
+        SolverMethod::GradientDecomposition,
+        ServiceBackend::Lockstep,
+    )
+    .with_recovery(ptycho_core::RecoveryPolicy::FailFast)
+    .with_checkpoint_dir(&dir);
+    match JobEngine::new(8).submit(spec) {
+        Err(JobError::Rejected { reason }) => {
+            assert!(reason.contains("recovering policy"), "got: {reason}")
+        }
+        Ok(_) => panic!("fail-fast + checkpointing must be refused"),
+        Err(other) => panic!("expected Rejected, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming an empty or missing store is a typed refusal, not a panic.
+#[test]
+fn resuming_an_empty_store_is_rejected() {
+    let dir = scratch("empty-resume");
+    match JobEngine::new(8).resume(&dir) {
+        Err(JobError::Rejected { reason }) => {
+            assert!(
+                reason.contains("no valid checkpoint epoch"),
+                "got: {reason}"
+            )
+        }
+        Ok(_) => panic!("an empty store must not resume"),
+        Err(other) => panic!("expected Rejected, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

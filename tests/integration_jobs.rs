@@ -190,7 +190,7 @@ fn scheduler_soak_104_jobs_complete_bit_identical_to_solo_runs() {
         submitted.push((handle.id(), spec.priority));
         handles.push(handle);
     }
-    engine.resume();
+    engine.start_admitting();
     engine.wait_idle();
 
     let mut substitutions = 0;
@@ -272,7 +272,7 @@ fn scheduler_soak_is_bit_identical_across_all_16_seeds() {
             submitted.push((handle.id(), spec.priority));
             handles.push(handle);
         }
-        engine.resume();
+        engine.start_admitting();
         engine.wait_idle();
 
         for (j, (handle, spec)) in handles.iter().zip(&specs).enumerate() {
@@ -312,7 +312,7 @@ fn admissions_follow_priority_then_fifo_order() {
         let handle = engine.submit(spec).expect("fits the fleet");
         submitted.push((handle.id(), priority));
     }
-    engine.resume();
+    engine.start_admitting();
     engine.wait_idle();
     assert_eq!(engine.admission_log(), expected_admissions(&submitted));
 }
@@ -332,7 +332,7 @@ fn cancelling_a_queued_job_removes_it_before_admission() {
 
     b.cancel();
     assert_eq!(b.state(), JobState::Cancelled, "queued cancel is immediate");
-    engine.resume();
+    engine.start_admitting();
     engine.wait_idle();
 
     for survivor in [&a, &c] {
@@ -535,7 +535,7 @@ fn one_tenants_rank_death_does_not_perturb_its_neighbours() {
     let a = engine.submit(clean.clone()).expect("fits");
     let b = engine.submit(dying.clone()).expect("fits");
     let c = engine.submit(clean.clone()).expect("fits");
-    engine.resume();
+    engine.start_admitting();
     engine.wait_idle();
 
     let solo_clean = solo_run(&clean);
@@ -634,7 +634,7 @@ fn cancelling_a_job_blocked_on_a_spare_grant_wakes_it_promptly() {
     let dying = engine
         .submit(JobSpec::new(dataset, tiny_gd_config(2), (2, 1)).with_fault_policy(kill_policy(7)))
         .expect("fits the fleet");
-    engine.resume();
+    engine.start_admitting();
 
     // The retirement happens on the way into the blocking wait; once it is
     // visible the job is parked (or about to park) on the spare grant.
@@ -672,7 +672,7 @@ fn a_blocked_heal_is_served_before_new_admissions_and_the_queue_still_drains() {
     let c = engine
         .submit(JobSpec::new(dataset, tiny_gd_config(1), (2, 1)))
         .expect("queued behind the full fleet");
-    engine.resume();
+    engine.start_admitting();
     engine.wait_idle();
 
     let healed = a.wait();

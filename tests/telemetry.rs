@@ -362,7 +362,7 @@ fn job_engine_trace_and_metrics_agree() {
         spec = spec.with_telemetry(Arc::new(telemetry));
         handles.push(engine.submit(spec).expect("submission accepted"));
     }
-    engine.resume();
+    engine.start_admitting();
     engine.wait_idle();
     for handle in &handles {
         assert_eq!(handle.wait().state, JobState::Completed);
