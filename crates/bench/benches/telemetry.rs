@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ptycho_cluster::{ClusterTopology, LockstepBackend};
 use ptycho_core::{GradientDecompositionSolver, JobContext, RecoveryPolicy, SolverConfig};
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
-use ptycho_telemetry::{Telemetry, TelemetryEvent};
+use ptycho_telemetry::{analysis, Telemetry, TelemetryEvent, TelemetryRecord};
 use std::time::Duration;
 
 fn bench_telemetry_overhead(c: &mut Criterion) {
@@ -93,5 +93,96 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_telemetry_overhead);
+/// Builds a deterministic ~48k-record multi-rank trace: 8 ranks, 1000
+/// iterations, each iteration bracketing one ring send/receive pair. Big
+/// enough that the analysis means sit far above the gate's 50 µs noise
+/// floor, synthesized (not recorded) so the bench prices the analysis pass
+/// alone.
+fn synthetic_trace() -> Vec<TelemetryRecord> {
+    const RANKS: u64 = 8;
+    const ITERATIONS: u64 = 1_000;
+    const TAG: u64 = 7;
+    let mut records = Vec::with_capacity((RANKS * ITERATIONS * 6) as usize);
+    for rank in 0..RANKS {
+        let mut seq = 0;
+        let mut sim_ns = 0;
+        let mut push = |seq: &mut u64, sim_ns: u64, event: TelemetryEvent| {
+            records.push(TelemetryRecord {
+                rank,
+                seq: *seq,
+                sim_ns,
+                job: 0,
+                event,
+            });
+            *seq += 1;
+        };
+        for iteration in 0..ITERATIONS {
+            // Per-iteration ring traffic: send to the next slot, receive
+            // from the previous one, correlation ids exactly as the
+            // backends stamp them (sender slot << 32 | send counter).
+            push(
+                &mut seq,
+                sim_ns,
+                TelemetryEvent::IterationBegin {
+                    iteration,
+                    attempt: 0,
+                },
+            );
+            sim_ns += 40;
+            push(
+                &mut seq,
+                sim_ns,
+                TelemetryEvent::CommSend {
+                    to: (rank + 1) % RANKS,
+                    tag: TAG,
+                    bytes: 4096,
+                    corr: (rank << 32) | iteration,
+                },
+            );
+            sim_ns += 60;
+            push(
+                &mut seq,
+                sim_ns,
+                TelemetryEvent::CommRecv {
+                    from: (rank + RANKS - 1) % RANKS,
+                    tag: TAG,
+                    bytes: 4096,
+                    corr: (((rank + RANKS - 1) % RANKS) << 32) | iteration,
+                },
+            );
+            sim_ns += 900;
+            push(
+                &mut seq,
+                sim_ns,
+                TelemetryEvent::IterationEnd {
+                    iteration,
+                    attempt: 0,
+                    cost: 1.0 / (iteration + 1) as f64,
+                    compute_ns: 900 * (iteration + 1),
+                    comm_ns: sim_ns - 900 * (iteration + 1),
+                },
+            );
+            push(&mut seq, sim_ns, TelemetryEvent::BarrierWait { iteration });
+            sim_ns += 10;
+        }
+    }
+    records
+}
+
+fn bench_trace_analysis(c: &mut Criterion) {
+    let records = synthetic_trace();
+    let mut group = c.benchmark_group("telemetry_analysis");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("span_build", |b| {
+        b.iter(|| analysis::span_graph(&records, 0))
+    });
+    group.bench_function("critical_path", |b| {
+        b.iter(|| analysis::critical_path(&records, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead, bench_trace_analysis);
 criterion_main!(benches);

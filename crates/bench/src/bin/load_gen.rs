@@ -34,7 +34,16 @@
 //!   checkpoint directory (`<dir>` is the per-job `.../job-<i>` path),
 //!   wait for it, and print its FNV-64 volume hash. CI asserts this hash
 //!   equals the clean run's probe hash — the cross-process bit-identity
-//!   contract.
+//!   contract. Combine with `--telemetry` to record the resumed run's
+//!   trace (stamped with the job id parsed from the directory name) for
+//!   `trace_dump --diff` against the uninterrupted twin.
+//! * `--health` — poll [`JobEngine::health_snapshot`] while the burst
+//!   drains and print live per-job phase shares, straggler flags, and
+//!   queue pressure.
+//! * `--telemetry-capacity N` — size every job's per-rank flight-recorder
+//!   rings to `N` records (`JobSpec::with_telemetry_capacity`). Undersized
+//!   rings lose records, which `trace_dump --validate` then reports as
+//!   sequence gaps.
 //!
 //! The workload mirrors the scheduler-soak suite: tiny-dataset Gradient
 //! Decomposition jobs over three grid shapes and five priority levels, with
@@ -80,6 +89,8 @@ struct Args {
     checkpoint_dir: Option<String>,
     kill_at_barrier: Option<u64>,
     resume: Option<String>,
+    health: bool,
+    telemetry_capacity: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -93,6 +104,8 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_dir: None,
         kill_at_barrier: None,
         resume: None,
+        health: false,
+        telemetry_capacity: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -108,7 +121,11 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = take("--seed")?,
             "--smoke" => args.smoke = true,
             "--metrics" => args.metrics = true,
+            "--health" => args.health = true,
             "--kill-at-barrier" => args.kill_at_barrier = Some(take("--kill-at-barrier")?),
+            "--telemetry-capacity" => {
+                args.telemetry_capacity = Some(take("--telemetry-capacity")? as usize);
+            }
             "--telemetry" => {
                 args.telemetry = Some(iter.next().ok_or("--telemetry needs a path")?);
             }
@@ -185,8 +202,9 @@ fn main() -> ExitCode {
             eprintln!("load_gen: {message}");
             eprintln!(
                 "usage: load_gen [--jobs N] [--fleet M] [--seed S] [--smoke] \
-                 [--telemetry <path.jsonl>] [--metrics] [--checkpoint-dir <dir>] \
-                 [--kill-at-barrier N] [--resume <dir>/job-<i>]"
+                 [--telemetry <path.jsonl>] [--telemetry-capacity N] [--metrics] \
+                 [--health] [--checkpoint-dir <dir>] [--kill-at-barrier N] \
+                 [--resume <dir>/job-<i>]"
             );
             return ExitCode::FAILURE;
         }
@@ -196,7 +214,34 @@ fn main() -> ExitCode {
     // directory and report its volume hash.
     if let Some(dir) = &args.resume {
         let engine = JobEngine::new(args.fleet);
-        let handle = match engine.resume(dir) {
+        // Telemetry is not part of the on-disk manifest; re-attach it here,
+        // stamping records with the job id parsed from the `.../job-<i>`
+        // directory name so `trace_dump --diff` can match the resumed trace
+        // against the clean run's same job.
+        let telemetry = match &args.telemetry {
+            None => None,
+            Some(path) => {
+                let job_id: u64 = dir
+                    .rsplit(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|digits| digits.parse().ok())
+                    .unwrap_or(0);
+                match File::create(path) {
+                    Ok(file) => Some(Arc::new(Telemetry::with_writer(
+                        TelemetryConfig {
+                            job_id,
+                            ..TelemetryConfig::default()
+                        },
+                        Box::new(SharedWriter(Arc::new(Mutex::new(file)))),
+                    ))),
+                    Err(error) => {
+                        eprintln!("load_gen: cannot create {path}: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+        let handle = match engine.resume_with_telemetry(dir, telemetry) {
             Ok(handle) => handle,
             Err(error) => {
                 eprintln!("load_gen: resume from {dir} refused: {error}");
@@ -275,6 +320,9 @@ fn main() -> ExitCode {
                 config,
                 Box::new(writer.clone()),
             )));
+            if let Some(capacity) = args.telemetry_capacity {
+                spec = spec.with_telemetry_capacity(capacity);
+            }
         }
         if spec.fault_policy.as_ref().is_some_and(|p| p.kill.is_some()) {
             expected_kills += 1;
@@ -294,6 +342,41 @@ fn main() -> ExitCode {
 
     let start = Instant::now();
     engine.start_admitting();
+    if args.health {
+        // Poll the live health snapshot while the burst drains. The
+        // snapshot reads the progress events the service already buffers,
+        // so polling never touches a rank's hot path.
+        let mut polls = 0usize;
+        loop {
+            let health = engine.health_snapshot(2.0);
+            if health.active == 0 && health.queue_depth == 0 {
+                break;
+            }
+            polls += 1;
+            let mut line = format!(
+                "  health: {} running, {} queued, {} free node(s), {} waiting for spares",
+                health.active, health.queue_depth, health.free_nodes, health.waiting_for_spare
+            );
+            for job in health.jobs.iter().take(4) {
+                line.push_str(&format!(
+                    "  | job {} iter {} c/w/m {:.2}/{:.2}/{:.2}{}",
+                    job.job,
+                    job.latest_iteration,
+                    job.compute_share,
+                    job.wait_share,
+                    job.comm_share,
+                    if job.straggler_ranks.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" stragglers {:?}", job.straggler_ranks)
+                    }
+                ));
+            }
+            println!("{line}");
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        println!("  health: idle after {polls} poll(s)");
+    }
     engine.wait_idle();
     let wall = start.elapsed().as_secs_f64();
 

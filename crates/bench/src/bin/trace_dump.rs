@@ -1,5 +1,6 @@
-//! Reassembles a JSONL telemetry log into per-rank timelines and the
-//! paper-style compute/wait/communication breakdown (Fig. 7b).
+//! Reassembles a JSONL telemetry log into per-rank timelines, the
+//! paper-style compute/wait/communication breakdown (Fig. 7b), and the
+//! causal analyses built on top of it.
 //!
 //! ```text
 //! cargo run --release -p ptycho-bench --bin trace_dump -- trace.jsonl
@@ -11,30 +12,74 @@
 //!   unknown kinds, missing fields, out-of-order sequence numbers, or a
 //!   non-monotonic simulated clock exit non-zero. A truncated *final* line
 //!   (a run killed mid-flush) is tolerated, matching the durable sink's
-//!   prefix-consistency guarantee. This is what CI runs on the load
-//!   generator's trace.
-//! * `--job J`   — restrict the summary to one job id.
+//!   prefix-consistency guarantee. Per-stream sequence gaps — records a
+//!   flight-recorder ring evicted before they became durable — are warned
+//!   about loudly; `--strict` turns the warning into a non-zero exit. This
+//!   is what CI runs on the load generator's trace.
+//! * `--critical-path` — per job: exact critical-path attribution (compute
+//!   / comm / barrier-wait / retransmit / heal per rank, summing exactly to
+//!   the job's end-to-end simulated time), the straggler report, and the
+//!   anomaly scan. `--strict` exits non-zero on *integrity* violations
+//!   only — lost ring records or an attribution row that fails the exact
+//!   sum — never on anomalies (a fault-drill trace legitimately has
+//!   retransmit bursts and kills).
+//! * `--diff OTHER` — compare this trace's spans against `OTHER`'s,
+//!   structurally (clocks excluded): exit 0 and print `identical` when the
+//!   span sets match, exit 2 and print `DIVERGED …` localising the first
+//!   divergence otherwise. A resumed run diffed against its uninterrupted
+//!   twin diverges only at the resume seam, with the whole post-resume
+//!   suffix reported as identical.
+//! * `--job J`   — restrict to one job id.
+//! * `--job-b K` — the job id in the `--diff` counterpart (defaults to
+//!   `--job`'s value).
+//! * `--straggler-z Z` — z-score threshold for the straggler report
+//!   (default 2.0).
 
-use ptycho_telemetry::{SchemaValidator, TraceSummary};
+use ptycho_telemetry::{analysis, SchemaValidator, TraceSummary};
 use std::process::ExitCode;
 
 struct Args {
     path: String,
     validate: bool,
+    critical_path: bool,
+    strict: bool,
+    diff: Option<String>,
     job: Option<u64>,
+    job_b: Option<u64>,
+    straggler_z: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut path = None;
     let mut validate = false;
+    let mut critical_path = false;
+    let mut strict = false;
+    let mut diff = None;
     let mut job = None;
+    let mut job_b = None;
+    let mut straggler_z = 2.0;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--validate" => validate = true,
+            "--critical-path" => critical_path = true,
+            "--strict" => strict = true,
+            "--diff" => {
+                diff = Some(iter.next().ok_or("--diff needs a trace file")?);
+            }
             "--job" => {
                 let value = iter.next().ok_or("--job needs a value")?;
                 job = Some(value.parse::<u64>().map_err(|e| format!("--job: {e}"))?);
+            }
+            "--job-b" => {
+                let value = iter.next().ok_or("--job-b needs a value")?;
+                job_b = Some(value.parse::<u64>().map_err(|e| format!("--job-b: {e}"))?);
+            }
+            "--straggler-z" => {
+                let value = iter.next().ok_or("--straggler-z needs a value")?;
+                straggler_z = value
+                    .parse::<f64>()
+                    .map_err(|e| format!("--straggler-z: {e}"))?;
             }
             other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
             other => {
@@ -47,13 +92,19 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         path: path.ok_or("a trace file is required")?,
         validate,
+        critical_path,
+        strict,
+        diff,
         job,
+        job_b,
+        straggler_z,
     })
 }
 
 /// Validation mode: every line must parse and every per-stream invariant
 /// must hold. Only the final line may be truncated (a kill mid-write).
-fn validate(text: &str) -> Result<u64, String> {
+/// Returns `(accepted, validator)` so callers can inspect gap counters.
+fn validate(text: &str) -> Result<(u64, SchemaValidator), String> {
     let mut validator = SchemaValidator::new();
     let mut pending: Option<String> = None;
     for (number, line) in text.lines().enumerate() {
@@ -69,11 +120,119 @@ fn validate(text: &str) -> Result<u64, String> {
         }
     }
     // A bad *final* line is a truncated flush, not a schema violation.
-    Ok(validator.accepted())
+    Ok((validator.accepted(), validator))
 }
 
 fn format_ns(ns: u64) -> String {
     format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+fn read_trace(path: &str) -> Result<TraceSummary, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|error| format!("cannot read {path}: {error}"))?;
+    TraceSummary::from_lines(text.lines()).map_err(|error| format!("malformed {path}: {error}"))
+}
+
+/// The `--critical-path` report. Returns false when `--strict` must fail:
+/// lost ring records or an attribution row whose segments do not sum
+/// exactly to the job's end-to-end time.
+fn report_critical_path(summary: &TraceSummary, jobs: &[u64], straggler_z: f64) -> bool {
+    let mut intact = true;
+    for &job in jobs {
+        let path = analysis::critical_path(&summary.records, job);
+        println!(
+            "job {job}: end-to-end {} on critical rank {}",
+            format_ns(path.end_to_end_ns),
+            path.critical_rank
+        );
+        println!("  attribution (compute / comm / wait / retransmit / heal):");
+        for row in &path.ranks {
+            println!(
+                "    rank {}: {} / {} / {} / {} / {}",
+                row.rank,
+                format_ns(row.compute_ns),
+                format_ns(row.comm_ns),
+                format_ns(row.barrier_wait_ns),
+                format_ns(row.retransmit_ns),
+                format_ns(row.heal_ns),
+            );
+            if row.total_ns() != path.end_to_end_ns {
+                intact = false;
+                println!(
+                    "    INTEGRITY: rank {} segments sum to {} ns, not the end-to-end {} ns",
+                    row.rank,
+                    row.total_ns(),
+                    path.end_to_end_ns
+                );
+            }
+        }
+        let report = analysis::straggler_report(&path, straggler_z);
+        if report.stragglers.is_empty() {
+            println!(
+                "  stragglers (z > {straggler_z}): none (mean wait share {:.4})",
+                report.mean_wait_share
+            );
+        } else {
+            for straggler in &report.stragglers {
+                println!(
+                    "  straggler rank {}: wait share {:.4} (z = {:.2} > {straggler_z})",
+                    straggler.rank, straggler.wait_share, straggler.z_score
+                );
+            }
+        }
+        let scan =
+            analysis::anomaly_scan(&summary.records, job, &analysis::AnomalyConfig::default());
+        for (rank, count) in &scan.retransmit_bursts {
+            println!("  anomaly: rank {rank} retransmit burst ({count} retransmits)");
+        }
+        for (node, count) in &scan.suspicion_clusters {
+            println!("  anomaly: node {node} suspicion cluster ({count} suspicions)");
+        }
+        for (rank, missing) in &scan.lost_ring_records {
+            intact = false;
+            println!("  INTEGRITY: rank {rank} lost {missing} record(s) to ring overflow");
+        }
+    }
+    intact
+}
+
+/// The `--diff` report. Returns the process exit code: 0 identical, 2
+/// diverged.
+fn report_diff(a: &TraceSummary, b: &TraceSummary, args: &Args) -> ExitCode {
+    // Without --job, diff every job of A against the same id in B.
+    let jobs_a = match args.job {
+        Some(job) => vec![job],
+        None => a.jobs(),
+    };
+    let mut diverged = false;
+    for &job in &jobs_a {
+        let job_b = args.job_b.unwrap_or(job);
+        let diff = analysis::diff_jobs(&a.records, job, &b.records, job_b);
+        if diff.identical {
+            println!(
+                "job {job} vs {job_b}: identical ({} iteration span(s))",
+                diff.iterations_a
+            );
+        } else {
+            diverged = true;
+            println!(
+                "job {job} vs {job_b}: DIVERGED at {}; common prefix {}, trailing {} \
+                 iteration span(s) identical; message spans only in A: {}, only in B: {}",
+                diff.first_divergence
+                    .as_deref()
+                    .unwrap_or("message spans only"),
+                diff.common_prefix,
+                diff.common_suffix,
+                diff.messages_only_in_a,
+                diff.messages_only_in_b,
+            );
+        }
+    }
+    if diverged {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -81,7 +240,10 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(message) => {
             eprintln!("trace_dump: {message}");
-            eprintln!("usage: trace_dump <trace.jsonl> [--validate] [--job J]");
+            eprintln!(
+                "usage: trace_dump <trace.jsonl> [--validate] [--critical-path] [--strict] \
+                 [--diff OTHER] [--job J] [--job-b K] [--straggler-z Z]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -95,8 +257,21 @@ fn main() -> ExitCode {
 
     if args.validate {
         return match validate(&text) {
-            Ok(accepted) => {
+            Ok((accepted, validator)) => {
                 println!("trace_dump: {} valid record(s) in {}", accepted, args.path);
+                let lost = validator.lost_records();
+                if lost > 0 {
+                    for ((job, rank), missing) in validator.lost_records_by_stream() {
+                        eprintln!(
+                            "trace_dump: WARNING — job {job} rank {rank} lost {missing} \
+                             record(s) to flight-recorder ring overflow"
+                        );
+                    }
+                    if args.strict {
+                        eprintln!("trace_dump: {lost} lost record(s) and --strict: failing");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 ExitCode::SUCCESS
             }
             Err(message) => {
@@ -120,10 +295,32 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(other) = &args.diff {
+        let other = match read_trace(other) {
+            Ok(other) => other,
+            Err(message) => {
+                eprintln!("trace_dump: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return report_diff(&summary, &other, &args);
+    }
+
     let jobs = match args.job {
         Some(job) => vec![job],
         None => summary.jobs(),
     };
+
+    if args.critical_path {
+        let intact = report_critical_path(&summary, &jobs, args.straggler_z);
+        return if intact || !args.strict {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("trace_dump: integrity violation(s) and --strict: failing");
+            ExitCode::FAILURE
+        };
+    }
+
     println!(
         "trace_dump: {} event(s), {} stream(s), {} job(s)",
         summary.total_events(),

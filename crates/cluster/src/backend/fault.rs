@@ -400,13 +400,14 @@ impl FaultHarness {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn route_send<M: super::Payload>(
     harness: &mut Option<FaultHarness>,
-    delayed: &mut Vec<(usize, u64, M)>,
+    delayed: &mut Vec<(usize, u64, u64, M)>,
     dead: &mut bool,
     telemetry: &Option<ptycho_telemetry::RankSink>,
     to: usize,
     tag: u64,
+    corr: u64,
     payload: M,
-    mut deliver: impl FnMut(usize, u64, M),
+    mut deliver: impl FnMut(usize, u64, u64, M),
 ) {
     if *dead {
         return;
@@ -416,7 +417,7 @@ pub(crate) fn route_send<M: super::Payload>(
         None => FaultAction::Deliver,
     };
     match action {
-        FaultAction::Deliver => deliver(to, tag, payload),
+        FaultAction::Deliver => deliver(to, tag, corr, payload),
         FaultAction::Drop => {
             if let Some(sink) = telemetry {
                 sink.record(ptycho_telemetry::TelemetryEvent::CommDrop {
@@ -427,10 +428,10 @@ pub(crate) fn route_send<M: super::Payload>(
             }
         }
         FaultAction::Duplicate => {
-            deliver(to, tag, payload.clone());
-            deliver(to, tag, payload);
+            deliver(to, tag, corr, payload.clone());
+            deliver(to, tag, corr, payload);
         }
-        FaultAction::Delay => delayed.push((to, tag, payload)),
+        FaultAction::Delay => delayed.push((to, tag, corr, payload)),
         FaultAction::Kill => {
             *dead = true;
             // A dying node takes its held-back messages with it.

@@ -168,7 +168,10 @@ pub struct LockstepComm<M> {
     topology: ClusterTopology,
     shared: Arc<Shared<M>>,
     harness: Option<FaultHarness>,
-    delayed: Vec<(usize, u64, M)>,
+    /// Messages held back by a `Delay` fault, as `(to, tag, corr, payload)`.
+    delayed: Vec<(usize, u64, u64, M)>,
+    /// Counter feeding the low half of each outgoing correlation id.
+    send_corr: u64,
     /// Set by a `Kill` fault: the node is permanently dead — sends are
     /// suppressed and blocking operations report [`CommError::RankDead`].
     dead: bool,
@@ -188,7 +191,7 @@ impl<M: Payload> LockstepComm<M> {
 
     /// Records a receive at the API-return point (program order on the
     /// receiver), which is what keeps the event stream deterministic.
-    fn note_recv(&self, from: usize, tag: u64, bytes: usize) {
+    fn note_recv(&self, from: usize, tag: u64, bytes: usize, corr: u64) {
         if let Some(sink) = &self.telemetry {
             sink.record_at_comm_ns(
                 self.clock.comm_ns(),
@@ -196,25 +199,34 @@ impl<M: Payload> LockstepComm<M> {
                     from: from as u64,
                     tag,
                     bytes: bytes as u64,
+                    corr,
                 },
             );
         }
     }
 
-    fn take_matching(state: &mut SchedState<M>, rank: usize, from: usize, tag: u64) -> Option<M> {
+    /// Takes the first matching mailbox entry as `(payload, corr)`.
+    fn take_matching(
+        state: &mut SchedState<M>,
+        rank: usize,
+        from: usize,
+        tag: u64,
+    ) -> Option<(M, u64)> {
         let pos = state.mailboxes[rank]
             .iter()
             .position(|e| e.from == from && e.tag == tag)?;
         // A successful receive is progress: any earlier deadlock proof is
         // stale (a recovery layer retransmitted its way out of it).
         state.deadlock = None;
-        Some(state.mailboxes[rank].remove(pos).payload)
+        let envelope = state.mailboxes[rank].remove(pos);
+        Some((envelope.payload, envelope.corr))
     }
 
     /// Enqueues a message, waking the destination if it was blocked on a
     /// matching receive. Charges analytic wire time to the sender. A free
     /// associated function over disjoint fields so the fault-routing closure
     /// and the delayed-flush path share one implementation.
+    #[allow(clippy::too_many_arguments)]
     fn deliver_parts(
         state: &mut SchedState<M>,
         clock: &mut RankClock,
@@ -222,11 +234,17 @@ impl<M: Payload> LockstepComm<M> {
         from: usize,
         to: usize,
         tag: u64,
+        corr: u64,
         payload: M,
     ) {
         let bytes = payload.payload_bytes();
         clock.charge_communication(topology.transfer_time(from, to, bytes));
-        state.mailboxes[to].push(Envelope { from, tag, payload });
+        state.mailboxes[to].push(Envelope {
+            from,
+            tag,
+            corr,
+            payload,
+        });
         if state.status[to] == (RankStatus::BlockedRecv { from, tag }) {
             state.status[to] = RankStatus::Runnable;
         }
@@ -241,8 +259,8 @@ impl<M: Payload> LockstepComm<M> {
         let from = self.rank;
         let topology = self.topology;
         let LockstepComm { delayed, clock, .. } = self;
-        for (to, tag, payload) in std::mem::take(delayed) {
-            Self::deliver_parts(state, clock, &topology, from, to, tag, payload);
+        for (to, tag, corr, payload) in std::mem::take(delayed) {
+            Self::deliver_parts(state, clock, &topology, from, to, tag, corr, payload);
         }
     }
 
@@ -275,6 +293,10 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         let from = self.rank;
         let topology = self.topology;
         let bytes = payload.payload_bytes();
+        // One correlation id per logical send, stamped before fault routing
+        // so duplicates and delayed deliveries all carry it.
+        let corr = ((from as u64) << 32) | self.send_corr;
+        self.send_corr += 1;
         let shared = Arc::clone(&self.shared);
         let mut state = shared.state.lock().expect("lockstep state poisoned");
         let LockstepComm {
@@ -292,9 +314,10 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
             telemetry,
             to,
             tag,
+            corr,
             payload,
-            |to, tag, payload| {
-                Self::deliver_parts(&mut state, clock, &topology, from, to, tag, payload);
+            |to, tag, corr, payload| {
+                Self::deliver_parts(&mut state, clock, &topology, from, to, tag, corr, payload);
             },
         );
         // A killed node's sends are suppressed, not transmitted — only a
@@ -307,6 +330,7 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
                         to: to as u64,
                         tag,
                         bytes: bytes as u64,
+                        corr,
                     },
                 );
             }
@@ -320,15 +344,15 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         }
         let shared = Arc::clone(&self.shared);
         let mut state = shared.state.lock().expect("lockstep state poisoned");
-        if let Some(payload) = Self::take_matching(&mut state, self.rank, from, tag) {
-            self.note_recv(from, tag, payload.payload_bytes());
+        if let Some((payload, corr)) = Self::take_matching(&mut state, self.rank, from, tag) {
+            self.note_recv(from, tag, payload.payload_bytes(), corr);
             return Ok(payload);
         }
         // About to block: release delayed messages (they may be the very
         // ones the grid is waiting on), then re-check.
         self.flush_delayed(&mut state);
-        if let Some(payload) = Self::take_matching(&mut state, self.rank, from, tag) {
-            self.note_recv(from, tag, payload.payload_bytes());
+        if let Some((payload, corr)) = Self::take_matching(&mut state, self.rank, from, tag) {
+            self.note_recv(from, tag, payload.payload_bytes(), corr);
             return Ok(payload);
         }
         state.status[self.rank] = RankStatus::BlockedRecv { from, tag };
@@ -338,8 +362,8 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         let rank = self.rank;
         let result = self.clock.wait(|| loop {
             let mut state = shared.wait_for_turn(rank);
-            if let Some(payload) = Self::take_matching(&mut state, rank, from, tag) {
-                return Ok(payload);
+            if let Some(found) = Self::take_matching(&mut state, rank, from, tag) {
+                return Ok(found);
             }
             if let Some(detail) = state.deadlock.clone() {
                 return Err(CommError::Deadlock { rank, detail });
@@ -350,10 +374,13 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
             state.status[rank] = RankStatus::BlockedRecv { from, tag };
             shared.yield_baton(&mut state, rank);
         });
-        if let Ok(payload) = &result {
-            self.note_recv(from, tag, payload.payload_bytes());
+        match result {
+            Ok((payload, corr)) => {
+                self.note_recv(from, tag, payload.payload_bytes(), corr);
+                Ok(payload)
+            }
+            Err(error) => Err(error),
         }
-        result
     }
 
     /// Cooperative probe: yields one turn to the other runnable ranks so a
@@ -368,8 +395,8 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
         let shared = Arc::clone(&self.shared);
         {
             let mut state = shared.state.lock().expect("lockstep state poisoned");
-            if let Some(payload) = Self::take_matching(&mut state, self.rank, from, tag) {
-                self.note_recv(from, tag, payload.payload_bytes());
+            if let Some((payload, corr)) = Self::take_matching(&mut state, self.rank, from, tag) {
+                self.note_recv(from, tag, payload.payload_bytes(), corr);
                 return Some(payload);
             }
             // Cooperative polling: give every other runnable rank one turn,
@@ -386,9 +413,9 @@ impl<M: Payload> RankComm<M> for LockstepComm<M> {
             }
         }
         let mut state = shared.wait_for_turn(self.rank);
-        let payload = Self::take_matching(&mut state, self.rank, from, tag)?;
+        let (payload, corr) = Self::take_matching(&mut state, self.rank, from, tag)?;
         drop(state);
-        self.note_recv(from, tag, payload.payload_bytes());
+        self.note_recv(from, tag, payload.payload_bytes(), corr);
         Some(payload)
     }
 
@@ -564,6 +591,7 @@ impl LockstepBackend {
                         shared,
                         harness: None,
                         delayed: Vec::new(),
+                        send_corr: 0,
                         dead: false,
                         clock: RankClock::new(),
                         memory: MemoryTracker::new(),

@@ -347,6 +347,12 @@ impl std::error::Error for RankFailure {}
 pub(crate) struct Envelope<M> {
     pub(crate) from: usize,
     pub(crate) tag: u64,
+    /// Span correlation id: the sender's slot in the high 32 bits, its
+    /// per-context transport-send counter in the low 32. Stamped once per
+    /// logical `isend`, before fault routing, so every copy of a duplicated
+    /// or delayed message carries the same id and telemetry receives can be
+    /// paired with their originating send unambiguously.
+    pub(crate) corr: u64,
     pub(crate) payload: M,
 }
 

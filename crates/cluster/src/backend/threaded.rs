@@ -102,9 +102,11 @@ pub struct RankContext<M> {
     barrier: Arc<TimedBarrier>,
     recv_timeout: Option<Duration>,
     harness: Option<FaultHarness>,
-    /// Messages held back by a `Delay` fault, flushed when this rank next
-    /// blocks or finishes.
-    delayed: Vec<(usize, u64, M)>,
+    /// Messages held back by a `Delay` fault (as `(to, tag, corr, payload)`),
+    /// flushed when this rank next blocks or finishes.
+    delayed: Vec<(usize, u64, u64, M)>,
+    /// Counter feeding the low half of each outgoing correlation id.
+    send_corr: u64,
     /// Set by a `Kill` fault: the node is permanently dead — sends are
     /// suppressed and blocking operations report [`CommError::RankDead`].
     dead: bool,
@@ -134,11 +136,17 @@ impl<M: Payload> RankContext<M> {
         from: usize,
         to: usize,
         tag: u64,
+        corr: u64,
         payload: M,
     ) {
         let bytes = payload.payload_bytes();
         clock.charge_communication(topology.transfer_time(from, to, bytes));
-        let envelope = Envelope { from, tag, payload };
+        let envelope = Envelope {
+            from,
+            tag,
+            corr,
+            payload,
+        };
         if to == from {
             // Self-sends bypass the channel (see the `senders` field doc).
             stash.push(envelope);
@@ -157,7 +165,7 @@ impl<M: Payload> RankContext<M> {
 
     /// Records a successful receive on the telemetry stream (at the current
     /// deterministic communication clock).
-    fn note_recv(&self, from: usize, tag: u64, bytes: usize) {
+    fn note_recv(&self, from: usize, tag: u64, bytes: usize, corr: u64) {
         if let Some(sink) = &self.telemetry {
             sink.record_at_comm_ns(
                 self.clock.comm_ns(),
@@ -165,6 +173,7 @@ impl<M: Payload> RankContext<M> {
                     from: from as u64,
                     tag,
                     bytes: bytes as u64,
+                    corr,
                 },
             );
         }
@@ -186,8 +195,10 @@ impl<M: Payload> RankContext<M> {
             delayed,
             ..
         } = self;
-        for (to, tag, payload) in std::mem::take(delayed) {
-            Self::deliver_parts(senders, stash, topology, clock, from, to, tag, payload);
+        for (to, tag, corr, payload) in std::mem::take(delayed) {
+            Self::deliver_parts(
+                senders, stash, topology, clock, from, to, tag, corr, payload,
+            );
         }
     }
 }
@@ -209,6 +220,10 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
         );
         let from = self.rank;
         let bytes = payload.payload_bytes();
+        // One correlation id per logical send, stamped before fault routing
+        // so duplicates and delayed deliveries all carry it.
+        let corr = ((from as u64) << 32) | self.send_corr;
+        self.send_corr += 1;
         let RankContext {
             harness,
             delayed,
@@ -227,9 +242,12 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
             telemetry,
             to,
             tag,
+            corr,
             payload,
-            |to, tag, payload| {
-                Self::deliver_parts(senders, stash, topology, clock, from, to, tag, payload);
+            |to, tag, corr, payload| {
+                Self::deliver_parts(
+                    senders, stash, topology, clock, from, to, tag, corr, payload,
+                );
             },
         );
         // A node killed by the fault layer (possibly by this very send) no
@@ -242,6 +260,7 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
                         to: to as u64,
                         tag,
                         bytes: bytes as u64,
+                        corr,
                     },
                 );
             }
@@ -267,9 +286,9 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
             .iter()
             .position(|e| e.from == from && e.tag == tag)
         {
-            let payload = self.stash.remove(pos).payload;
-            self.note_recv(from, tag, payload.payload_bytes());
-            return Ok(payload);
+            let envelope = self.stash.remove(pos);
+            self.note_recv(from, tag, envelope.payload.payload_bytes(), envelope.corr);
+            return Ok(envelope.payload);
         }
         let receiver = self.receiver.clone();
         let rank = self.rank;
@@ -277,7 +296,7 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
         // envelope must not restart the clock, or steady background traffic
         // could postpone the timeout indefinitely.
         let deadline = self.recv_timeout.map(|limit| Instant::now() + limit);
-        let mut found: Option<Result<M, CommError>> = None;
+        let mut found: Option<Result<(M, u64), CommError>> = None;
         let stash = &mut self.stash;
         self.clock.wait(|| loop {
             let received = match deadline {
@@ -300,7 +319,7 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
             };
             match received {
                 Ok(envelope) if envelope.from == from && envelope.tag == tag => {
-                    found = Some(Ok(envelope.payload));
+                    found = Some(Ok((envelope.payload, envelope.corr)));
                     break;
                 }
                 Ok(envelope) => stash.push(envelope),
@@ -311,10 +330,13 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
             }
         });
         let result = found.expect("recv loop exited without a message");
-        if let Ok(payload) = &result {
-            self.note_recv(from, tag, payload.payload_bytes());
+        match result {
+            Ok((payload, corr)) => {
+                self.note_recv(from, tag, payload.payload_bytes(), corr);
+                Ok(payload)
+            }
+            Err(error) => Err(error),
         }
-        result
     }
 
     fn try_recv(&mut self, from: usize, tag: u64) -> Option<M> {
@@ -325,13 +347,13 @@ impl<M: Payload> RankComm<M> for RankContext<M> {
         while let Ok(envelope) = self.receiver.try_recv() {
             self.stash.push(envelope);
         }
-        let payload = self
+        let envelope = self
             .stash
             .iter()
             .position(|e| e.from == from && e.tag == tag)
-            .map(|pos| self.stash.remove(pos).payload)?;
-        self.note_recv(from, tag, payload.payload_bytes());
-        Some(payload)
+            .map(|pos| self.stash.remove(pos))?;
+        self.note_recv(from, tag, envelope.payload.payload_bytes(), envelope.corr);
+        Some(envelope.payload)
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
@@ -478,6 +500,7 @@ impl ThreadedBackend {
                         recv_timeout,
                         harness: None,
                         delayed: Vec::new(),
+                        send_corr: 0,
                         dead: false,
                         telemetry: None,
                         clock: RankClock::new(),

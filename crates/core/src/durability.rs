@@ -91,6 +91,18 @@ pub enum DurabilityError {
         /// Where relative to the manifest rename the kill struck.
         phase: CrashPhase,
     },
+    /// Another live process (or another store instance in this process)
+    /// already owns the store's lockfile. Two writers interleaving epoch
+    /// commits under one root would corrupt the sequence discipline, so the
+    /// second opener gets this typed error instead of a share. Stale locks
+    /// left by killed processes are detected (the owner's pid is gone) and
+    /// reclaimed silently.
+    Locked {
+        /// The lockfile path.
+        path: PathBuf,
+        /// The pid recorded in the lockfile.
+        owner_pid: u32,
+    },
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -119,6 +131,11 @@ impl std::fmt::Display for DurabilityError {
             DurabilityError::SimulatedCrash { seq, phase } => write!(
                 f,
                 "simulated process kill at checkpoint commit {seq} ({phase:?})"
+            ),
+            DurabilityError::Locked { path, owner_pid } => write!(
+                f,
+                "checkpoint store is locked by live process {owner_pid} ({})",
+                path.display()
             ),
         }
     }
@@ -496,27 +513,57 @@ pub struct Recovery {
     pub rejected: Vec<(u64, String)>,
 }
 
+/// Name of the single-writer lockfile at the store root.
+const LOCK_FILE: &str = "lock";
+
+/// Whether `pid` names a live process. On Linux this is a procfs probe —
+/// std-only, no new dependencies. Elsewhere liveness cannot be checked
+/// cheaply, so every recorded pid is conservatively treated as alive
+/// (a stale lock then needs manual removal rather than risking two
+/// writers).
+fn pid_is_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
 /// The crash-consistent checkpoint store rooted at one directory.
 ///
 /// Thread-safe for the engine's access pattern: each rank writes only its
 /// own slot file, and only rank 0 commits, after a barrier ordered all slot
 /// writes before it.
+///
+/// # Single-writer locking
+///
+/// Opening the store takes an exclusive lockfile at the root (`lock`,
+/// holding the owner's pid). A second open — from another process *or*
+/// another store instance in the same process — fails with
+/// [`DurabilityError::Locked`] while the first is alive; the lock is
+/// released when the store is dropped. A lock left behind by a killed
+/// process is detected by probing the recorded pid and reclaimed, so
+/// kill/resume cycles need no manual cleanup.
 #[derive(Debug)]
 pub struct CheckpointStore {
     dir: PathBuf,
     next_seq: AtomicU64,
+    /// The lockfile this instance owns and must remove on drop.
+    lock_path: PathBuf,
 }
 
 impl CheckpointStore {
-    /// Opens (creating if needed) a store rooted at `dir`. The next epoch
-    /// sequence number continues above everything already on disk —
-    /// committed or torn — so sequence numbers never repeat across restarts.
+    /// Opens (creating if needed) a store rooted at `dir`, taking the
+    /// single-writer lock. The next epoch sequence number continues above
+    /// everything already on disk — committed or torn — so sequence numbers
+    /// never repeat across restarts.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, DurabilityError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| DurabilityError::Io {
             path: dir.clone(),
             detail: e.to_string(),
         })?;
+        let lock_path = Self::acquire_lock(&dir)?;
         let mut max_seq = None;
         for seq in list_epochs(&dir)? {
             max_seq = Some(max_seq.map_or(seq, |m: u64| m.max(seq)));
@@ -524,12 +571,77 @@ impl CheckpointStore {
         Ok(Self {
             next_seq: AtomicU64::new(max_seq.map_or(0, |m| m + 1)),
             dir,
+            lock_path,
+        })
+    }
+
+    /// Creates the lockfile exclusively, handling the stale-lock case: a
+    /// recorded pid that no longer runs is a crash leftover and is
+    /// reclaimed; a live one (including this process — a second store
+    /// instance over the same root) is a real conflict.
+    fn acquire_lock(dir: &Path) -> Result<PathBuf, DurabilityError> {
+        let lock_path = dir.join(LOCK_FILE);
+        let io_err = |e: std::io::Error| DurabilityError::Io {
+            path: lock_path.clone(),
+            detail: e.to_string(),
+        };
+        // Two tries: the second runs only after a stale lock was removed.
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(mut file) => {
+                    use std::io::Write as _;
+                    file.write_all(std::process::id().to_string().as_bytes())
+                        .map_err(io_err)?;
+                    file.sync_all().map_err(io_err)?;
+                    return Ok(lock_path);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let owner_pid = std::fs::read_to_string(&lock_path)
+                        .ok()
+                        .and_then(|text| text.trim().parse::<u32>().ok());
+                    match owner_pid {
+                        Some(pid) if pid_is_alive(pid) => {
+                            return Err(DurabilityError::Locked {
+                                path: lock_path,
+                                owner_pid: pid,
+                            });
+                        }
+                        // Dead owner (or an unreadable lock, which only a
+                        // crash mid-acquisition leaves behind): reclaim.
+                        _ => match std::fs::remove_file(&lock_path) {
+                            Ok(()) => {}
+                            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                            Err(e) => return Err(io_err(e)),
+                        },
+                    }
+                }
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+        // Both tries hit AlreadyExists: another opener reclaimed-and-locked
+        // between ours. That opener is alive by definition.
+        let owner_pid = std::fs::read_to_string(&lock_path)
+            .ok()
+            .and_then(|text| text.trim().parse::<u32>().ok())
+            .unwrap_or(0);
+        Err(DurabilityError::Locked {
+            path: lock_path,
+            owner_pid,
         })
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The lockfile this instance holds (present while the store is open).
+    pub fn lock_path(&self) -> &Path {
+        &self.lock_path
     }
 
     /// The sequence number the next commit will use.
@@ -686,6 +798,15 @@ impl CheckpointStore {
             slots.push(record);
         }
         Ok(RecoveredEpoch { manifest, slots })
+    }
+}
+
+impl Drop for CheckpointStore {
+    /// Releases the single-writer lock. Removal failures are swallowed: a
+    /// lock that survives (say, the directory was already deleted) is at
+    /// worst a stale lock, which the next opener detects and reclaims.
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.lock_path);
     }
 }
 

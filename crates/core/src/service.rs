@@ -107,6 +107,11 @@ pub struct JobSpec {
     /// Optional flight recorder: comm, iteration, recovery, and job
     /// lifecycle events stream into it (and its durable sink, if any).
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Per-rank flight-recorder ring capacity override, applied to the
+    /// job's recorder before any of its streams exist. Undersized rings
+    /// lose records (surfaced per rank in [`JobEngine::metrics_snapshot`]
+    /// and as sequence gaps by `trace_dump --validate`).
+    pub telemetry_capacity: Option<usize>,
     /// When set, every consistency barrier durably checkpoints the job into
     /// a [`CheckpointStore`] rooted at this directory, and
     /// [`JobEngine::resume`] can rebuild the job from the directory alone
@@ -138,6 +143,7 @@ impl JobSpec {
             fault_policy: None,
             backend: ServiceBackend::Lockstep,
             telemetry: None,
+            telemetry_capacity: None,
             checkpoint_dir: None,
             resume_from: None,
         }
@@ -176,6 +182,17 @@ impl JobSpec {
     /// Attaches a flight recorder to the job.
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Sizes the job's per-rank flight-recorder rings (records per rank).
+    /// Applied at submission, before the recorder's first stream exists, so
+    /// every rank of the job gets the requested capacity. Undersized rings
+    /// overflow and lose records rather than blocking the hot path; losses
+    /// surface per rank in [`JobEngine::metrics_snapshot`] and as sequence
+    /// gaps in the durable trace.
+    pub fn with_telemetry_capacity(mut self, records: usize) -> Self {
+        self.telemetry_capacity = Some(records);
         self
     }
 
@@ -342,6 +359,11 @@ struct EngineMetrics {
     recoveries: u64,
     acks_sent: u64,
     duplicates_reacked: u64,
+    /// Flight-recorder records lost to ring overflow, folded in from each
+    /// job's recorder at completion. Per-rank so an undersized ring names
+    /// the exact stream whose durable trace has sequence gaps.
+    telemetry_lost: u64,
+    telemetry_lost_by_rank: BTreeMap<u64, u64>,
 }
 
 struct ServiceState {
@@ -444,16 +466,33 @@ impl JobEngine {
     /// job never having been killed.
     ///
     /// The resumed job is a fresh submission: new id, no telemetry recorder
-    /// (attach one to the returned spec path by submitting manually if
-    /// needed), and the same checkpoint directory — its epochs continue the
-    /// store's sequence numbering.
+    /// (use [`JobEngine::resume_with_telemetry`] to attach one), and the
+    /// same checkpoint directory — its epochs continue the store's sequence
+    /// numbering.
     pub fn resume(&self, dir: impl Into<PathBuf>) -> Result<JobHandle, JobError> {
+        self.resume_with_telemetry(dir, None)
+    }
+
+    /// [`JobEngine::resume`] with a flight recorder attached to the resumed
+    /// job. The recorder is not part of the on-disk manifest (a writer
+    /// cannot be serialised), so resumption is the one lifecycle step where
+    /// it must be re-attached explicitly — `load_gen --resume --telemetry`
+    /// uses this so a resumed run's trace can be diffed against its
+    /// uninterrupted twin.
+    pub fn resume_with_telemetry(
+        &self,
+        dir: impl Into<PathBuf>,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<JobHandle, JobError> {
         let dir = dir.into();
         let reject = |error: DurabilityError| JobError::Rejected {
             reason: format!("checkpoint recovery failed: {error}"),
         };
         let store = CheckpointStore::open(&dir).map_err(reject)?;
         let recovery = store.recover().map_err(reject)?;
+        // Release the store (and its lock) before submission: the runner
+        // thread re-opens the directory for the resumed run.
+        drop(store);
         let Some(epoch) = recovery.epoch else {
             let rejected: Vec<String> = recovery
                 .rejected
@@ -475,6 +514,7 @@ impl JobEngine {
         let mut spec = decode_spec(&epoch.manifest.spec, &dir).map_err(reject)?;
         spec.checkpoint_dir = Some(dir);
         spec.resume_from = Some(Arc::new(epoch));
+        spec.telemetry = telemetry;
         self.submit(spec)
     }
 
@@ -549,6 +589,11 @@ impl JobEngine {
         let depth = state.queue.len() as u64;
         state.metrics.queue_depth.observe(depth);
         if let Some(telemetry) = &spec.telemetry {
+            if let Some(capacity) = spec.telemetry_capacity {
+                // Must land before the recorder's first stream: the sink(0)
+                // call below creates stream 0, freezing its ring size.
+                telemetry.set_ring_capacity(capacity);
+            }
             // Lifecycle events live on stream 0 of the job's recorder; they
             // all fall outside the job's run window, so they never race the
             // ranks' own recording.
@@ -636,6 +681,10 @@ impl JobEngine {
         registry.inc_counter("comm_recoveries_total", m.recoveries);
         registry.inc_counter("comm_acks_sent_total", m.acks_sent);
         registry.inc_counter("comm_duplicates_reacked_total", m.duplicates_reacked);
+        registry.inc_counter("telemetry_lost_records_total", m.telemetry_lost);
+        for (&rank, &lost) in &m.telemetry_lost_by_rank {
+            registry.inc_counter(&format!("telemetry_lost_records_rank_{rank}"), lost);
+        }
         registry.set_histogram("queue_depth", m.queue_depth.clone());
         registry.set_gauge("fleet_epoch", state.fleet.epoch() as f64);
         registry.set_gauge("fleet_nodes_total", state.fleet.total_nodes() as f64);
@@ -645,9 +694,117 @@ impl JobEngine {
         registry
     }
 
+    /// Live health introspection: per-job phase shares and straggler flags
+    /// for every running job, plus queue pressure — computed from the
+    /// progress events already streaming into the service, so it can be
+    /// polled while jobs run without touching any rank's hot path.
+    ///
+    /// `straggler_z` is the z-score threshold on per-rank wait shares
+    /// (see [`ptycho_telemetry::analysis::straggler_report`] for the
+    /// post-hoc twin of this check; both use the same scoring helper).
+    pub fn health_snapshot(&self, straggler_z: f64) -> HealthSnapshot {
+        let state = self.lock();
+        let mut jobs = Vec::new();
+        for (&id, record) in &state.jobs {
+            if record.state != JobState::Running {
+                continue;
+            }
+            // Latest progress event per rank: the rank's cumulative clocks.
+            let mut latest: BTreeMap<usize, &IterationProgress> = BTreeMap::new();
+            let mut latest_iteration = 0u64;
+            for progress in &record.progress {
+                latest.insert(progress.event.rank, &progress.event);
+                latest_iteration = latest_iteration.max(progress.event.iteration as u64);
+            }
+            let mut compute = 0.0;
+            let mut wait = 0.0;
+            let mut communication = 0.0;
+            let mut wait_shares = Vec::with_capacity(latest.len());
+            let mut ranks = Vec::with_capacity(latest.len());
+            for (&rank, event) in &latest {
+                compute += event.time.compute;
+                wait += event.time.wait;
+                communication += event.time.communication;
+                let total = event.time.total();
+                wait_shares.push(if total > 0.0 {
+                    event.time.wait / total
+                } else {
+                    0.0
+                });
+                ranks.push(rank);
+            }
+            let total = (compute + wait + communication).max(f64::MIN_POSITIVE);
+            let stragglers = ptycho_telemetry::analysis::z_scores(&wait_shares)
+                .into_iter()
+                .zip(&ranks)
+                .filter(|&(z, _)| z > straggler_z)
+                .map(|(_, &rank)| rank)
+                .collect();
+            jobs.push(JobHealth {
+                job: id,
+                ranks_reporting: latest.len(),
+                latest_iteration,
+                compute_share: compute / total,
+                wait_share: wait / total,
+                comm_share: communication / total,
+                straggler_ranks: stragglers,
+            });
+        }
+        HealthSnapshot {
+            jobs,
+            queue_depth: state.queue.len(),
+            active: state.active,
+            waiting_for_spare: state.waiting_for_spare,
+            free_nodes: state.fleet.free_count(),
+            leased_nodes: state.fleet.leased_count(),
+            dead_nodes: state.fleet.dead_count(),
+        }
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, ServiceState> {
         self.shared.state.lock().expect("service state poisoned")
     }
+}
+
+/// Live phase shares and straggler flags for one running job (see
+/// [`JobEngine::health_snapshot`]).
+#[derive(Clone, Debug)]
+pub struct JobHealth {
+    /// The running job.
+    pub job: JobId,
+    /// How many ranks have reported at least one progress event.
+    pub ranks_reporting: usize,
+    /// The newest iteration any rank has completed.
+    pub latest_iteration: u64,
+    /// Fraction of the job's summed simulated time spent computing.
+    pub compute_share: f64,
+    /// Fraction spent blocked on peers (load imbalance).
+    pub wait_share: f64,
+    /// Fraction charged for moving bytes.
+    pub comm_share: f64,
+    /// Ranks whose wait share z-scores above the snapshot's threshold,
+    /// in rank order.
+    pub straggler_ranks: Vec<usize>,
+}
+
+/// A point-in-time view of the whole engine while jobs run (see
+/// [`JobEngine::health_snapshot`]).
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// Per-job health, in job-id order (running jobs only).
+    pub jobs: Vec<JobHealth>,
+    /// Jobs waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Jobs currently running.
+    pub active: usize,
+    /// Running jobs blocked waiting for a shared-pool spare.
+    pub waiting_for_spare: usize,
+    /// Nodes currently free (the shared spare pool).
+    pub free_nodes: usize,
+    /// Nodes leased to running jobs.
+    pub leased_nodes: usize,
+    /// Nodes retired by failure-detector verdicts.
+    pub dead_nodes: usize,
 }
 
 /// A client's handle to one submitted job.
@@ -1075,6 +1232,19 @@ fn run_job_thread(shared: Arc<Shared>, id: JobId, mut spec: JobSpec) {
             _ => {}
         }
         telemetry.flush_all();
+        // After the final flush the loss counters are settled: fold them
+        // into the service totals so an undersized ring is loud in every
+        // metrics snapshot, not just in the trace's sequence gaps.
+        for (rank, lost) in telemetry.lost_records_by_rank().into_iter().enumerate() {
+            if lost > 0 {
+                state.metrics.telemetry_lost += lost;
+                *state
+                    .metrics
+                    .telemetry_lost_by_rank
+                    .entry(rank as u64)
+                    .or_insert(0) += lost;
+            }
+        }
     }
     state.active -= 1;
     state.fleet.release(id);
@@ -1405,6 +1575,7 @@ fn decode_spec(bytes: &[u8], path: &std::path::Path) -> Result<JobSpec, Durabili
         fault_policy,
         backend,
         telemetry: None,
+        telemetry_capacity: None,
         checkpoint_dir: None,
         resume_from: None,
     })

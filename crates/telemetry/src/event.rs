@@ -30,6 +30,12 @@ pub enum TelemetryEvent {
         tag: u64,
         /// Payload size in bytes.
         bytes: u64,
+        /// Span correlation id stamped by the sending backend: the sender's
+        /// slot in the high 32 bits, a per-sender transport-send counter in
+        /// the low 32. Every copy of one logical send (fault duplicates,
+        /// delayed deliveries) shares the id, so the analysis layer can pair
+        /// sends with receives even when `(peer, tag)` alone is ambiguous.
+        corr: u64,
     },
     /// A rank's blocking or polling receive returned a message.
     CommRecv {
@@ -39,6 +45,9 @@ pub enum TelemetryEvent {
         tag: u64,
         /// Payload size in bytes.
         bytes: u64,
+        /// Correlation id of the send that produced this message (see the
+        /// `corr` field of [`TelemetryEvent::CommSend`]).
+        corr: u64,
     },
     /// The reliable layer re-sent an unacknowledged message.
     CommRetransmit {

@@ -24,13 +24,31 @@ pub fn emit_record(record: &TelemetryRecord, out: &mut String) {
         record.event.kind()
     );
     match record.event {
-        TelemetryEvent::CommSend { to, tag, bytes }
-        | TelemetryEvent::CommDrop { to, tag, bytes }
+        TelemetryEvent::CommSend {
+            to,
+            tag,
+            bytes,
+            corr,
+        } => {
+            let _ = write!(
+                out,
+                ",\"to\":{to},\"tag\":{tag},\"bytes\":{bytes},\"corr\":{corr}"
+            );
+        }
+        TelemetryEvent::CommDrop { to, tag, bytes }
         | TelemetryEvent::CommRetransmit { to, tag, bytes } => {
             let _ = write!(out, ",\"to\":{to},\"tag\":{tag},\"bytes\":{bytes}");
         }
-        TelemetryEvent::CommRecv { from, tag, bytes } => {
-            let _ = write!(out, ",\"from\":{from},\"tag\":{tag},\"bytes\":{bytes}");
+        TelemetryEvent::CommRecv {
+            from,
+            tag,
+            bytes,
+            corr,
+        } => {
+            let _ = write!(
+                out,
+                ",\"from\":{from},\"tag\":{tag},\"bytes\":{bytes},\"corr\":{corr}"
+            );
         }
         TelemetryEvent::CommAck { peer, tag } => {
             let _ = write!(out, ",\"peer\":{peer},\"tag\":{tag}");
@@ -302,11 +320,13 @@ pub fn parse_record(line: &str) -> Result<TelemetryRecord, ParseError> {
             to: get_u64(&fields, "to", &kind)?,
             tag: get_u64(&fields, "tag", &kind)?,
             bytes: get_u64(&fields, "bytes", &kind)?,
+            corr: get_u64(&fields, "corr", &kind)?,
         },
         "comm_recv" => TelemetryEvent::CommRecv {
             from: get_u64(&fields, "from", &kind)?,
             tag: get_u64(&fields, "tag", &kind)?,
             bytes: get_u64(&fields, "bytes", &kind)?,
+            corr: get_u64(&fields, "corr", &kind)?,
         },
         "comm_retransmit" => TelemetryEvent::CommRetransmit {
             to: get_u64(&fields, "to", &kind)?,
@@ -406,10 +426,16 @@ pub fn parse_record(line: &str) -> Result<TelemetryRecord, ParseError> {
 /// Streaming schema validator: checks every line parses into a known event
 /// and that each `(job, rank)` stream has strictly increasing sequence
 /// numbers and non-decreasing simulated time.
+///
+/// Sequence *gaps* are tolerated — they are how a flight-recorder ring
+/// overflow shows up in a durable log — but they are counted per stream so
+/// callers can surface them loudly (see [`SchemaValidator::lost_records`]).
 #[derive(Debug, Default)]
 pub struct SchemaValidator {
     /// Per-`(job, rank)` last-seen `(seq, sim_ns)`.
     streams: std::collections::BTreeMap<(u64, u64), (u64, u64)>,
+    /// Per-`(job, rank)` count of skipped sequence numbers.
+    gaps: std::collections::BTreeMap<(u64, u64), u64>,
     /// Lines accepted so far.
     accepted: u64,
 }
@@ -425,23 +451,43 @@ impl SchemaValidator {
         self.accepted
     }
 
+    /// Total sequence numbers skipped across all streams: records the
+    /// flight recorder evicted before they became durable. Zero for a
+    /// healthy trace.
+    pub fn lost_records(&self) -> u64 {
+        self.gaps.values().sum()
+    }
+
+    /// Per-stream `((job, rank), missing)` gap counts, for streams with at
+    /// least one skipped sequence number, in key order.
+    pub fn lost_records_by_stream(&self) -> Vec<((u64, u64), u64)> {
+        self.gaps.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
     /// Validates one line, updating per-stream state.
     pub fn check_line(&mut self, line: &str) -> Result<TelemetryRecord, ParseError> {
         let record = parse_record(line)?;
         let key = (record.job, record.rank);
-        if let Some(&(last_seq, last_sim)) = self.streams.get(&key) {
-            if record.seq <= last_seq {
-                return Err(ParseError::StreamOrder {
-                    rank: record.rank,
-                    detail: format!("seq {} after seq {last_seq}", record.seq),
-                });
+        let expected = match self.streams.get(&key) {
+            Some(&(last_seq, last_sim)) => {
+                if record.seq <= last_seq {
+                    return Err(ParseError::StreamOrder {
+                        rank: record.rank,
+                        detail: format!("seq {} after seq {last_seq}", record.seq),
+                    });
+                }
+                if record.sim_ns < last_sim {
+                    return Err(ParseError::StreamOrder {
+                        rank: record.rank,
+                        detail: format!("sim_ns {} after sim_ns {last_sim}", record.sim_ns),
+                    });
+                }
+                last_seq + 1
             }
-            if record.sim_ns < last_sim {
-                return Err(ParseError::StreamOrder {
-                    rank: record.rank,
-                    detail: format!("sim_ns {} after sim_ns {last_sim}", record.sim_ns),
-                });
-            }
+            None => 0,
+        };
+        if record.seq > expected {
+            *self.gaps.entry(key).or_insert(0) += record.seq - expected;
         }
         self.streams.insert(key, (record.seq, record.sim_ns));
         self.accepted += 1;
@@ -472,11 +518,13 @@ mod tests {
             to: 1,
             tag: 0x20,
             bytes: 4096,
+            corr: (3 << 32) | 17,
         });
         roundtrip(TelemetryEvent::CommRecv {
             from: 2,
             tag: 7,
             bytes: 8,
+            corr: (2 << 32) | 5,
         });
         roundtrip(TelemetryEvent::CommRetransmit {
             to: 0,
@@ -576,6 +624,29 @@ mod tests {
             Err(ParseError::StreamOrder { .. })
         ));
         assert_eq!(validator.accepted(), 1);
+    }
+
+    #[test]
+    fn validator_counts_sequence_gaps_as_lost_records() {
+        let mut validator = SchemaValidator::new();
+        let line = |seq: u64, sim: u64| {
+            format!(
+                "{{\"rank\":0,\"seq\":{seq},\"sim_ns\":{sim},\"job\":0,\
+                 \"kind\":\"barrier_wait\",\"iteration\":0}}"
+            )
+        };
+        // Seqs 0, 3, 4, 9: gaps of 2 (1-2) and 4 (5-8).
+        for (seq, sim) in [(0, 1), (3, 2), (4, 3), (9, 4)] {
+            validator.check_line(&line(seq, sim)).expect("valid line");
+        }
+        // A second stream starting at seq 5: its whole head was evicted.
+        let other = "{\"rank\":1,\"seq\":5,\"sim_ns\":0,\"job\":0,\"kind\":\"barrier_wait\",\"iteration\":0}";
+        validator.check_line(other).expect("valid line");
+        assert_eq!(validator.lost_records(), 6 + 5);
+        assert_eq!(
+            validator.lost_records_by_stream(),
+            vec![((0, 0), 6), ((0, 1), 5)]
+        );
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!    offline-friendly parser, streaming schema validation) and post-hoc
 //!    analysis (per-rank timelines, Fig. 7b-style compute/wait/communication
 //!    breakdowns) behind the `trace_dump` binary.
+//! 5. [`analysis`]: causal trace analysis — span graphs paired from
+//!    send/recv correlation ids, exact critical-path attribution
+//!    (compute / comm / barrier-wait / retransmit / heal per rank),
+//!    straggler z-scoring, anomaly scanning, and structural trace diffing
+//!    for resumed-vs-clean comparisons.
 //!
 //! # Quick start
 //!
@@ -45,12 +50,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod trace;
 
+pub use analysis::{
+    anomaly_scan, critical_path, diff_jobs, span_graph, straggler_report, AnomalyConfig,
+    AnomalyScan, CriticalPath, RankAttribution, SpanGraph, StragglerReport, TraceDiff,
+};
 pub use event::{TelemetryEvent, TelemetryRecord};
 pub use json::{ParseError, SchemaValidator};
 pub use metrics::{Histogram, MetricsRegistry};

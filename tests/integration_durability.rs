@@ -13,8 +13,8 @@
 
 use ptycho_cluster::{CommError, CrashPhase, FaultPolicy};
 use ptycho_core::{
-    CheckpointStore, JobEngine, JobError, JobReport, JobSpec, JobState, ReconstructionResult,
-    ServiceBackend, SolverConfig, SolverMethod,
+    CheckpointStore, DurabilityError, JobEngine, JobError, JobReport, JobSpec, JobState,
+    ReconstructionResult, ServiceBackend, SolverConfig, SolverMethod,
 };
 use ptycho_sim::dataset::{Dataset, SyntheticConfig};
 use std::path::PathBuf;
@@ -450,5 +450,106 @@ fn resuming_an_empty_store_is_rejected() {
         Ok(_) => panic!("an empty store must not resume"),
         Err(other) => panic!("expected Rejected, got {other}"),
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Lockfile guard: one store owner at a time, stale locks reclaimed.
+// ---------------------------------------------------------------------------
+
+/// Two live handles on the same store directory are a concurrency bug the
+/// lockfile turns into a typed error instead of silent corruption.
+#[test]
+fn double_open_of_a_checkpoint_store_is_a_typed_lock_error() {
+    let dir = scratch("lock-double");
+    let first = CheckpointStore::open(&dir).expect("first open acquires the lock");
+    match CheckpointStore::open(&dir) {
+        Err(DurabilityError::Locked { owner_pid, path }) => {
+            assert_eq!(owner_pid, std::process::id(), "the lock names its owner");
+            assert!(path.ends_with("lock"), "got: {}", path.display());
+        }
+        Ok(_) => panic!("a second open of a live store must be refused"),
+        Err(other) => panic!("expected Locked, got {other}"),
+    }
+    drop(first);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dropping the store releases the lock, so sequential open → drop → open
+/// cycles (the shape of every kill/resume drill) need no manual cleanup.
+#[test]
+fn dropping_the_store_releases_the_lock() {
+    let dir = scratch("lock-drop");
+    let store = CheckpointStore::open(&dir).expect("first open");
+    let lock_path = store.lock_path().to_path_buf();
+    assert!(lock_path.exists(), "the lock file exists while held");
+    drop(store);
+    assert!(!lock_path.exists(), "drop must remove the lock file");
+    CheckpointStore::open(&dir).expect("reopen after drop succeeds");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A lock left behind by a killed process (its PID no longer runs) must be
+/// detected as stale and reclaimed — a `kill -9` mid-run cannot brick the
+/// store. PIDs near `u32::MAX` are far above any real `pid_max`.
+#[test]
+fn stale_lock_from_a_dead_process_is_reclaimed() {
+    let dir = scratch("lock-stale");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    std::fs::write(dir.join("lock"), format!("{}\n", u32::MAX - 7)).expect("plant stale lock");
+    let store = CheckpointStore::open(&dir).expect("a dead owner's lock must be reclaimed");
+    let owned = std::fs::read_to_string(store.lock_path()).expect("lock readable");
+    assert_eq!(
+        owned.trim().parse::<u32>().ok(),
+        Some(std::process::id()),
+        "the reclaimed lock must name the new owner"
+    );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unparsable lock file (torn write at kill time) is stale by
+/// definition: no live owner can be identified, so open reclaims it.
+#[test]
+fn torn_lock_file_is_reclaimed() {
+    let dir = scratch("lock-torn");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    std::fs::write(dir.join("lock"), b"gar\xFFbage").expect("plant torn lock");
+    CheckpointStore::open(&dir).expect("a torn lock must be reclaimed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The engine surfaces the lock as a typed rejection: resuming a store that
+/// another live engine still holds fails loudly instead of corrupting it.
+#[test]
+fn resume_of_a_held_store_is_rejected() {
+    let dir = scratch("lock-resume");
+    let engine = JobEngine::new(8);
+    let killed = engine
+        .submit(
+            spec_for(
+                SolverMethod::GradientDecomposition,
+                ServiceBackend::Lockstep,
+            )
+            .with_checkpoint_dir(&dir)
+            .with_fault_policy(
+                FaultPolicy::reliable(7).kill_process_at_barrier(0, CrashPhase::AfterRename),
+            ),
+        )
+        .expect("fits the fleet")
+        .wait();
+    assert_process_killed(&killed, 0);
+    let guard = CheckpointStore::open(&dir).expect("hold the store");
+    match JobEngine::new(8).resume(&dir) {
+        Err(JobError::Rejected { reason }) => {
+            assert!(reason.contains("locked by live process"), "got: {reason}")
+        }
+        Ok(_) => panic!("resuming a held store must be refused"),
+        Err(other) => panic!("expected Rejected, got {other}"),
+    }
+    drop(guard);
+    JobEngine::new(8)
+        .resume(&dir)
+        .expect("resume succeeds once the lock is free");
     let _ = std::fs::remove_dir_all(&dir);
 }
